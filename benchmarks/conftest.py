@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each bench file regenerates one table/figure of the paper, prints the
+rows/series the paper reports, and asserts the *shape* of the result
+(who wins, in which direction), not absolute numbers.  Heavy experiment
+drivers run once per bench via ``benchmark.pedantic(rounds=1)``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a report block, clearly delimited in bench output."""
+
+    def _show(title: str, text: str) -> None:
+        print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+        print(text)
+
+    return _show

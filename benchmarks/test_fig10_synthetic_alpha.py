@@ -1,0 +1,33 @@
+"""Fig 10 — HH-CPU speedup on synthetic matrices as a function of the
+power-law exponent alpha (three sizes, A x B with A != B).
+
+Shape assertions (paper): the speedup decreases as alpha increases
+(less scale-free => less to exploit); the smallest size shows the
+highest speedup (Phase IV tuple growth penalises the bigger products).
+"""
+
+import numpy as np
+
+from repro.analysis import run_fig10
+from repro.analysis.tables import arithmetic_mean
+
+
+def test_fig10(benchmark, show):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    show("Fig 10", result.render())
+
+    for label in ("100K", "500K", "1M"):
+        series = result.series(label)
+        alphas = [p.alpha for p in series]
+        speeds = [p.speedup_vs_hipc for p in series]
+        assert alphas == sorted(alphas)
+        # decreasing trend: low-alpha half beats high-alpha half
+        half = len(speeds) // 2
+        assert arithmetic_mean(speeds[:half]) > arithmetic_mean(speeds[half:]), label
+        # fitted alpha tracks the requested alpha
+        fit_err = [abs(p.alpha_fit - p.alpha) for p in series]
+        assert np.median(fit_err) < 1.0, label
+
+    small = arithmetic_mean([p.speedup_vs_hipc for p in result.series("100K")])
+    large = arithmetic_mean([p.speedup_vs_hipc for p in result.series("1M")])
+    assert small >= large * 0.9, "smallest size should not trail the largest"

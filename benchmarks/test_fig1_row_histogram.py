@@ -1,0 +1,15 @@
+"""Fig 1 — row histogram of webbase-1M with the paper's threshold (60)."""
+
+from repro.analysis import run_fig1
+
+
+def test_fig1(benchmark, show):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    show("Fig 1 (webbase-1M row histogram)", result.render())
+
+    assert result.threshold == 60
+    # "very few rows have at least 60 nonzeros per row"
+    from repro.analysis import experiment_setup
+
+    nrows = experiment_setup("webbase-1M").matrix.nrows
+    assert 0 < result.hd_rows < 0.05 * nrows

@@ -1,0 +1,23 @@
+"""Fig 5 — row-density histograms with thresholds and HD counts for all
+12 matrices."""
+
+from repro.analysis import run_fig5
+from repro.scalefree import TABLE_I
+
+
+def test_fig5(benchmark, show):
+    results = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    for r in results:
+        show(f"Fig 5 [{r.name}] threshold={r.threshold} HD={r.hd_rows}", r.render())
+
+    assert len(results) == 12
+    by_name = {r.name: r for r in results}
+    # high-density rows are always the minority (log-scale Y in the paper)
+    from repro.analysis import experiment_setup
+
+    for r in results:
+        nrows = experiment_setup(r.name).matrix.nrows
+        assert r.hd_rows < 0.5 * nrows, r.name
+    # the strongly scale-free matrices have a long tail above threshold
+    assert by_name["webbase-1M"].hd_rows > 0
+    assert by_name["email-Enron"].hd_rows > 0

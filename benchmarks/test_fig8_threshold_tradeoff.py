@@ -1,0 +1,46 @@
+"""Fig 8 — effect of the Phase I threshold on total / Phase II / Phase
+III time.
+
+Shape assertions (paper): as the threshold grows, Phase II (CPU dense
+product) first shrinks then the total exhibits a convex trade-off with
+an interior optimum; t = 0 degenerates to the all-CPU (≈ MKL) side and
+t = max to the [13]-like side, both worse than the optimum.
+"""
+
+import pytest
+
+from repro.analysis import run_fig8
+from repro.scalefree import DATASET_NAMES
+
+SCALE_FREE = [n for n in DATASET_NAMES
+              if n not in ("roadNet-CA", "cop20kA", "p2p-Gnutella31")]
+
+
+def test_fig8_model_curves(benchmark, show):
+    def sweep_all():
+        return {name: run_fig8(name, mode="model") for name in DATASET_NAMES}
+
+    curves = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    interior = 0
+    for name, curve in curves.items():
+        show(f"Fig 8 [{name}]", curve.render())
+        best = min(curve.total)
+        assert curve.total[0] >= best
+        assert curve.total[-1] >= best
+        if curve.is_interior_minimum:
+            interior += 1
+    # the trade-off has an interior optimum on most scale-free inputs
+    assert interior >= 6, f"only {interior} interior minima"
+
+
+def test_fig8_real_run_matches_model_direction(benchmark, show):
+    """One real (fully simulated) sweep: endpoints are worse than the
+    best interior threshold, matching the estimator's curve."""
+    curve = benchmark.pedantic(
+        lambda: run_fig8("wiki-Vote", mode="real", max_candidates=8),
+        rounds=1, iterations=1,
+    )
+    show("Fig 8 [wiki-Vote, real runs]", curve.render())
+    best = min(curve.total)
+    assert curve.total[0] > best
+    assert curve.total[-1] > best

@@ -1,0 +1,43 @@
+"""csrmm extension (§VI): propagate dense node features over a graph.
+
+One step of feature propagation on a graph is ``A @ X`` with A the
+(sparse, scale-free) adjacency matrix and X a dense feature panel —
+the csrmm case the paper's conclusions sketch a heterogeneous split
+for: dense rows of A on the CPU, the sparse majority on the GPU, no
+cross products, trivial merge.
+
+Run:  python examples/csrmm_feature_propagation.py
+"""
+
+import numpy as np
+
+from repro import HHCSRMM, powerlaw_matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n, k = 20_000, 16
+    graph = powerlaw_matrix(n, alpha=2.4, target_nnz=120_000, rng=5)
+    features = rng.standard_normal((n, k))
+
+    algo = HHCSRMM()
+    propagated, record = algo.multiply(graph, features)
+    print(record.summary())
+    print("rows on CPU (dense):", record.details["cpu_rows"],
+          "| rows on GPU (sparse):", record.details["gpu_rows"],
+          "| threshold:", record.details["threshold"])
+
+    # verify against a dense reference
+    ref = graph.to_scipy() @ features
+    err = float(np.abs(propagated - ref).max())
+    print(f"max abs error vs reference: {err:.2e}")
+    assert err < 1e-9
+
+    # two propagation steps smooth the features toward hub values
+    second, _ = algo.multiply(graph, propagated)
+    print("feature norm after 0/1/2 hops:",
+          [round(float(np.linalg.norm(x)), 1) for x in (features, propagated, second)])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Scale-freeness sweep — a compact version of the paper's Fig 10.
+
+Generates pairs of synthetic matrices with controlled power-law
+exponent alpha (the GT-graph role), multiplies A @ B with HH-CPU and
+the HiPC2012 baseline, and shows how the heterogeneous advantage decays
+as the input becomes less scale-free (alpha grows).
+
+Run:  python examples/synthetic_alpha_sweep.py
+"""
+
+from repro.analysis import run_fig10
+from repro.analysis.experiments import FIG10_ALPHAS
+
+
+def main() -> None:
+    # one size, coarser alpha grid than the full Fig 10 bench
+    result = run_fig10(size_factor=0.005, alphas=FIG10_ALPHAS[::2])
+    print(result.render())
+
+    for label in ("100K", "500K", "1M"):
+        series = result.series(label)
+        first, last = series[0], series[-1]
+        print(
+            f"size {label}: speedup {first.speedup_vs_hipc:.2f}x at "
+            f"alpha={first.alpha} -> {last.speedup_vs_hipc:.2f}x at "
+            f"alpha={last.alpha}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Phase I threshold tuning — the Fig 8 trade-off, interactively.
+
+The threshold t deciding which rows count as "high density" trades CPU
+work (low t: everything is high-density, all work lands on the CPU)
+against GPU work (high t: the algorithm degenerates to the HiPC2012
+path).  The paper observes the total time is convex in t; this example
+sweeps the curve for a chosen matrix and marks the selected optimum.
+
+Run:  python examples/threshold_tuning.py [matrix-name]
+"""
+
+import sys
+
+from repro.analysis import run_fig8
+from repro.scalefree import DATASET_NAMES
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "wiki-Vote"
+    if name not in DATASET_NAMES:
+        raise SystemExit(f"unknown matrix {name!r}; choose from {DATASET_NAMES}")
+
+    curve = run_fig8(name, mode="model")
+    print(curve.render())
+    best = curve.argmin_threshold
+    print(f"\nselected threshold: {best}")
+    print("interior minimum (convex trade-off):", curve.is_interior_minimum)
+
+    lo, hi = curve.total[0], curve.total[-1]
+    opt = min(curve.total)
+    print(f"t=0 (all-CPU) is {lo / opt:.2f}x the optimum; "
+          f"t=max (all-GPU, ~HiPC2012) is {hi / opt:.2f}x the optimum")
+
+
+if __name__ == "__main__":
+    main()

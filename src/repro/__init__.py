@@ -1,0 +1,90 @@
+"""repro — reproduction of "A Novel Heterogeneous Algorithm for
+Multiplying Scale-Free Sparse Matrices" (IPPS 2015).
+
+Quickstart::
+
+    from repro import HHCPU, powerlaw_matrix
+
+    a = powerlaw_matrix(10_000, alpha=2.3, target_nnz=60_000)
+    result = HHCPU().multiply(a, a)
+    print(result.summary())          # simulated time + phase breakdown
+    c = result.matrix                # the exact product, CSR
+
+The numeric result is always exact (kernels run for real on the host,
+verified against scipy in the test suite); the reported times come from
+a discrete-event simulation of the paper's CPU+GPU platform (Intel i7
+980 + NVIDIA Tesla K20c over PCIe 2.0).  See DESIGN.md for the
+simulation-substitution rationale and EXPERIMENTS.md for
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.core import HHCPU, SpmmResult, hhcpu_multiply, select_threshold, sweep_thresholds
+from repro.core.hhcsrmm import HHCSRMM
+from repro.baselines import (
+    ALGORITHMS,
+    CPUOnly,
+    CuSparseModel,
+    GPUOnly,
+    HiPC2012,
+    MKLModel,
+    SortedWorkqueue,
+    UnsortedWorkqueue,
+)
+from repro.formats import COOMatrix, CSCMatrix, CSRMatrix, read_matrix_market, write_matrix_market
+from repro.hardware import HeteroPlatform, I7_980, K20C, PCIE2, default_platform
+from repro.hardware.platform import platform_for_scale
+from repro.costmodel import Calibration, DEFAULT_CALIBRATION
+from repro.kernels import esc_multiply, hash_multiply, merge_tuples, spa_multiply
+from repro.scalefree import (
+    TABLE_I,
+    fit_power_law,
+    load_dataset,
+    powerlaw_matrix,
+    rmat_matrix,
+    row_histogram,
+    uniform_matrix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HHCPU",
+    "HHCSRMM",
+    "SpmmResult",
+    "hhcpu_multiply",
+    "select_threshold",
+    "sweep_thresholds",
+    "ALGORITHMS",
+    "CPUOnly",
+    "CuSparseModel",
+    "GPUOnly",
+    "HiPC2012",
+    "MKLModel",
+    "SortedWorkqueue",
+    "UnsortedWorkqueue",
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "read_matrix_market",
+    "write_matrix_market",
+    "HeteroPlatform",
+    "I7_980",
+    "K20C",
+    "PCIE2",
+    "default_platform",
+    "platform_for_scale",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "esc_multiply",
+    "hash_multiply",
+    "merge_tuples",
+    "spa_multiply",
+    "TABLE_I",
+    "fit_power_law",
+    "load_dataset",
+    "powerlaw_matrix",
+    "rmat_matrix",
+    "row_histogram",
+    "uniform_matrix",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Commands mirror the benchmark harness, for interactive use:
+
+    python -m repro table1
+    python -m repro fig6 [--scale 0.01] [--names webbase-1M email-Enron]
+    python -m repro fig8 wiki-Vote [--real]
+    python -m repro fig10
+    python -m repro multiply webbase-1M [--algorithm hipc2012]
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    experiment_setup,
+    run_baseline,
+    run_fig1,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_hhcpu,
+    run_table1,
+)
+from repro.scalefree import DATASET_NAMES, TABLE_I
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=None,
+                   help="dataset size scale in (0, 1]; default auto")
+    p.add_argument("--names", nargs="*", default=None,
+                   help=f"matrices (default: all 12); choose from {', '.join(DATASET_NAMES)}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures on the simulated platform.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "fig5", "fig6", "fig7", "fig9"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_common(p)
+
+    sub.add_parser("fig1", help="webbase-1M row histogram")
+
+    p8 = sub.add_parser("fig8", help="threshold sweep for one matrix")
+    p8.add_argument("matrix", choices=DATASET_NAMES)
+    p8.add_argument("--real", action="store_true",
+                    help="full simulated runs instead of the analytic sweep")
+    p8.add_argument("--scale", type=float, default=None)
+
+    p10 = sub.add_parser("fig10", help="synthetic alpha sweep")
+    p10.add_argument("--size-factor", type=float, default=0.01)
+
+    pm = sub.add_parser("multiply", help="run one algorithm on one matrix (A x A)")
+    pm.add_argument("matrix", choices=DATASET_NAMES)
+    pm.add_argument("--algorithm", default="hh-cpu",
+                    choices=["hh-cpu", "hipc2012", "unsorted", "sorted",
+                             "cpu", "gpu", "mkl", "cusparse"])
+    pm.add_argument("--scale", type=float, default=None)
+
+    sub.add_parser("datasets", help="list the Table I registry")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = getattr(args, "names", None) or DATASET_NAMES
+    scale = getattr(args, "scale", None)
+
+    if args.command == "table1":
+        print(run_table1(names=names, scale=scale).render())
+    elif args.command == "fig1":
+        print(run_fig1().render())
+    elif args.command == "fig5":
+        for hist in run_fig5(names=names, scale=scale):
+            print(hist.render())
+            print()
+    elif args.command == "fig6":
+        print(run_fig6(names=names, scale=scale).render())
+    elif args.command == "fig7":
+        print(run_fig7(names=names, scale=scale).render())
+    elif args.command == "fig8":
+        mode = "real" if args.real else "model"
+        print(run_fig8(args.matrix, scale=args.scale, mode=mode).render())
+    elif args.command == "fig9":
+        print(run_fig9(names=names, scale=scale).render())
+    elif args.command == "fig10":
+        print(run_fig10(size_factor=args.size_factor).render())
+    elif args.command == "multiply":
+        setup = experiment_setup(args.matrix, scale=args.scale)
+        if args.algorithm == "hh-cpu":
+            result = run_hhcpu(setup)
+        else:
+            result = run_baseline(setup, args.algorithm)
+        print(result.summary())
+        for key, value in result.details.items():
+            print(f"  {key}: {value}")
+    elif args.command == "datasets":
+        for name, spec in TABLE_I.items():
+            print(f"{name:16s} rows={spec.rows:>9,} nnz={spec.nnz:>11,} "
+                  f"alpha={spec.alpha_paper:>6} kind={spec.kind:9s} {spec.note}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

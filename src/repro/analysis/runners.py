@@ -1,0 +1,108 @@
+"""Shared experiment plumbing: scale-matched platforms, unit sizing,
+algorithm registry.
+
+Every figure/table driver goes through :func:`experiment_setup` so that
+all experiments agree on (a) the dataset twin, (b) the cache-scaled
+platform (DESIGN.md §2), and (c) work-unit sizes scaled to the twin
+(the paper's cpuRows = 1000 / gpuRows = 10 000 were tuned for ~1M-row
+inputs; a twin at scale ``s`` uses proportional units with floors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    CPUOnly,
+    CuSparseModel,
+    GPUOnly,
+    HiPC2012,
+    MKLModel,
+    SortedWorkqueue,
+    UnsortedWorkqueue,
+)
+from repro.core import HHCPU
+from repro.core.result import SpmmResult
+from repro.costmodel import Calibration, DEFAULT_CALIBRATION
+from repro.formats.csr import CSRMatrix
+from repro.hardware.platform import HeteroPlatform, platform_for_scale
+from repro.scalefree.datasets import TABLE_I, dataset_scale, load_dataset
+
+#: work-unit scale multiplier: twins keep roughly 10x the paper's
+#: units-per-row density so the queue retains balancing granularity
+UNIT_SCALE_BOOST = 10.0
+
+
+def scaled_units(scale: float) -> dict[str, int]:
+    """Work-unit sizes for a twin at the given size scale."""
+    return {
+        "cpu_rows": max(100, round(1_000 * scale * UNIT_SCALE_BOOST)),
+        "gpu_rows": max(1_000, round(10_000 * scale * UNIT_SCALE_BOOST)),
+    }
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything needed to run one dataset through the algorithms."""
+
+    name: str
+    matrix: CSRMatrix
+    scale: float
+    calibration: Calibration = field(default=DEFAULT_CALIBRATION)
+
+    def platform(self) -> HeteroPlatform:
+        """A fresh cache-scaled platform (one per algorithm run so
+        traces never mix)."""
+        return platform_for_scale(self.scale, self.calibration)
+
+    @property
+    def units(self) -> dict[str, int]:
+        return scaled_units(self.scale)
+
+
+def experiment_setup(
+    name: str,
+    *,
+    scale: float | None = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> ExperimentSetup:
+    """Load a Table I twin and its scale-matched context."""
+    spec = TABLE_I[name]
+    eff = dataset_scale(spec, scale)
+    return ExperimentSetup(
+        name=name,
+        matrix=load_dataset(name, scale=scale),
+        scale=eff,
+        calibration=calibration,
+    )
+
+
+def run_hhcpu(setup: ExperimentSetup, **kwargs) -> SpmmResult:
+    """Run Algorithm HH-CPU (A x A, as in all paper experiments)."""
+    algo = HHCPU(setup.platform(), **{**setup.units, **kwargs})
+    return algo.multiply(setup.matrix, setup.matrix)
+
+
+def run_baseline(setup: ExperimentSetup, which: str, **kwargs) -> SpmmResult:
+    """Run one named baseline on ``A x A``.
+
+    ``which``: hipc2012 | unsorted | sorted | cpu | gpu | mkl | cusparse.
+    """
+    pf = setup.platform()
+    if which == "hipc2012":
+        algo = HiPC2012(pf, **kwargs)
+    elif which == "unsorted":
+        algo = UnsortedWorkqueue(pf, **{**setup.units, **kwargs})
+    elif which == "sorted":
+        algo = SortedWorkqueue(pf, **{**setup.units, **kwargs})
+    elif which == "cpu":
+        algo = CPUOnly(pf, **kwargs)
+    elif which == "gpu":
+        algo = GPUOnly(pf, **kwargs)
+    elif which == "mkl":
+        algo = MKLModel(pf, **kwargs)
+    elif which == "cusparse":
+        algo = CuSparseModel(pf, **kwargs)
+    else:
+        raise ValueError(f"unknown baseline {which!r}")
+    return algo.multiply(setup.matrix, setup.matrix)

@@ -1,0 +1,49 @@
+"""ASCII table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a list-of-rows table with right-aligned numeric columns."""
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (speedup aggregation that respects ratios)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average (the paper reports arithmetic averages)."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,36 @@
+"""Comparison algorithms from the paper's evaluation:
+
+- :class:`HiPC2012` — the static-partition heterogeneous spmm of
+  Matam et al. [13], the primary baseline (Fig 6);
+- :class:`UnsortedWorkqueue` / :class:`SortedWorkqueue` — the §V-C
+  dynamic-balancing alternatives (Fig 9);
+- :class:`CPUOnly` / :class:`GPUOnly` — single-device degenerate cases;
+- :class:`MKLModel` / :class:`CuSparseModel` — vendor-library proxies.
+"""
+
+from repro.baselines.hipc2012 import HiPC2012
+from repro.baselines.libmodels import CuSparseModel, MKLModel
+from repro.baselines.single_device import CPUOnly, GPUOnly
+from repro.baselines.workqueue_baselines import SortedWorkqueue, UnsortedWorkqueue
+
+#: registry used by the experiment drivers
+ALGORITHMS = {
+    "hipc2012": HiPC2012,
+    "unsorted-workqueue": UnsortedWorkqueue,
+    "sorted-workqueue": SortedWorkqueue,
+    "cpu-only": CPUOnly,
+    "gpu-only": GPUOnly,
+    "mkl": MKLModel,
+    "cusparse": CuSparseModel,
+}
+
+__all__ = [
+    "HiPC2012",
+    "UnsortedWorkqueue",
+    "SortedWorkqueue",
+    "CPUOnly",
+    "GPUOnly",
+    "MKLModel",
+    "CuSparseModel",
+    "ALGORITHMS",
+]

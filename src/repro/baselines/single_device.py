@@ -1,0 +1,87 @@
+"""Single-device spmm runners (CPU-only, GPU-only).
+
+These are the degenerate points of the threshold sweep (§V-B d: a
+threshold of 0 sends everything to the CPU; the largest threshold sends
+everything to the GPU-centric path) and the substrate for the MKL /
+cuSPARSE library proxies in :mod:`repro.baselines.libmodels`.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import SpmmResult
+from repro.formats.base import check_multiply_compatible
+from repro.formats.csr import CSRMatrix
+from repro.hardware.platform import HeteroPlatform, default_platform
+from repro.hetero.executor import make_context, resolve_kernel, run_product
+from repro.kernels.merge import merge_tuples
+
+
+class CPUOnly:
+    """Row-row spmm entirely on the host CPU."""
+
+    name = "CPU-only"
+
+    def __init__(self, platform: HeteroPlatform | None = None, *, kernel="esc"):
+        self.platform = platform or default_platform()
+        self.kernel = resolve_kernel(kernel)
+
+    def multiply(self, a: CSRMatrix, b: CSRMatrix) -> SpmmResult:
+        check_multiply_compatible(a, b)
+        pf = self.platform
+        pf.reset()
+        ctx = make_context(pf, a, b)
+        run = run_product(pf.cpu, "compute", "cpu:A*B", a, b, ctx, kernel=self.kernel)
+        merged = merge_tuples((a.nrows, b.ncols), [run.part])
+        pf.cpu.busy(
+            "merge", "cpu:csr-build",
+            pf.cpu.merge_time(merged.stats.tuples_in, needs_sort=False),
+        )
+        total = pf.barrier()
+        return SpmmResult(
+            algorithm=self.name,
+            matrix=merged.matrix,
+            total_time=total,
+            phase_times=pf.trace.phase_times(),
+            device_busy={d: pf.trace.busy_time(device=d) for d in pf.trace.devices()},
+            merge_stats=merged.stats,
+            trace=pf.trace,
+        )
+
+
+class GPUOnly:
+    """Row-row spmm entirely on the GPU ([13]'s kernel run on the whole
+    matrix): upload both operands, one kernel, download the tuples, CSR
+    assembly on the host."""
+
+    name = "GPU-only"
+
+    def __init__(self, platform: HeteroPlatform | None = None, *, kernel="esc"):
+        self.platform = platform or default_platform()
+        self.kernel = resolve_kernel(kernel)
+
+    def multiply(self, a: CSRMatrix, b: CSRMatrix) -> SpmmResult:
+        check_multiply_compatible(a, b)
+        pf = self.platform
+        pf.reset()
+        pf.upload_matrix("compute", "xfer:A", a)
+        pf.upload_matrix("compute", "xfer:B", b)
+        ctx = make_context(pf, a, b)
+        run = run_product(pf.gpu, "compute", "gpu:A*B", a, b, ctx, kernel=self.kernel)
+        pf.stream_tuples_download("compute", "xfer:gpu-tuples", run.tuples,
+                                  produced_from=run.start)
+        pf.sync_downloads("merge", "xfer:gpu-tuples:wait")
+        merged = merge_tuples((a.nrows, b.ncols), [run.part])
+        pf.cpu.busy(
+            "merge", "cpu:csr-build",
+            pf.cpu.merge_time(merged.stats.tuples_in, needs_sort=False),
+        )
+        total = pf.barrier()
+        return SpmmResult(
+            algorithm=self.name,
+            matrix=merged.matrix,
+            total_time=total,
+            phase_times=pf.trace.phase_times(),
+            device_busy={d: pf.trace.busy_time(device=d) for d in pf.trace.devices()},
+            merge_stats=merged.stats,
+            trace=pf.trace,
+        )

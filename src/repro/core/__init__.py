@@ -1,0 +1,21 @@
+"""The paper's primary contribution: Algorithm HH-CPU and its
+threshold-selection machinery."""
+
+from repro.core.hhcpu import HHCPU, hhcpu_multiply
+from repro.core.result import SpmmResult
+from repro.core.threshold import (
+    EstimatedTimes,
+    estimate_times,
+    select_threshold,
+    sweep_thresholds,
+)
+
+__all__ = [
+    "HHCPU",
+    "hhcpu_multiply",
+    "SpmmResult",
+    "EstimatedTimes",
+    "estimate_times",
+    "select_threshold",
+    "sweep_thresholds",
+]

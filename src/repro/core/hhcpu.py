@@ -1,0 +1,208 @@
+"""Algorithm HH-CPU (§III) — the paper's primary contribution.
+
+Four phases on the simulated CPU+GPU platform:
+
+- **Phase I** — thresholds ``t_A``/``t_B`` (auto-selected through the
+  analytic estimator unless given), boolean row classification computed
+  on the GPU from the row-size arrays.
+- **Phase II** — overlapped: CPU runs :math:`A_H B_H` (cache-blocked
+  dense rows), GPU runs :math:`A_L B_L` (uniform short rows, one warp
+  per row).  Operand upload precedes the GPU product.
+- **Phase III** — :math:`A_L B_H` and :math:`A_H B_L` through the
+  double-ended workqueue (cpuRows = 1000, gpuRows = 10 000 by default,
+  §IV-B), each device dequeueing from its own end and stealing from the
+  other once its end drains.
+- **Phase IV** — the GPU's tuples cross PCIe back to the host, where
+  the mark/scan/master-index merge produces the final CSR.
+
+Numeric results are exact (kernels run for real on the host); times are
+modelled (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from repro.formats.base import check_multiply_compatible
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.hardware.platform import HeteroPlatform, default_platform
+from repro.hetero.executor import make_context, resolve_kernel, run_product
+from repro.hetero.partition import partition_rows
+from repro.hetero.scheduler import run_workqueue_phase
+from repro.hetero.workqueue import (
+    DEFAULT_CPU_ROWS,
+    DEFAULT_GPU_ROWS,
+    DoubleEndedWorkQueue,
+    WorkUnit,
+)
+from repro.kernels.merge import merge_tuples
+from repro.core.result import SpmmResult
+from repro.core.threshold import select_threshold
+
+
+class HHCPU:
+    """The HH-CPU heterogeneous spmm algorithm.
+
+    Parameters
+    ----------
+    platform:
+        Simulated platform; defaults to the paper's i7 980 + K20c.
+    kernel:
+        Numeric kernel name or callable ('esc' default; 'spa'/'hash' are
+        numerically identical).
+    cpu_rows, gpu_rows:
+        Phase III work-unit sizes (paper defaults 1000 / 10000).
+    threshold_a, threshold_b:
+        Fixed Phase I thresholds; ``None`` selects them with the
+        analytic estimator (the library's "empirical" pick).
+    """
+
+    name = "HH-CPU"
+
+    def __init__(
+        self,
+        platform: HeteroPlatform | None = None,
+        *,
+        kernel="esc",
+        cpu_rows: int = DEFAULT_CPU_ROWS,
+        gpu_rows: int = DEFAULT_GPU_ROWS,
+        threshold_a: int | None = None,
+        threshold_b: int | None = None,
+    ):
+        self.platform = platform or default_platform()
+        self.kernel = resolve_kernel(kernel)
+        if cpu_rows <= 0 or gpu_rows <= 0:
+            raise ValueError("work-unit sizes must be positive")
+        self.cpu_rows = int(cpu_rows)
+        self.gpu_rows = int(gpu_rows)
+        self.threshold_a = threshold_a
+        self.threshold_b = threshold_b
+
+    # -- public API ---------------------------------------------------------
+    def multiply(self, a: CSRMatrix, b: CSRMatrix) -> SpmmResult:
+        """Compute ``C = A @ B`` on the simulated platform."""
+        check_multiply_compatible(a, b)
+        pf = self.platform
+        pf.reset()
+
+        # ---------------- Phase I ----------------
+        t_a, t_b = self.threshold_a, self.threshold_b
+        if t_a is None or t_b is None:
+            auto_a, auto_b = select_threshold(a, b, pf)
+            t_a = auto_a if t_a is None else t_a
+            t_b = auto_b if t_b is None else t_b
+        pf.cpu.busy("I", "host:prepare-row-sizes", pf.cpu.phase1_time(a.nrows + b.nrows))
+        pf.upload_row_sizes("I", "xfer:row-sizes", a.nrows + b.nrows)
+        pf.gpu.busy("I", "gpu:classify-rows", pf.gpu.phase1_time(a.nrows + b.nrows))
+        part = partition_rows(a, b, int(t_a), int(t_b))
+
+        # ---------------- operand staging (charged to Phase II) ----------------
+        pf.upload_matrix("II", "xfer:A", a)
+        pf.upload_matrix("II", "xfer:B", b)
+        pf.upload_boolean("II", "xfer:row-classes", a.nrows + b.nrows)
+
+        # one context per partial product: reuse fractions are
+        # product-level (the cache persists across work-units)
+        ctx_hh = make_context(pf, a, b, a_rows=part.a.high_rows,
+                              b_row_mask=part.b.high_mask)
+        ctx_ll = make_context(pf, a, b, a_rows=part.a.low_rows,
+                              b_row_mask=~part.b.high_mask)
+        ctx_lh = make_context(pf, a, b, a_rows=part.a.low_rows,
+                              b_row_mask=part.b.high_mask)
+        ctx_hl = make_context(pf, a, b, a_rows=part.a.high_rows,
+                              b_row_mask=~part.b.high_mask)
+
+        # ---------------- Phase II (overlapped) ----------------
+        gpu_tuples = 0
+        cpu_hh = run_product(
+            pf.cpu, "II", "cpu:AH*BH", a, b, ctx_hh,
+            a_rows=part.a.high_rows, b_row_mask=part.b.high_mask,
+            kernel=self.kernel,
+        )
+        gpu_ll = run_product(
+            pf.gpu, "II", "gpu:AL*BL", a, b, ctx_ll,
+            a_rows=part.a.low_rows, b_row_mask=~part.b.high_mask,
+            kernel=self.kernel,
+        )
+        gpu_tuples += gpu_ll.tuples
+        pf.stream_tuples_download("II", "xfer:tuples:AL*BL", gpu_ll.tuples,
+                                  produced_from=gpu_ll.start)
+
+        # ---------------- Phase III (double-ended workqueue) ----------------
+        # an empty B class makes the corresponding cross product vanish;
+        # a real implementation would not enqueue those work-units at all
+        al_bh_rows = part.a.low_rows if part.b.n_high > 0 else part.a.low_rows[:0]
+        ah_bl_rows = part.a.high_rows if part.b.n_low > 0 else part.a.high_rows[:0]
+        queue = DoubleEndedWorkQueue.build(
+            al_bh_rows, ah_bl_rows,
+            cpu_rows=self.cpu_rows, gpu_rows=self.gpu_rows,
+        )
+        calib = pf.calibration
+        phase3_gpu_tuples = 0
+
+        def execute(kind: str, unit: WorkUnit) -> COOMatrix:
+            nonlocal phase3_gpu_tuples
+            if unit.product == "AL_BH":
+                mask, ctx = part.b.high_mask, ctx_lh
+            else:
+                mask, ctx = ~part.b.high_mask, ctx_hl
+            device = pf.cpu if kind == "cpu" else pf.gpu
+            overhead = (
+                calib.cpu_workunit_overhead_s
+                if kind == "cpu"
+                else calib.gpu_workunit_overhead_s
+            )
+            run = run_product(
+                device, "III", f"{kind}:{unit.product}[{unit.index}]",
+                a, b, ctx, a_rows=unit.rows, b_row_mask=mask,
+                kernel=self.kernel, extra_overhead=overhead,
+            )
+            if kind == "gpu":
+                phase3_gpu_tuples += run.tuples
+                pf.stream_tuples_download(
+                    "III", f"xfer:tuples:{unit.product}[{unit.index}]", run.tuples,
+                    produced_from=run.start,
+                )
+            return run.part
+
+        outcome = run_workqueue_phase(pf, queue, execute, gpu_batch_rows=self.gpu_rows)
+        gpu_tuples += phase3_gpu_tuples
+
+        # ---------------- Phase IV ----------------
+        pf.sync_downloads("IV", "xfer:gpu-tuples:wait")
+        parts = [cpu_hh.part, gpu_ll.part, *outcome.parts]
+        merged = merge_tuples((a.nrows, b.ncols), parts)
+        # every stream is row-locally sorted, so Phase IV is a linear
+        # multiway merge (the paper's Fig 4 merge of neighbouring
+        # like-tuples), not a global sort
+        pf.cpu.busy(
+            "IV", "cpu:merge-tuples",
+            pf.cpu.merge_time(merged.stats.tuples_in, needs_sort=False),
+            tuples=merged.stats.tuples_in,
+        )
+        total = pf.barrier()
+
+        trace = pf.trace
+        return SpmmResult(
+            algorithm=self.name,
+            matrix=merged.matrix,
+            total_time=total,
+            phase_times=trace.phase_times(),
+            device_busy={d: trace.busy_time(device=d) for d in trace.devices()},
+            merge_stats=merged.stats,
+            trace=trace,
+            details={
+                "partition": part.summary(),
+                "cpu_units": outcome.cpu_units,
+                "gpu_units": outcome.gpu_units,
+                "cpu_stolen": outcome.cpu_stolen,
+                "gpu_stolen": outcome.gpu_stolen,
+                "gpu_tuples": gpu_tuples,
+                "thresholds": (int(t_a), int(t_b)),
+            },
+        )
+
+
+def hhcpu_multiply(a: CSRMatrix, b: CSRMatrix, **kwargs) -> SpmmResult:
+    """One-shot convenience wrapper: ``HHCPU(**kwargs).multiply(a, b)``."""
+    platform = kwargs.pop("platform", None)
+    return HHCPU(platform, **kwargs).multiply(a, b)

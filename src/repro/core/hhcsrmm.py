@@ -1,0 +1,117 @@
+"""HH-CSRMM — the paper's §VI extension: sparse × dense multiplication.
+
+The conclusions sketch the design: "since B is dense, the work can be
+divided as multiplying the high-density submatrix A_H of A with B on
+the CPU and the low-density submatrix A_L of A with B on the GPU" —
+no Phase III cross products (B has no row classes) and a trivial merge
+(the two row sets are disjoint, results add).
+
+Cost modelling: csrmm is regular — every A entry streams a full dense
+row of B — so the model is a straightforward roofline per device with
+no divergence/conflict terms; the CPU keeps its cache benefit when the
+dense B panel fits the LLC, and warp utilisation on the GPU is perfect
+for uniformly short rows (each warp's lanes stride the panel width).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import SpmmResult
+from repro.formats.base import check_multiply_compatible
+from repro.formats.csr import CSRMatrix
+from repro.hardware.platform import HeteroPlatform, default_platform
+from repro.hetero.partition import classify_rows
+from repro.kernels.csrmm import CsrmmResult, csrmm
+from repro.util.errors import ShapeError
+
+
+class HHCSRMM:
+    """Heterogeneous csrmm: A_H x B on the CPU, A_L x B on the GPU.
+
+    Parameters
+    ----------
+    threshold:
+        Row-density threshold; rows with more stored entries go to the
+        CPU.  ``None`` uses the median positive row size.
+    """
+
+    name = "HH-CSRMM"
+
+    def __init__(self, platform: HeteroPlatform | None = None, *, threshold: int | None = None):
+        self.platform = platform or default_platform()
+        self.threshold = threshold
+
+    def _cpu_time(self, stats, panel_bytes: int) -> float:
+        calib = self.platform.calibration
+        spec = self.platform.cpu.spec
+        t_compute = stats.flops / (
+            spec.peak_flops * calib.cpu_flop_efficiency * calib.cpu_parallel_efficiency
+        )
+        usable = spec.l3_bytes * calib.cpu_l3_usable_fraction
+        reuse = calib.cpu_l3_reuse_max if panel_bytes <= usable else 0.0
+        traffic = stats.bytes_read * (1.0 - reuse) + stats.bytes_written
+        t_mem = traffic / (spec.mem_bandwidth_bps * calib.cpu_bw_efficiency)
+        return t_compute + t_mem
+
+    def _gpu_time(self, stats) -> float:
+        calib = self.platform.calibration
+        spec = self.platform.gpu.spec
+        t_compute = stats.flops / (spec.peak_dp_flops * calib.gpu_flop_efficiency)
+        t_mem = (stats.bytes_read + stats.bytes_written) / (
+            spec.global_bandwidth_bps * calib.gpu_bw_efficiency
+        )
+        return t_compute + t_mem + spec.kernel_launch_overhead_s
+
+    def multiply(self, a: CSRMatrix, dense: np.ndarray) -> tuple[np.ndarray, SpmmResult]:
+        """Compute ``A @ dense``; returns (dense result, run record)."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != a.ncols:
+            raise ShapeError(
+                f"dense operand must have shape ({a.ncols}, k), got {dense.shape}"
+            )
+        pf = self.platform
+        pf.reset()
+        sizes = a.row_nnz()
+        positive = sizes[sizes > 0]
+        t = (
+            int(np.median(positive)) if (self.threshold is None and positive.size)
+            else int(self.threshold or 0)
+        )
+        classes = classify_rows(a, t)
+
+        pf.upload_matrix("II", "xfer:A", a)
+        # the dense panel ships once (bytes = rows * k * 8)
+        panel_bytes = dense.size * 8
+        pf.gpu.wait_until(pf.cpu.clock)
+        pf.gpu.busy("II", "xfer:B-panel", pf.link.transfer_time(panel_bytes),
+                    kind="transfer")
+
+        cpu_part: CsrmmResult = csrmm(a, dense, a_rows=classes.high_rows)
+        pf.cpu.busy("II", "cpu:AH*B", self._cpu_time(cpu_part.stats, panel_bytes),
+                    flops=cpu_part.stats.flops)
+        gpu_part: CsrmmResult = csrmm(a, dense, a_rows=classes.low_rows)
+        pf.gpu.busy("II", "gpu:AL*B", self._gpu_time(gpu_part.stats),
+                    flops=gpu_part.stats.flops)
+
+        out_tuples = int(classes.n_low * dense.shape[1])
+        pf.download_tuples("IV", "xfer:gpu-result", out_tuples)
+        result = cpu_part.result + gpu_part.result
+        total = pf.barrier()
+
+        from repro.formats.coo import COOMatrix
+        from repro.kernels.merge import merge_tuples
+
+        record = SpmmResult(
+            algorithm=self.name,
+            matrix=merge_tuples(
+                (a.nrows, dense.shape[1]), [COOMatrix.from_dense(result)]
+            ).matrix,
+            total_time=total,
+            phase_times=pf.trace.phase_times(),
+            device_busy={d: pf.trace.busy_time(device=d) for d in pf.trace.devices()},
+            merge_stats=None,
+            trace=pf.trace,
+            details={"threshold": t, "cpu_rows": classes.n_high, "gpu_rows": classes.n_low},
+        )
+        return result, record

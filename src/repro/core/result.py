@@ -1,0 +1,58 @@
+"""Result records returned by the spmm algorithms.
+
+Every algorithm (HH-CPU and all baselines) returns an
+:class:`SpmmResult`, so the analysis layer can compare them uniformly:
+same final matrix, same trace-derived phase breakdowns, same speedup
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.formats.csr import CSRMatrix
+from repro.hardware.trace import Trace
+from repro.kernels.merge import MergeStats
+from repro.util.units import human_time
+
+
+@dataclass(frozen=True)
+class SpmmResult:
+    """Output of one simulated spmm run."""
+
+    #: name of the algorithm that produced this result
+    algorithm: str
+    #: the (numerically exact) product matrix
+    matrix: CSRMatrix
+    #: simulated wall-clock seconds, start of Phase I to end of Phase IV
+    total_time: float
+    #: per-phase times, Fig 7 convention (max over devices per phase)
+    phase_times: dict[str, float]
+    #: per-device total busy seconds
+    device_busy: dict[str, float]
+    #: Phase IV merge accounting (None for algorithms that merge trivially)
+    merge_stats: MergeStats | None
+    #: full execution trace
+    trace: Trace
+    #: algorithm-specific extras (partition summary, queue log, ...)
+    details: dict = field(default_factory=dict)
+
+    def speedup_over(self, other: "SpmmResult") -> float:
+        """``other.total_time / self.total_time`` — >1 means self wins."""
+        if self.total_time <= 0:
+            raise ValueError(f"non-positive total_time in {self.algorithm}")
+        return other.total_time / self.total_time
+
+    def phase_fraction(self, phase: str) -> float:
+        """Share of total time attributed to ``phase``."""
+        return self.phase_times.get(phase, 0.0) / self.total_time if self.total_time else 0.0
+
+    def summary(self) -> str:
+        """One-line report used by examples and benches."""
+        phases = ", ".join(
+            f"{p}={human_time(t)}" for p, t in sorted(self.phase_times.items())
+        )
+        return (
+            f"{self.algorithm}: total={human_time(self.total_time)} "
+            f"nnz(C)={self.matrix.nnz} [{phases}]"
+        )

@@ -1,0 +1,182 @@
+"""Phase I threshold selection.
+
+The paper chooses thresholds *empirically* (§III-A) and observes that
+total time is convex in the threshold (§V-B d, Fig 8): ``t = 0`` pushes
+all work to the CPU (≈ MKL time), the maximum threshold reduces the
+algorithm to [13].  This module provides:
+
+- a **fast analytic estimator** of HH-CPU's phase times for a candidate
+  threshold — O(nnz) per candidate, no numeric multiply — built from
+  the same cost models the simulator charges;
+- :func:`select_threshold`, the argmin over a quantile candidate grid
+  (the library's default "empirical" pick);
+- :func:`sweep_thresholds`, the full curve behind Fig 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.context import ProductContext
+from repro.costmodel.cpu_cost import cpu_merge_time, cpu_spmm_time
+from repro.costmodel.gpu_cost import gpu_spmm_time
+from repro.formats.base import INDEX_DTYPE
+from repro.formats.csr import CSRMatrix
+from repro.hardware.platform import HeteroPlatform, default_platform
+from repro.hetero.partition import threshold_candidates
+from repro.kernels.symbolic import KernelStats, reuse_curve
+
+
+@dataclass(frozen=True)
+class EstimatedTimes:
+    """Analytic phase-time estimate for one threshold choice."""
+
+    threshold_a: int
+    threshold_b: int
+    phase2_cpu: float
+    phase2_gpu: float
+    phase3: float
+    phase4: float
+
+    @property
+    def phase2(self) -> float:
+        """Overlapped Phase II time (devices run concurrently)."""
+        return max(self.phase2_cpu, self.phase2_gpu)
+
+    @property
+    def total(self) -> float:
+        """Phases II + III + IV (Phase I is threshold-independent and
+        tiny; Fig 8 plots II, III and the total)."""
+        return self.phase2 + self.phase3 + self.phase4
+
+
+class ProductProfile:
+    """Reusable O(nnz) arrays for estimating any (row set) x (B class).
+
+    Shared by the threshold selector and the baselines' static-split
+    search — any algorithm that must predict work without multiplying.
+    """
+
+    def __init__(self, a: CSRMatrix, b: CSRMatrix):
+        self.a = a
+        self.b = b
+        self.a_sizes = a.row_nnz()
+        self.b_sizes = b.row_nnz()
+        self.row_of = np.repeat(np.arange(a.nrows, dtype=INDEX_DTYPE), self.a_sizes)
+        self.entry_work = self.b_sizes[a.indices]  # B-row length per A entry
+
+    def stats_for(self, a_row_mask: np.ndarray, b_row_mask: np.ndarray) -> KernelStats:
+        """Estimated :class:`KernelStats` of ``A[mask] @ (B * b_mask)``.
+
+        Output-tuple counts use a birthday-collision estimate
+        ``ncols * (1 - exp(-work / ncols))`` per row, which tracks the
+        real locally-merged nnz closely for random column patterns.
+        """
+        keep = a_row_mask[self.row_of] & b_row_mask[self.a.indices]
+        a_entries = int(np.count_nonzero(keep))
+        work = np.where(keep, self.entry_work, 0)
+        per_row = np.bincount(self.row_of, weights=work, minlength=self.a.nrows)
+        rows_sel = np.flatnonzero(a_row_mask)
+        row_work = per_row[rows_sel].astype(INDEX_DTYPE)
+        n = float(max(self.b.ncols, 1))
+        tuples = int(np.sum(n * (1.0 - np.exp(-row_work / n))))
+        refs = np.bincount(self.a.indices[keep], minlength=self.b.nrows)
+        return KernelStats.for_product(
+            a_entries, row_work, tuples, tuples,
+            b_reuse_curve=reuse_curve(refs, self.b_sizes),
+        )
+
+
+def estimate_times(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    threshold_a: int,
+    threshold_b: int,
+    platform: HeteroPlatform | None = None,
+    *,
+    profile: ProductProfile | None = None,
+) -> EstimatedTimes:
+    """Analytic HH-CPU phase-time estimate for one (t_A, t_B) pair."""
+    platform = platform or default_platform()
+    prof = profile if profile is not None else ProductProfile(a, b)
+    calib = platform.calibration
+
+    a_high = prof.a_sizes > threshold_a
+    b_high = prof.b_sizes > threshold_b
+    b_high_nnz = int(prof.b_sizes[b_high].sum())
+    b_low_nnz = int(b.nnz - b_high_nnz)
+    ctx_bh = ProductContext.for_b_class(b_high_nnz, int(b_high.sum()), b.ncols)
+    ctx_bl = ProductContext.for_b_class(b_low_nnz, int((~b_high).sum()), b.ncols)
+
+    # Phase II: CPU does A_H x B_H, GPU does A_L x B_L
+    st_hh = prof.stats_for(a_high, b_high)
+    st_ll = prof.stats_for(~a_high, ~b_high)
+    t2_cpu = cpu_spmm_time(st_hh, ctx_bh, platform.cpu.spec, calib)
+    t2_gpu = gpu_spmm_time(st_ll, ctx_bl, platform.gpu.spec, calib)
+
+    # Phase III: both devices share A_L x B_H and A_H x B_L; the
+    # workqueue equalises finish times, so the balanced duration is the
+    # parallel combination of each device's solo time over the union.
+    st_lh = prof.stats_for(~a_high, b_high)
+    st_hl = prof.stats_for(a_high, ~b_high)
+    cpu_solo = cpu_spmm_time(st_lh, ctx_bh, platform.cpu.spec, calib) + cpu_spmm_time(
+        st_hl, ctx_bl, platform.cpu.spec, calib
+    )
+    gpu_solo = gpu_spmm_time(st_lh, ctx_bh, platform.gpu.spec, calib) + gpu_spmm_time(
+        st_hl, ctx_bl, platform.gpu.spec, calib
+    )
+    if cpu_solo + gpu_solo > 0:
+        t3 = 1.0 / (1.0 / max(cpu_solo, 1e-30) + 1.0 / max(gpu_solo, 1e-30))
+    else:
+        t3 = 0.0
+
+    tuples_total = st_hh.tuples_emitted + st_ll.tuples_emitted + st_lh.tuples_emitted + st_hl.tuples_emitted
+    t4 = cpu_merge_time(tuples_total, platform.cpu.spec, calib, needs_sort=False)
+
+    return EstimatedTimes(
+        threshold_a=int(threshold_a),
+        threshold_b=int(threshold_b),
+        phase2_cpu=t2_cpu,
+        phase2_gpu=t2_gpu,
+        phase3=t3,
+        phase4=t4,
+    )
+
+
+def sweep_thresholds(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    platform: HeteroPlatform | None = None,
+    *,
+    candidates: np.ndarray | None = None,
+) -> list[EstimatedTimes]:
+    """Estimate phase times across a threshold grid (Fig 8's fast mode).
+
+    Uses one threshold for both operands, as the paper's self-product
+    experiments (A x A) imply ``t_A = t_B``.
+    """
+    platform = platform or default_platform()
+    if candidates is None:
+        candidates = threshold_candidates(a)
+    prof = ProductProfile(a, b)
+    return [
+        estimate_times(a, b, int(t), int(t), platform, profile=prof)
+        for t in candidates
+    ]
+
+
+def select_threshold(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    platform: HeteroPlatform | None = None,
+    *,
+    candidates: np.ndarray | None = None,
+) -> tuple[int, int]:
+    """The library's "empirical" Phase I pick: the candidate minimising
+    the estimated total time.  Returns ``(t_A, t_B)`` (equal by
+    construction; callers may override either)."""
+    sweep = sweep_thresholds(a, b, platform, candidates=candidates)
+    best = min(sweep, key=lambda e: e.total)
+    return best.threshold_a, best.threshold_b

@@ -1,0 +1,52 @@
+"""Analytical device cost models for the simulated CPU+GPU platform.
+
+The numeric kernels report structural workload statistics
+(:class:`repro.kernels.symbolic.KernelStats`); these models map them to
+wall-clock seconds on the paper's hardware.  See DESIGN.md §2 for the
+simulation-substitution rationale and
+:mod:`repro.costmodel.calibration` for the anchor observations the
+constants are tuned against.
+"""
+
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.context import ProductContext
+from repro.costmodel.cpu_cost import (
+    cpu_l3_reuse_fraction,
+    cpu_line_amplification,
+    cpu_merge_time,
+    cpu_phase1_time,
+    cpu_spmm_time,
+)
+from repro.costmodel.gpu_cost import (
+    gpu_phase1_time,
+    gpu_read_amplification,
+    gpu_spmm_time,
+    gpu_tiling_passes,
+    warp_wave_inflation,
+)
+from repro.costmodel.transfer import (
+    boolean_array_upload_time,
+    matrix_upload_time,
+    row_sizes_upload_time,
+    tuples_download_time,
+)
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "ProductContext",
+    "cpu_l3_reuse_fraction",
+    "cpu_line_amplification",
+    "cpu_merge_time",
+    "cpu_phase1_time",
+    "cpu_spmm_time",
+    "gpu_phase1_time",
+    "gpu_read_amplification",
+    "gpu_spmm_time",
+    "gpu_tiling_passes",
+    "warp_wave_inflation",
+    "boolean_array_upload_time",
+    "matrix_upload_time",
+    "row_sizes_upload_time",
+    "tuples_download_time",
+]

@@ -1,0 +1,99 @@
+"""Product context shared by the device cost models.
+
+A kernel's :class:`~repro.kernels.symbolic.KernelStats` describes *how
+much* work one launch did; :class:`ProductContext` describes the
+product the launch belongs to — the footprint of the referenced B
+submatrix, the output width (tiling passes), and the **product-level
+cache-reuse fractions**.
+
+Reuse is a product-level property, not a launch-level one: the LLC
+persists across the work-units a product is chunked into, so a hub row
+fetched by one unit is still resident for the next.  Computing reuse
+per launch would (wrongly) charge chunked executions full memory
+traffic, biasing any workqueue-based algorithm against any
+single-launch one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.symbolic import ELEM_BYTES, reuse_curve
+
+
+@dataclass(frozen=True)
+class ProductContext:
+    """Structural context of one (sub)product ``A' @ B'``."""
+
+    #: bytes of the B submatrix the product may touch (indices + values)
+    b_footprint_bytes: int
+    #: number of columns of the output (width of PartialOutput)
+    ncols: int
+    #: fraction of the product's B read traffic a cache of the CPU LLC's
+    #: capacity saves (reference-weighted; None = unknown, fall back to
+    #: the per-launch curve in KernelStats)
+    cpu_reuse_fraction: float | None = None
+    #: same for the GPU L2
+    gpu_reuse_fraction: float | None = None
+
+    @staticmethod
+    def for_b_class(b_class_nnz: int, b_rows: int, ncols: int) -> "ProductContext":
+        """Context when multiplying against a row class of B (``B_H`` or
+        ``B_L``): footprint is the class's CSR payload plus row pointers."""
+        return ProductContext(
+            b_footprint_bytes=int(b_class_nnz) * ELEM_BYTES + int(b_rows) * 8,
+            ncols=int(ncols),
+        )
+
+
+def product_reuse_fractions(
+    a,
+    b,
+    *,
+    a_rows: np.ndarray | None = None,
+    b_row_mask: np.ndarray | None = None,
+    cpu_capacity_bytes: float,
+    gpu_capacity_bytes: float,
+) -> tuple[float, float]:
+    """Product-level reuse fractions for ``A[a_rows, :] @ (B * mask)``.
+
+    Counts, over the *whole* product, how often each B row is
+    referenced, builds the reference-weighted savings curve, and
+    evaluates it at each device's cache capacity.  Returns
+    ``(cpu_fraction, gpu_fraction)`` of the B read traffic saved.
+    """
+    if a_rows is None:
+        ks = a.indices
+    else:
+        sel_rows = np.asarray(a_rows)
+        counts = a.row_nnz()[sel_rows]
+        total = int(counts.sum())
+        if total == 0:
+            return 0.0, 0.0
+        starts = np.repeat(a.indptr[sel_rows], counts)
+        seg = np.zeros(sel_rows.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=seg[1:])
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(seg, counts)
+        ks = a.indices[starts + ramp]
+    if b_row_mask is not None:
+        ks = ks[np.asarray(b_row_mask, dtype=bool)[ks]]
+    if ks.size == 0:
+        return 0.0, 0.0
+    b_sizes = b.row_nnz()
+    refs = np.bincount(ks, minlength=b.nrows)
+    total_traffic = float((refs * b_sizes).sum()) * ELEM_BYTES
+    if total_traffic <= 0:
+        return 0.0, 0.0
+    bytes_cum, saved_cum = reuse_curve(refs, b_sizes)
+
+    def frac(capacity: float) -> float:
+        if bytes_cum.size == 0 or capacity <= 0:
+            return 0.0
+        saved = float(np.interp(capacity, bytes_cum, saved_cum,
+                                left=capacity / max(bytes_cum[0], 1e-30) * saved_cum[0],
+                                right=saved_cum[-1]))
+        return min(saved / total_traffic, 1.0)
+
+    return frac(cpu_capacity_bytes), frac(gpu_capacity_bytes)

@@ -1,0 +1,134 @@
+"""CPU kernel time model.
+
+Mechanisms (each tied to a sentence of the paper):
+
+- **Roofline**: the kernel time is the max of a compute term (peak
+  flops derated by ``cpu_flop_efficiency``) and a memory term (DRAM
+  bandwidth derated by ``cpu_bw_efficiency``).  spmm is memory bound in
+  practice, so the memory term usually dominates.
+- **Cache blocking / LLC reuse** (§III-B: "good cache blocking
+  techniques can be used when multiplying A_H with B_H ... this
+  suggests that this product be computed on the CPU"): when the
+  referenced B submatrix fits in the usable L3, repeat traffic to B rows
+  is served from cache.  Dense A_H rows re-reference the (few, long)
+  B_H rows heavily → large reuse; sparse rows touch B rows once each →
+  nothing to reuse.  The model computes unique-vs-total B traffic and
+  discounts the repeat share by an L3-residency factor.
+- **Spatial locality**: streaming long B-row segments uses whole cache
+  lines; fetching 1-2 element segments wastes most of each line.  The
+  per-element amplification interpolates between the two using the mean
+  referenced-segment length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.calibration import Calibration
+from repro.costmodel.context import ProductContext
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.hardware.specs import CPUSpec
+from repro.kernels.symbolic import ELEM_BYTES, KernelStats
+
+
+def cpu_line_amplification(mean_segment: float, spec: CPUSpec) -> float:
+    """Bytes-moved amplification for B-row reads of a given mean segment
+    length: 1.0 for long streamed segments, up to ``line/ELEM`` for
+    singleton gathers."""
+    elems_per_line = spec.cache_line_bytes / ELEM_BYTES
+    if mean_segment <= 0:
+        return 1.0
+    return float(max(1.0, elems_per_line / min(mean_segment, elems_per_line)))
+
+
+def cpu_l3_reuse_fraction(unique_bytes: int, spec: CPUSpec, calib: Calibration) -> float:
+    """Capacity-only fallback reuse fraction (no reference curve).
+
+    Full reuse while the referenced footprint fits comfortably in the
+    usable L3; decays linearly to zero at 4x the usable capacity
+    (a smooth stand-in for LRU thrash).  Used only when the kernel did
+    not record a :func:`~repro.kernels.symbolic.reuse_curve`.
+    """
+    usable = spec.l3_bytes * calib.cpu_l3_usable_fraction
+    if unique_bytes <= 0:
+        return calib.cpu_l3_reuse_max
+    if unique_bytes <= usable:
+        return calib.cpu_l3_reuse_max
+    excess = unique_bytes / usable
+    return float(max(0.0, calib.cpu_l3_reuse_max * (1.0 - (excess - 1.0) / 3.0)))
+
+
+def cpu_spmm_time(
+    stats: KernelStats,
+    ctx: ProductContext,
+    spec: CPUSpec,
+    calib: Calibration,
+) -> float:
+    """Modelled wall-clock seconds for a CPU row-row spmm (sub)product."""
+    if stats.total_work == 0:
+        return stats.rows_processed * calib.cpu_row_overhead_s
+
+    # compute term
+    eff_flops = spec.peak_flops * calib.cpu_flop_efficiency * calib.cpu_parallel_efficiency
+    t_compute = stats.flops / eff_flops
+
+    # memory term: A stream + B gathers (with LLC reuse on repeats) + output
+    a_bytes = stats.a_entries * ELEM_BYTES
+    b_total = stats.total_work * ELEM_BYTES
+    amp = cpu_line_amplification(stats.mean_b_segment, spec)
+    usable = spec.l3_bytes * calib.cpu_l3_usable_fraction
+    if ctx.cpu_reuse_fraction is not None:
+        # product-level reference-weighted reuse: the LLC persists
+        # across this product's work-units and retains the hottest rows
+        saved = ctx.cpu_reuse_fraction * b_total * calib.cpu_l3_reuse_max
+        b_effective = max(b_total - saved, 0.0) * amp
+    elif stats.b_reuse_curve is not None:
+        # launch-local reference-weighted reuse
+        saved = stats.reuse_saved_bytes(usable) * calib.cpu_l3_reuse_max
+        b_effective = max(b_total - saved, 0.0) * amp
+    else:
+        b_unique = min(ctx.b_footprint_bytes, b_total)
+        reuse = cpu_l3_reuse_fraction(b_unique, spec, calib)
+        b_effective = (b_unique + (b_total - b_unique) * (1.0 - reuse)) * amp
+    out_bytes = stats.bytes_written
+    eff_bw = spec.mem_bandwidth_bps * calib.cpu_bw_efficiency
+    t_mem = (a_bytes + b_effective + out_bytes) / eff_bw
+
+    t_overhead = stats.rows_processed * calib.cpu_row_overhead_s
+    # additive combination: the row-row inner loop is latency-bound
+    # (index chase -> gather -> accumulate), so memory stalls do not
+    # hide behind arithmetic the way a streaming kernel's would
+    return float(t_compute + t_mem + t_overhead)
+
+
+def cpu_merge_time(
+    tuples_in: int, spec: CPUSpec, calib: Calibration, *, needs_sort: bool = True
+) -> float:
+    """Modelled Phase IV time on the CPU: sort passes + scan/reduce.
+
+    A radix-style sort over 64-bit keys is memory bound; we charge
+    ``log2(n)``-proportional per-tuple sort cost plus one reduce pass,
+    spread over the cores with the standard parallel efficiency.
+
+    Algorithms whose partial outputs are row-disjoint contiguous blocks
+    (the static split of [13], the single-queue baselines) skip the sort
+    (``needs_sort=False``) — their merge is concatenation plus one
+    reduce/copy pass, which is why the paper calls their Phase-II merge
+    "straight-forward".
+    """
+    if tuples_in <= 0:
+        return 0.0
+    serial = tuples_in * calib.merge_reduce_s_per_tuple
+    if needs_sort:
+        passes = max(1.0, np.log2(float(tuples_in)) / 8.0)  # 8-bit radix digits
+        serial += tuples_in * calib.merge_sort_s_per_tuple * passes
+    return float(serial / (spec.cores * calib.cpu_parallel_efficiency))
+
+
+def cpu_phase1_time(nrows_total: int, spec: CPUSpec, calib: Calibration) -> float:
+    """Modelled CPU-side Phase I cost (host part of the threshold
+    classification: reading row sizes and fixing thresholds)."""
+    bytes_scanned = nrows_total * 8
+    return float(bytes_scanned / (spec.mem_bandwidth_bps * calib.cpu_bw_efficiency))

@@ -1,0 +1,131 @@
+"""GPU kernel time model (warp-granularity, after [13]'s algorithm).
+
+Mechanisms (each tied to a claim in the paper):
+
+- **One warp per output row** (§II-A b): a row's intermediate products
+  are spread across the 32 lanes; a row with fewer than 32 products
+  leaves lanes idle, and within a *wave* of concurrently resident warps
+  the wave runs as long as its longest row.  This is exactly why
+  "load imbalance across threads within a warp of the GPU can result in
+  suboptimal utilization" for workqueue baselines (§V-C) and why the
+  GPU is "more appropriate for multiplying rows with small density"
+  (uniform short rows → converged warps).  The model computes the wave
+  makespan directly from the per-row work array.
+- **Column tiling** (§II-A b): ``PartialOutput``/``NonZeroIndices`` of
+  width ``TR_b`` per warp force ``ceil(N / TR_b)`` passes; the A
+  operand is re-streamed once per pass.
+- **Coalescing**: streamed B segments ride 128 B transactions; the
+  scattered PartialOutput writes pay ``gpu_scatter_write_amp`` extra
+  transactions per element.
+- **Launch overhead**: each kernel launch costs
+  ``kernel_launch_overhead_s``; Phase III charges an additional
+  per-work-unit dequeue overhead (host flag exchange over PCIe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.calibration import Calibration
+from repro.costmodel.context import ProductContext
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.hardware.specs import GPUSpec
+from repro.kernels.symbolic import ELEM_BYTES, KernelStats
+
+
+def warp_wave_inflation(row_work: np.ndarray, spec: GPUSpec) -> float:
+    """Makespan inflation from warp-level load imbalance.
+
+    One warp per output row; a row of ``w`` intermediate products costs
+    ``ceil(w / warp_size)`` serial slices on its warp.  The hardware
+    scheduler backfills freed warp slots greedily, so the kernel
+    makespan obeys the classic list-scheduling bound::
+
+        makespan >= max( sum(slices) / active_slots,  max(slices) )
+
+    Uniform short rows achieve the first term (inflation 1.0 — the
+    GPU's sweet spot, §III-B); a scale-free mix is pinned by its longest
+    row (the pathology the paper routes to the CPU instead).  We also
+    add the partial-last-wave term: with fewer busy rows than slots,
+    lanes idle (``sum/active`` under-counts), handled by flooring the
+    denominator load at one slice per occupied slot.
+    """
+    work = np.asarray(row_work, dtype=np.float64)
+    work = work[work > 0]
+    if work.size == 0:
+        return 1.0
+    slices = np.ceil(work / spec.warp_size)
+    slots = spec.max_active_warps
+    ideal = slices.sum() / slots
+    makespan = max(ideal, float(slices.max()))
+    return float(max(1.0, makespan / max(ideal, 1e-30)))
+
+
+def gpu_tiling_passes(ncols: int, calib: Calibration) -> int:
+    """Number of column-tile passes over the operands (``ceil(N/TR_b)``)."""
+    return int(max(1, -(-int(ncols) // calib.gpu_tile_columns)))
+
+
+def gpu_read_amplification(mean_segment: float, spec: GPUSpec) -> float:
+    """Transaction amplification for B-segment reads: 1.0 for long
+    coalesced segments, up to ``transaction/ELEM`` for singletons."""
+    elems_per_txn = spec.transaction_bytes / ELEM_BYTES
+    if mean_segment <= 0:
+        return 1.0
+    return float(max(1.0, elems_per_txn / min(mean_segment, elems_per_txn)))
+
+
+def gpu_spmm_time(
+    stats: KernelStats,
+    ctx: ProductContext,
+    spec: GPUSpec,
+    calib: Calibration,
+) -> float:
+    """Modelled wall-clock seconds for one GPU row-row spmm launch."""
+    if stats.total_work == 0:
+        return spec.kernel_launch_overhead_s
+
+    # compute term: ideal lane-parallel time inflated by wave imbalance
+    eff_flops = spec.peak_dp_flops * calib.gpu_flop_efficiency
+    t_ideal = stats.flops / eff_flops
+    inflation = warp_wave_inflation(stats.row_work, spec)
+    t_compute = t_ideal * inflation
+
+    # memory term
+    passes = gpu_tiling_passes(ctx.ncols, calib)
+    a_bytes = stats.a_entries * ELEM_BYTES * passes
+    read_amp = gpu_read_amplification(stats.mean_b_segment, spec)
+    b_bytes = stats.total_work * ELEM_BYTES
+    if ctx.gpu_reuse_fraction is not None:
+        # product-level reuse through the (much smaller) GPU L2
+        saved = ctx.gpu_reuse_fraction * b_bytes * calib.gpu_l2_reuse_max
+        b_bytes = max(b_bytes - saved, 0.0)
+    elif stats.b_reuse_curve is not None:
+        saved = stats.reuse_saved_bytes(spec.l2_bytes) * calib.gpu_l2_reuse_max
+        b_bytes = max(b_bytes - saved, 0.0)
+    b_bytes *= read_amp
+    write_bytes = stats.bytes_written * calib.gpu_scatter_write_amp
+    eff_bw = spec.global_bandwidth_bps * calib.gpu_bw_efficiency
+    t_mem = (a_bytes + b_bytes + write_bytes) / eff_bw
+
+    # accumulator-conflict term: every collision (an intermediate
+    # product landing on an already-touched column of PartialOutput)
+    # serialises an atomic-style read-modify-write.  Short uniform rows
+    # keep their tile in shared memory with few collisions; dense-row
+    # products collide heavily — the structural reason the paper calls
+    # the GPU "more appropriate for multiplying rows with small density"
+    collisions = max(0, stats.total_work - stats.tuples_emitted)
+    t_conflict = collisions * calib.gpu_conflict_penalty_s
+
+    # additive: divergence-starved warps cannot hide memory latency
+    return float(t_compute + t_mem + t_conflict + spec.kernel_launch_overhead_s)
+
+
+def gpu_phase1_time(nrows_total: int, spec: GPUSpec, calib: Calibration) -> float:
+    """Modelled GPU-side Phase I cost: the embarrassingly parallel
+    row-classification pass over the row-size arrays (§III-A)."""
+    return float(
+        nrows_total / calib.phase1_rows_per_s + spec.kernel_launch_overhead_s
+    )

@@ -1,0 +1,42 @@
+"""Host-device transfer model (PCIe).
+
+The paper transfers both operands in full before Phase II ("Since we
+don't split the matrices physically, transferring A_L and B_L means
+transferring A and B entirely along with the Boolean array", §IV-A) and
+returns the GPU's partial tuples afterwards (Phase IV).  §IV-A's anchor:
+~25-30 ms for a ~5 M-nnz matrix over 8 GB/s PCIe 2.0 — which is what a
+CSR payload of int64/float64 arrays plus row pointers comes to.
+"""
+
+from __future__ import annotations
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.properties import csr_memory_bytes
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.hardware.specs import LinkSpec
+#: PCIe wire format of one tuple: (int32 row, int32 col, float64 value)
+#: — the paper-era packing; host-side merge arrays stay 64-bit
+WIRE_TUPLE_BYTES = 16
+
+
+def matrix_upload_time(matrix: CSRMatrix, link: LinkSpec) -> float:
+    """Seconds to ship a CSR matrix (indptr + indices + data) host→device."""
+    return link.transfer_time(csr_memory_bytes(matrix))
+
+
+def boolean_array_upload_time(nrows: int, link: LinkSpec) -> float:
+    """Seconds to ship a row-classification boolean array host→device."""
+    return link.transfer_time(int(nrows))  # one byte per row
+
+
+def row_sizes_upload_time(nrows: int, link: LinkSpec) -> float:
+    """Seconds to ship the per-row size arrays for Phase I (§III-A: "we
+    need only row sizes ... to be transferred to GPU"); int32 on the wire."""
+    return link.transfer_time(int(nrows) * 4)
+
+
+def tuples_download_time(ntuples: int, link: LinkSpec) -> float:
+    """Seconds to return GPU-produced <r, c, v> tuples device→host."""
+    return link.transfer_time(int(ntuples) * WIRE_TUPLE_BYTES)

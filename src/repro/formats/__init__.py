@@ -1,0 +1,30 @@
+"""From-scratch sparse matrix containers (COO, CSR, CSC) and I/O.
+
+``scipy.sparse`` is deliberately *not* used inside the library — it is
+only an oracle in the test suite.  The three containers share the
+:class:`repro.formats.base.SparseMatrix` interface.
+"""
+
+from repro.formats.base import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix, check_multiply_compatible
+from repro.formats.coo import COOMatrix, concatenate_triplets
+from repro.formats.csr import CSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.io import read_matrix_market, write_matrix_market
+from repro.formats.properties import RowStats, csr_memory_bytes, gini_coefficient, row_stats
+
+__all__ = [
+    "INDEX_DTYPE",
+    "VALUE_DTYPE",
+    "SparseMatrix",
+    "check_multiply_compatible",
+    "COOMatrix",
+    "concatenate_triplets",
+    "CSRMatrix",
+    "CSCMatrix",
+    "read_matrix_market",
+    "write_matrix_market",
+    "RowStats",
+    "csr_memory_bytes",
+    "gini_coefficient",
+    "row_stats",
+]

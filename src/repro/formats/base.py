@@ -1,0 +1,140 @@
+"""Common machinery for the from-scratch sparse matrix containers.
+
+The paper's algorithms operate on CSR ("row-row formulation" needs fast
+row access to both operands) and exchange COO triples between devices
+(Phase IV merges ``<r, c, v>`` tuples).  We implement the containers
+ourselves — :mod:`scipy.sparse` is used only as an oracle in tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.errors import FormatError, ShapeError
+
+#: dtype used for all index arrays.
+INDEX_DTYPE = np.int64
+#: dtype used for all value arrays.
+VALUE_DTYPE = np.float64
+
+
+def check_shape(shape: Tuple[int, int]) -> Tuple[int, int]:
+    """Validate and normalise a ``(nrows, ncols)`` shape tuple."""
+    try:
+        nrows, ncols = shape
+    except (TypeError, ValueError) as exc:
+        raise ShapeError(f"shape must be a (nrows, ncols) pair, got {shape!r}") from exc
+    nrows, ncols = int(nrows), int(ncols)
+    if nrows < 0 or ncols < 0:
+        raise ShapeError(f"matrix dimensions must be non-negative, got {shape!r}")
+    return nrows, ncols
+
+
+def check_multiply_compatible(a: "SparseMatrix", b: "SparseMatrix") -> None:
+    """Raise :class:`ShapeError` unless ``a @ b`` is defined."""
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"cannot multiply {a.shape} by {b.shape}: inner dimensions differ "
+            f"({a.ncols} != {b.nrows})"
+        )
+
+
+class SparseMatrix(abc.ABC):
+    """Abstract base for the three storage schemes.
+
+    Concrete subclasses store ``shape`` plus their index/value arrays and
+    implement conversion to the two canonical interchange forms (COO and
+    dense).  Equality, within the library, is *mathematical*: two
+    matrices are equal when their canonical deduplicated COO forms agree.
+    """
+
+    __slots__ = ("_shape",)
+
+    def __init__(self, shape: Tuple[int, int]):
+        self._shape = check_shape(shape)
+
+    # -- shape ---------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return self._shape
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows."""
+        return self._shape[0]
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns."""
+        return self._shape[1]
+
+    # -- structure ------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of *stored* entries (duplicates and explicit zeros count)."""
+
+    @abc.abstractmethod
+    def tocoo(self) -> "repro.formats.coo.COOMatrix":  # noqa: F821
+        """Convert to COO (triplet) form."""
+
+    @abc.abstractmethod
+    def copy(self) -> "SparseMatrix":
+        """Deep copy (index and value arrays are duplicated)."""
+
+    # -- shared conveniences ---------------------------------------------
+    def todense(self) -> np.ndarray:
+        """Materialise as a dense :class:`numpy.ndarray` (small matrices only)."""
+        coo = self.tocoo()
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        np.add.at(out, (coo.row, coo.col), coo.data)
+        return out
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that hold a stored entry (0 for empty shapes)."""
+        cells = self.nrows * self.ncols
+        return self.nnz / cells if cells else 0.0
+
+    def allclose(self, other: "SparseMatrix", *, rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """Mathematical near-equality via canonical COO comparison.
+
+        Entries whose accumulated value is within ``atol`` of zero on one
+        side and absent on the other are treated as equal.
+        """
+        if self.shape != other.shape:
+            return False
+        a = self.tocoo().canonicalize()
+        b = other.tocoo().canonicalize()
+        # Compare as merged key streams: any key present on only one side
+        # must carry a ~zero value.
+        ka = a.row * max(self.ncols, 1) + a.col
+        kb = b.row * max(self.ncols, 1) + b.col
+        keys = np.union1d(ka, kb)
+        va = np.zeros(keys.size, dtype=VALUE_DTYPE)
+        vb = np.zeros(keys.size, dtype=VALUE_DTYPE)
+        va[np.searchsorted(keys, ka)] = a.data
+        vb[np.searchsorted(keys, kb)] = b.data
+        return bool(np.allclose(va, vb, rtol=rtol, atol=atol))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} shape={self.shape} nnz={self.nnz} "
+            f"density={self.density:.2e}>"
+        )
+
+
+def validate_indices_in_range(name: str, indices: np.ndarray, bound: int) -> None:
+    """Raise :class:`FormatError` if any index falls outside ``[0, bound)``."""
+    if indices.size == 0:
+        return
+    lo = int(indices.min())
+    hi = int(indices.max())
+    if lo < 0 or hi >= bound:
+        raise FormatError(
+            f"{name} indices out of range: min={lo}, max={hi}, allowed [0, {bound})"
+        )

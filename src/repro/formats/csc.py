@@ -1,0 +1,123 @@
+"""CSC (compressed sparse column) matrix.
+
+CSC is not on the hot path of the row-row formulation, but the paper's
+§II-A enumerates all four row/column formulations; CSC supports the
+column-oriented ones and gives us a cheap transpose pivot.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    SparseMatrix,
+    validate_indices_in_range,
+)
+from repro.util.errors import FormatError
+
+
+class CSCMatrix(SparseMatrix):
+    """Compressed sparse column storage: ``indptr`` (per column),
+    ``indices`` (row ids), ``data``."""
+
+    __slots__ = ("indptr", "indices", "data")
+
+    def __init__(self, shape: Tuple[int, int], indptr, indices, data, *, validate: bool = True):
+        super().__init__(shape)
+        self.indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        self.data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+        if validate:
+            self.validate()
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "CSCMatrix":
+        """CSC matrix with no stored entries."""
+        _, ncols = shape
+        return cls(
+            shape,
+            np.zeros(int(ncols) + 1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=VALUE_DTYPE),
+            validate=False,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        """Build from a dense array, dropping exact zeros."""
+        from repro.formats.coo import COOMatrix
+
+        return COOMatrix.from_dense(dense).tocsc()
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`FormatError` on failure."""
+        if self.indptr.size != self.ncols + 1:
+            raise FormatError(
+                f"indptr length {self.indptr.size} != ncols + 1 = {self.ncols + 1}"
+            )
+        if self.indptr.size and self.indptr[0] != 0:
+            raise FormatError(f"indptr must start at 0, got {self.indptr[0]}")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.indptr.size and self.indptr[-1] != self.indices.size:
+            raise FormatError(
+                f"indptr[-1]={self.indptr[-1]} != len(indices)={self.indices.size}"
+            )
+        if self.indices.size != self.data.size:
+            raise FormatError("indices and data lengths differ")
+        validate_indices_in_range("row", self.indices, self.nrows)
+        if not np.all(np.isfinite(self.data)):
+            raise FormatError("data contains non-finite values")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def col_nnz(self) -> np.ndarray:
+        """Per-column stored-entry counts."""
+        return np.diff(self.indptr)
+
+    def col_slice(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views (no copy) of column ``j``'s row indices and values."""
+        if not (0 <= j < self.ncols):
+            raise IndexError(f"column {j} out of range [0, {self.ncols})")
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def tocoo(self) -> "repro.formats.coo.COOMatrix":  # noqa: F821
+        from repro.formats.coo import COOMatrix
+
+        col = np.repeat(np.arange(self.ncols, dtype=INDEX_DTYPE), np.diff(self.indptr))
+        return COOMatrix(self.shape, self.indices.copy(), col, self.data.copy(),
+                         validate=False)
+
+    def tocsr(self) -> "repro.formats.csr.CSRMatrix":  # noqa: F821
+        return self.tocoo().tocsr()
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csc_matrix`` (test/bench interop)."""
+        import scipy.sparse as sp
+
+        return sp.csc_matrix((self.data, self.indices, self.indptr), shape=self.shape)
+
+    def transpose(self) -> "repro.formats.csr.CSRMatrix":  # noqa: F821
+        """Transpose: a CSC matrix reinterpreted is exactly the CSR of A^T."""
+        from repro.formats.csr import CSRMatrix
+
+        return CSRMatrix(
+            (self.ncols, self.nrows),
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+            validate=False,
+        )
+
+    def copy(self) -> "CSCMatrix":
+        return CSCMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), self.data.copy(),
+            validate=False,
+        )

@@ -1,0 +1,261 @@
+"""CSR (compressed sparse row) matrix — the workhorse format.
+
+The row-row formulation (paper §II-A) reads rows of both ``A`` and
+``B``, so both operands of every kernel in :mod:`repro.kernels` are CSR.
+Row-subset views (``take_rows``) implement the logical
+:math:`A_H / A_L` split of Phase I without physically splitting the
+matrix, mirroring the paper ("we don't split the matrices physically").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    SparseMatrix,
+    validate_indices_in_range,
+)
+from repro.util.errors import FormatError
+
+
+class CSRMatrix(SparseMatrix):
+    """Compressed sparse row storage: ``indptr``, ``indices``, ``data``.
+
+    Invariants (checked by :meth:`validate`):
+
+    - ``indptr`` has length ``nrows + 1``, starts at 0, is non-decreasing,
+      and ends at ``len(indices)``;
+    - ``indices`` lie in ``[0, ncols)``;
+    - ``data`` is finite and the same length as ``indices``.
+
+    Column indices within a row are *not* required to be sorted (kernels
+    that need sorted rows call :meth:`sort_indices`); ``has_sorted_indices``
+    reports the current state.
+    """
+
+    __slots__ = ("indptr", "indices", "data")
+
+    def __init__(self, shape: Tuple[int, int], indptr, indices, data, *, validate: bool = True):
+        super().__init__(shape)
+        self.indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        self.data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+        if validate:
+            self.validate()
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        """CSR matrix with no stored entries."""
+        nrows, _ = shape
+        return cls(
+            shape,
+            np.zeros(int(nrows) + 1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=VALUE_DTYPE),
+            validate=False,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a dense 2-D array, dropping exact zeros."""
+        from repro.formats.coo import COOMatrix
+
+        return COOMatrix.from_dense(dense).tocsr()
+
+    @classmethod
+    def from_rows(cls, shape: Tuple[int, int], rows: Iterable[tuple[np.ndarray, np.ndarray]]) -> "CSRMatrix":
+        """Build from an iterable of per-row ``(col_indices, values)`` pairs.
+
+        Convenient for generators that produce one row at a time.
+        """
+        cols_parts: list[np.ndarray] = []
+        vals_parts: list[np.ndarray] = []
+        counts: list[int] = []
+        for cols, vals in rows:
+            cols = np.asarray(cols, dtype=INDEX_DTYPE)
+            vals = np.asarray(vals, dtype=VALUE_DTYPE)
+            if cols.size != vals.size:
+                raise FormatError(
+                    f"row has {cols.size} indices but {vals.size} values"
+                )
+            cols_parts.append(cols)
+            vals_parts.append(vals)
+            counts.append(cols.size)
+        nrows = int(shape[0])
+        if len(counts) != nrows:
+            raise FormatError(f"expected {nrows} rows, got {len(counts)}")
+        indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.asarray(counts, dtype=INDEX_DTYPE), out=indptr[1:])
+        indices = (
+            np.concatenate(cols_parts) if cols_parts else np.empty(0, dtype=INDEX_DTYPE)
+        )
+        data = np.concatenate(vals_parts) if vals_parts else np.empty(0, dtype=VALUE_DTYPE)
+        return cls(shape, indptr, indices, data)
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from any scipy.sparse matrix (test/bench interop)."""
+        m = mat.tocsr()
+        return cls(m.shape, m.indptr, m.indices, m.data, validate=False)
+
+    # -- invariants ----------------------------------------------------------
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`FormatError` on failure."""
+        if self.indptr.size != self.nrows + 1:
+            raise FormatError(
+                f"indptr length {self.indptr.size} != nrows + 1 = {self.nrows + 1}"
+            )
+        if self.indptr.size and self.indptr[0] != 0:
+            raise FormatError(f"indptr must start at 0, got {self.indptr[0]}")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.indptr.size and self.indptr[-1] != self.indices.size:
+            raise FormatError(
+                f"indptr[-1]={self.indptr[-1]} != len(indices)={self.indices.size}"
+            )
+        if self.indices.size != self.data.size:
+            raise FormatError(
+                f"indices ({self.indices.size}) and data ({self.data.size}) lengths differ"
+            )
+        validate_indices_in_range("column", self.indices, self.ncols)
+        if not np.all(np.isfinite(self.data)):
+            raise FormatError("data contains non-finite values")
+
+    # -- SparseMatrix API ------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def tocoo(self) -> "repro.formats.coo.COOMatrix":  # noqa: F821
+        from repro.formats.coo import COOMatrix
+
+        row = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        return COOMatrix(self.shape, row, self.indices.copy(), self.data.copy(),
+                         validate=False)
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), self.data.copy(),
+            validate=False,
+        )
+
+    # -- row access -------------------------------------------------------------
+    def row_nnz(self) -> np.ndarray:
+        """Per-row stored-entry counts (the paper's "row sizes")."""
+        return np.diff(self.indptr)
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views (no copy) of row ``i``'s column indices and values."""
+        if not (0 <= i < self.nrows):
+            raise IndexError(f"row {i} out of range [0, {self.nrows})")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def take_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """Gather the given rows into a new CSR matrix of shape
+        ``(len(rows), ncols)``.
+
+        This is the physical materialisation of a logical row subset
+        (e.g. :math:`A_H`).  Row order in the output follows ``rows``.
+        """
+        rows = np.asarray(rows, dtype=INDEX_DTYPE)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.nrows):
+            raise IndexError("row selection out of range")
+        counts = self.row_nnz()[rows]
+        indptr = np.zeros(rows.size + 1, dtype=INDEX_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        # Gather segment contents with a repeated-offset trick: for each
+        # selected row r, copy indices[indptr[r]:indptr[r+1]].
+        total = int(indptr[-1])
+        src = np.empty(total, dtype=INDEX_DTYPE)
+        if total:
+            # start offset of each selected row, repeated per entry, plus
+            # the intra-segment ramp
+            starts = np.repeat(self.indptr[rows], counts)
+            ramp = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(indptr[:-1], counts)
+            src = starts + ramp
+        return CSRMatrix(
+            (rows.size, self.ncols),
+            indptr,
+            self.indices[src],
+            self.data[src],
+            validate=False,
+        )
+
+    # -- normalisation -------------------------------------------------------------
+    @property
+    def has_sorted_indices(self) -> bool:
+        """True when every row's column indices are strictly increasing."""
+        if self.nnz <= 1:
+            return True
+        diffs = np.diff(self.indices)
+        # positions where a new row starts must be excluded from the check
+        row_end = self.indptr[1:-1] - 1  # last entry index of each non-final row
+        mask = np.ones(self.indices.size - 1, dtype=bool)
+        valid = row_end[(row_end >= 0) & (row_end < self.indices.size - 1)]
+        mask[valid] = False
+        return bool(np.all(diffs[mask] > 0))
+
+    def sort_indices(self) -> "CSRMatrix":
+        """Return an equivalent CSR with sorted (and deduplicated) rows."""
+        return self.tocoo().tocsr()
+
+    def prune_zeros(self) -> "CSRMatrix":
+        """Drop stored entries whose value is exactly zero."""
+        keep = self.data != 0.0
+        counts = np.zeros(self.nrows, dtype=INDEX_DTYPE)
+        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        np.add.at(counts, row_of[keep], 1)
+        indptr = np.zeros(self.nrows + 1, dtype=INDEX_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(self.shape, indptr, self.indices[keep], self.data[keep],
+                         validate=False)
+
+    # -- conversions ----------------------------------------------------------------
+    def tocsc(self) -> "repro.formats.csc.CSCMatrix":  # noqa: F821
+        from repro.formats.csc import CSCMatrix
+
+        coo = self.tocoo()
+        # column-major stable sort: sort by column, ties keep row order
+        order = np.argsort(coo.col, kind="stable")
+        col = coo.col[order]
+        indptr = np.zeros(self.ncols + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.bincount(col, minlength=self.ncols), out=indptr[1:])
+        return CSCMatrix(self.shape, indptr, coo.row[order], coo.data[order],
+                         validate=False)
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (test/bench interop)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix((self.data, self.indices, self.indptr), shape=self.shape)
+
+    def transpose(self) -> "CSRMatrix":
+        """Transpose, returned in CSR form (via a column-major resort)."""
+        coo = self.tocoo().transpose()
+        return coo.tocsr()
+
+    # -- arithmetic helpers used by kernels/tests -------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``self @ x`` for a dense vector (used by the spmv extension)."""
+        x = np.asarray(x, dtype=VALUE_DTYPE)
+        if x.shape != (self.ncols,):
+            raise FormatError(f"vector shape {x.shape} incompatible with {self.shape}")
+        prod = self.data * x[self.indices]
+        out = np.zeros(self.nrows, dtype=VALUE_DTYPE)
+        # segment-sum per row
+        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
+        np.add.at(out, row_of, prod)
+        return out
+
+    def scaled(self, factor: float) -> "CSRMatrix":
+        """Copy with every stored value multiplied by ``factor``."""
+        return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(),
+                         self.data * factor, validate=False)

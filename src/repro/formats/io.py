@@ -1,0 +1,105 @@
+"""Minimal MatrixMarket (``.mtx``) reader/writer.
+
+The paper's datasets come from the SuiteSparse/SNAP collections, which
+distribute MatrixMarket files.  We cannot download them offline, but the
+reader lets a user with local copies run every experiment on the real
+matrices; the writer lets us persist synthetic twins.
+
+Supported: ``matrix coordinate real|integer|pattern general|symmetric``.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, VALUE_DTYPE
+from repro.formats.coo import COOMatrix
+from repro.util.errors import FormatError
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def _open_for_read(source: Union[str, Path, TextIO]) -> tuple[TextIO, bool]:
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", encoding="utf-8"), True
+
+
+def read_matrix_market(source: Union[str, Path, TextIO]) -> COOMatrix:
+    """Parse a MatrixMarket coordinate file into a :class:`COOMatrix`.
+
+    Symmetric matrices are expanded (off-diagonal entries mirrored), and
+    ``pattern`` matrices get unit values, matching common practice for
+    graph adjacency data.
+    """
+    fh, should_close = _open_for_read(source)
+    try:
+        header = fh.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise FormatError(f"not a MatrixMarket file: header {header!r}")
+        tokens = header.strip().split()
+        if len(tokens) < 5:
+            raise FormatError(f"malformed MatrixMarket header: {header!r}")
+        _, obj, fmt, field, symmetry = [t.lower() for t in tokens[:5]]
+        if obj != "matrix" or fmt != "coordinate":
+            raise FormatError(f"only 'matrix coordinate' is supported, got {obj} {fmt}")
+        if field not in ("real", "integer", "pattern"):
+            raise FormatError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+        # skip comments
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise FormatError(f"malformed size line: {line!r}")
+        nrows, ncols, nnz = (int(x) for x in dims)
+
+        body = fh.read()
+        table = np.loadtxt(
+            _io.StringIO(body), ndmin=2, dtype=np.float64,
+        ) if body.strip() else np.empty((0, 3 if field != "pattern" else 2))
+        if table.shape[0] != nnz:
+            raise FormatError(f"expected {nnz} entries, found {table.shape[0]}")
+        if nnz == 0:
+            return COOMatrix.empty((nrows, ncols))
+        rows = table[:, 0].astype(INDEX_DTYPE) - 1  # 1-based on disk
+        cols = table[:, 1].astype(INDEX_DTYPE) - 1
+        if field == "pattern":
+            vals = np.ones(nnz, dtype=VALUE_DTYPE)
+        else:
+            if table.shape[1] < 3:
+                raise FormatError("real/integer file missing value column")
+            vals = table[:, 2].astype(VALUE_DTYPE)
+        if symmetry == "symmetric":
+            off = rows != cols
+            rows = np.concatenate([rows, cols[off]])
+            cols = np.concatenate([cols, table[:, 0].astype(INDEX_DTYPE)[off] - 1])
+            vals = np.concatenate([vals, vals[off]])
+        return COOMatrix((nrows, ncols), rows, cols, vals)
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_matrix_market(matrix, target: Union[str, Path, TextIO], *, comment: str = "") -> None:
+    """Write a sparse matrix in ``matrix coordinate real general`` form."""
+    coo = matrix.tocoo()
+    own = not hasattr(target, "write")
+    fh = open(target, "w", encoding="utf-8") if own else target
+    try:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+        for r, c, v in zip(coo.row, coo.col, coo.data):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v)!r}\n")
+    finally:
+        if own:
+            fh.close()

@@ -1,0 +1,41 @@
+"""Simulated CPU+GPU heterogeneous platform.
+
+Device specs mirror the paper's testbed (§II-B); devices carry private
+asynchronous clocks; all activity lands in a shared :class:`Trace` from
+which the Fig 7 phase breakdowns are computed.
+"""
+
+from repro.hardware.specs import (
+    CPUSpec,
+    GPUSpec,
+    I7_980,
+    K20C,
+    LinkSpec,
+    PCIE2,
+    scaled_cpu,
+    scaled_gpu,
+)
+from repro.hardware.trace import Trace, TraceEvent, merge_traces
+from repro.hardware.engine import EventEngine
+from repro.hardware.device import CPUDevice, GPUDevice, SimDevice
+from repro.hardware.platform import HeteroPlatform, default_platform
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "I7_980",
+    "K20C",
+    "LinkSpec",
+    "PCIE2",
+    "scaled_cpu",
+    "scaled_gpu",
+    "Trace",
+    "TraceEvent",
+    "merge_traces",
+    "EventEngine",
+    "CPUDevice",
+    "GPUDevice",
+    "SimDevice",
+    "HeteroPlatform",
+    "default_platform",
+]

@@ -1,0 +1,100 @@
+"""Simulated compute devices.
+
+A :class:`SimDevice` owns a private clock (devices run asynchronously —
+the CUDA 4.1 concurrency model of §II-B means a GPU kernel launch never
+blocks the CPU) and logs every activity to the shared
+:class:`~repro.hardware.trace.Trace`.  The CPU/GPU subclasses attach
+their hardware spec and translate kernel workload statistics into time
+through the :mod:`repro.costmodel` functions.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.calibration import Calibration
+from repro.costmodel.context import ProductContext
+from repro.costmodel.cpu_cost import cpu_merge_time, cpu_phase1_time, cpu_spmm_time
+from repro.costmodel.gpu_cost import gpu_phase1_time, gpu_spmm_time
+from repro.hardware.specs import CPUSpec, GPUSpec
+from repro.hardware.trace import Trace, TraceEvent
+from repro.kernels.symbolic import KernelStats
+from repro.util.errors import SchedulingError
+
+
+class SimDevice:
+    """A device with an asynchronous private clock and an event log."""
+
+    kind = "device"
+
+    def __init__(self, name: str, trace: Trace, calibration: Calibration):
+        self.name = name
+        self.trace = trace
+        self.calibration = calibration
+        self.clock = 0.0
+
+    def busy(self, phase: str, label: str, duration: float, **meta) -> TraceEvent:
+        """Occupy the device for ``duration`` seconds starting at its
+        current clock; returns the recorded event."""
+        if duration < 0:
+            raise SchedulingError(f"negative duration for {label!r}: {duration}")
+        event = TraceEvent(
+            device=self.name,
+            phase=phase,
+            label=label,
+            start=self.clock,
+            end=self.clock + duration,
+            meta=meta,
+        )
+        self.clock = event.end
+        self.trace.add(event)
+        return event
+
+    def wait_until(self, t: float) -> None:
+        """Advance the clock to ``t`` if it is in this device's future
+        (synchronisation point; the gap is idle time, not busy time)."""
+        if t > self.clock:
+            self.clock = t
+
+    def reset(self) -> None:
+        self.clock = 0.0
+
+
+class CPUDevice(SimDevice):
+    """The host CPU: spmm work-units, the Phase IV merge, Phase I host side."""
+
+    kind = "cpu"
+
+    def __init__(self, spec: CPUSpec, trace: Trace, calibration: Calibration):
+        super().__init__(spec.name, trace, calibration)
+        self.spec = spec
+
+    def spmm_time(self, stats: KernelStats, ctx: ProductContext) -> float:
+        """Modelled seconds for a row-row spmm work item on this CPU."""
+        return cpu_spmm_time(stats, ctx, self.spec, self.calibration)
+
+    def merge_time(self, tuples_in: int, *, needs_sort: bool = True) -> float:
+        """Modelled seconds for a Phase IV merge of ``tuples_in`` tuples;
+        row-disjoint block outputs skip the sort (``needs_sort=False``)."""
+        return cpu_merge_time(tuples_in, self.spec, self.calibration,
+                              needs_sort=needs_sort)
+
+    def phase1_time(self, nrows_total: int) -> float:
+        """Modelled seconds for the host side of Phase I."""
+        return cpu_phase1_time(nrows_total, self.spec, self.calibration)
+
+
+class GPUDevice(SimDevice):
+    """The accelerator: spmm kernels and the Phase I classification pass."""
+
+    kind = "gpu"
+
+    def __init__(self, spec: GPUSpec, trace: Trace, calibration: Calibration):
+        super().__init__(spec.name, trace, calibration)
+        self.spec = spec
+
+    def spmm_time(self, stats: KernelStats, ctx: ProductContext) -> float:
+        """Modelled seconds for a row-row spmm kernel launch on this GPU."""
+        return gpu_spmm_time(stats, ctx, self.spec, self.calibration)
+
+    def phase1_time(self, nrows_total: int) -> float:
+        """Modelled seconds for the device side of Phase I."""
+        return gpu_phase1_time(nrows_total, self.spec, self.calibration)

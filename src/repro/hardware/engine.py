@@ -1,0 +1,79 @@
+"""A minimal discrete-event simulation engine.
+
+The heterogeneous runtime needs only a small DES core: schedule a
+callback at an absolute simulated time, run callbacks in time order,
+and let callbacks schedule further events (the Phase III workqueue is
+driven this way — each device's "I am free" event dequeues its next
+work-unit and schedules its own completion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.util.errors import SchedulingError
+
+
+class EventEngine:
+    """Priority-queue discrete-event loop with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Scheduling in the past (relative to the engine clock) is a
+        programming error and raises :class:`SchedulingError` — simulated
+        time never flows backwards.
+        """
+        if time < self._now - 1e-15:
+            raise SchedulingError(
+                f"cannot schedule at t={time} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, (max(time, self._now), next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def run(self, *, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains; returns the final clock.
+
+        ``max_events`` guards against runaway self-scheduling loops.
+        """
+        if self._running:
+            raise SchedulingError("engine is already running (reentrant run())")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                time, _, callback = heapq.heappop(self._queue)
+                self._now = time
+                callback()
+                processed += 1
+                if processed > max_events:
+                    raise SchedulingError(
+                        f"event budget exceeded ({max_events}); "
+                        "likely a self-scheduling loop"
+                    )
+            return self._now
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Drop pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0

@@ -1,0 +1,172 @@
+"""The simulated CPU+GPU heterogeneous platform.
+
+Bundles the two devices, the PCIe link, the calibration constants, and
+the shared trace; provides the transfer primitives every algorithm
+(HH-CPU and all baselines) shares.  Construct the paper's exact testbed
+with :func:`default_platform`.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.transfer import (
+    boolean_array_upload_time,
+    matrix_upload_time,
+    row_sizes_upload_time,
+    tuples_download_time,
+)
+from repro.formats.csr import CSRMatrix
+from repro.hardware.device import CPUDevice, GPUDevice, SimDevice
+from repro.hardware.specs import CPUSpec, GPUSpec, I7_980, K20C, LinkSpec, PCIE2
+from repro.hardware.trace import Trace
+
+
+class HeteroPlatform:
+    """One CPU, one GPU, one host-device link, one shared simulated
+    timeline.
+
+    Transfers are modelled as occupying the *destination* device (the
+    GPU cannot launch dependent kernels until its operands arrive; the
+    CPU cannot merge until the GPU's tuples land), which matches the
+    synchronous cudaMemcpy usage of the paper's era for operand staging.
+    """
+
+    def __init__(
+        self,
+        cpu_spec: CPUSpec = I7_980,
+        gpu_spec: GPUSpec = K20C,
+        link: LinkSpec = PCIE2,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ):
+        self.trace = Trace()
+        self.calibration = calibration
+        self.cpu = CPUDevice(cpu_spec, self.trace, calibration)
+        self.gpu = GPUDevice(gpu_spec, self.trace, calibration)
+        self.link = link
+        #: the PCIe wire as its own timeline: device→host tuple streams
+        #: are issued asynchronously (CUDA 4.1 concurrency, §II-B) and
+        #: overlap GPU compute; only the un-hidden tail surfaces as
+        #: Phase IV wait time
+        self.pcie = SimDevice(link.name, self.trace, calibration)
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind all clocks and clear the trace (new experiment)."""
+        self.trace.clear()
+        self.cpu.reset()
+        self.gpu.reset()
+        self.pcie.reset()
+
+    @property
+    def elapsed(self) -> float:
+        """Current makespan: the later of the two device clocks."""
+        return max(self.cpu.clock, self.gpu.clock)
+
+    def barrier(self) -> float:
+        """Synchronise both devices to the later clock; returns it."""
+        t = self.elapsed
+        self.cpu.wait_until(t)
+        self.gpu.wait_until(t)
+        return t
+
+    # -- transfers ------------------------------------------------------------
+    def upload_matrix(self, phase: str, label: str, matrix: CSRMatrix) -> float:
+        """Ship a CSR matrix host→device; returns the modelled seconds.
+
+        The transfer starts no earlier than the *CPU* clock (the host
+        issues it) and occupies the GPU timeline.
+        """
+        self.gpu.wait_until(self.cpu.clock)
+        t = matrix_upload_time(matrix, self.link)
+        self.gpu.busy(phase, label, t, bytes=matrix.nnz, kind="transfer")
+        return t
+
+    def upload_row_sizes(self, phase: str, label: str, nrows: int) -> float:
+        """Ship per-row size arrays host→device (Phase I input)."""
+        self.gpu.wait_until(self.cpu.clock)
+        t = row_sizes_upload_time(nrows, self.link)
+        self.gpu.busy(phase, label, t, rows=nrows, kind="transfer")
+        return t
+
+    def upload_boolean(self, phase: str, label: str, nrows: int) -> float:
+        """Ship a row-classification boolean array host→device."""
+        self.gpu.wait_until(self.cpu.clock)
+        t = boolean_array_upload_time(nrows, self.link)
+        self.gpu.busy(phase, label, t, rows=nrows, kind="transfer")
+        return t
+
+    def stream_tuples_download(
+        self, phase: str, label: str, ntuples: int,
+        *, produced_from: float | None = None,
+    ) -> float:
+        """Issue an asynchronous, pipelined device→host tuple copy.
+
+        The producing kernel emits tuples throughout its run and the
+        copy engine drains them in chunks (double buffering), so the
+        wire may start as early as ``produced_from`` (the kernel's start
+        time; defaults to the kernel's end, i.e. unpipelined).  The copy
+        never finishes before the kernel does, does not block either
+        compute device, and serialises with other transfers on the wire.
+        Returns the modelled wire seconds.
+        """
+        start_floor = self.gpu.clock if produced_from is None else produced_from
+        self.pcie.wait_until(start_floor)
+        t = tuples_download_time(ntuples, self.link)
+        event = self.pcie.busy(phase, label, t, tuples=ntuples, kind="transfer")
+        # the last chunk cannot land before the kernel has produced it
+        if event.end < self.gpu.clock:
+            self.pcie.wait_until(self.gpu.clock)
+        return t
+
+    def sync_downloads(self, phase: str, label: str) -> float:
+        """Block the CPU until every streamed download has landed;
+        returns the exposed (un-hidden) wait, recorded as a CPU event."""
+        exposed = max(0.0, self.pcie.clock - self.cpu.clock)
+        if exposed > 0:
+            self.cpu.busy(phase, label, exposed, kind="transfer-wait")
+        return exposed
+
+    def download_tuples(self, phase: str, label: str, ntuples: int) -> float:
+        """Synchronous device→host tuple copy: stream it, then wait."""
+        t = self.stream_tuples_download(phase, label, ntuples)
+        self.sync_downloads(phase, f"{label}:wait")
+        return t
+
+
+def default_platform(calibration: Calibration = DEFAULT_CALIBRATION) -> HeteroPlatform:
+    """The paper's testbed: i7 980 + Tesla K20c over PCIe 2.0."""
+    return HeteroPlatform(I7_980, K20C, PCIE2, calibration)
+
+
+def platform_for_scale(
+    scale: float, calibration: Calibration = DEFAULT_CALIBRATION
+) -> HeteroPlatform:
+    """The paper's testbed with cache capacities scaled by ``scale``.
+
+    Experiments on size-scaled dataset twins must preserve the
+    *dimensionless* ratio (referenced B footprint) / (cache capacity) —
+    that ratio decides whether the CPU's cache blocking pays off, which
+    is the paper's central mechanism.  A twin at 1/50th the rows against
+    a full 12 MB L3 would hold all of B in cache and erase the effect,
+    so cache capacities shrink with the twin (bandwidths, core counts,
+    and link speed are workload-independent and stay).  ``scale = 1``
+    returns the unmodified testbed.
+    """
+    if not (0 < scale <= 1):
+        raise ValueError(f"scale must lie in (0, 1], got {scale}")
+    if scale == 1.0:
+        return default_platform(calibration)
+    from dataclasses import replace
+
+    cpu = replace(
+        I7_980,
+        l1_bytes=max(int(I7_980.l1_bytes * scale), 1024),
+        l2_bytes=max(int(I7_980.l2_bytes * scale), 4096),
+        l3_bytes=max(int(I7_980.l3_bytes * scale), 16384),
+    )
+    gpu = replace(
+        K20C,
+        l2_bytes=max(int(K20C.l2_bytes * scale), 4096),
+        shared_mem_per_sm_bytes=max(int(K20C.shared_mem_per_sm_bytes * scale), 1024),
+    )
+    return HeteroPlatform(cpu, gpu, PCIE2, calibration)

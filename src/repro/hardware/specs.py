@@ -1,0 +1,168 @@
+"""Hardware specifications of the paper's experimental platform (§II-B).
+
+The simulator is parameterised by these specs; the defaults describe the
+paper's exact testbed — an Intel Core i7 980 (Westmere, 6C/12T), an
+NVIDIA Tesla K20c (Kepler, 13 SMX), and a PCI Express 2.0 x16 link at
+8 GB/s.  All figures below are taken from §II-B of the paper or the
+vendor datasheets it cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.errors import CalibrationError
+from repro.util.units import GIGA, KIB, MEGA, MIB
+
+
+def _positive(name: str, value: float) -> float:
+    if value <= 0:
+        raise CalibrationError(f"{name} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multicore CPU with a three-level cache hierarchy."""
+
+    name: str
+    cores: int
+    #: hardware threads (SMT); the paper uses all 12 logical threads
+    threads: int
+    frequency_hz: float
+    #: sustained double-precision fused multiply-add per cycle per core
+    #: (SSE 4.2 on Westmere: 2 doubles wide, mul+add ports)
+    flops_per_cycle: float
+    l1_bytes: int
+    l2_bytes: int
+    #: shared last-level cache — the resource the paper's cache-blocking
+    #: argument for dense-row products relies on
+    l3_bytes: int
+    cache_line_bytes: int
+    #: sustained DRAM bandwidth (triple-channel DDR3-1066 on i7 980)
+    mem_bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        for f in ("cores", "threads", "frequency_hz", "flops_per_cycle",
+                  "l1_bytes", "l2_bytes", "l3_bytes", "cache_line_bytes",
+                  "mem_bandwidth_bps"):
+            _positive(f, getattr(self, f))
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision flops across all cores."""
+        return self.cores * self.frequency_hz * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A CUDA-style GPU described at warp/SMX granularity."""
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    frequency_hz: float
+    warp_size: int
+    #: resident warps the device can keep in flight at once (occupancy);
+    #: sets the size of the scheduling "waves" the divergence model uses
+    max_active_warps: int
+    l2_bytes: int
+    shared_mem_per_sm_bytes: int
+    global_bandwidth_bps: float
+    #: minimum global-memory transaction size (coalescing granularity)
+    transaction_bytes: int
+    peak_sp_flops: float
+    peak_dp_flops: float
+    kernel_launch_overhead_s: float
+
+    def __post_init__(self) -> None:
+        for f in ("sm_count", "cores_per_sm", "frequency_hz", "warp_size",
+                  "max_active_warps", "l2_bytes", "shared_mem_per_sm_bytes",
+                  "global_bandwidth_bps", "transaction_bytes",
+                  "peak_sp_flops", "peak_dp_flops", "kernel_launch_overhead_s"):
+            _positive(f, getattr(self, f))
+
+    @property
+    def total_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A host-device interconnect (PCIe)."""
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        _positive("bandwidth_bps", self.bandwidth_bps)
+        _positive("latency_s", self.latency_s)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` across the link (one direction)."""
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer a negative byte count: {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+
+#: Intel Core i7 980: 6 cores / 12 threads @ 3.4 GHz, 32 KB L1d,
+#: 256 KB L2 per core, 12 MB shared L3 (paper §II-B).
+I7_980 = CPUSpec(
+    name="Intel Core i7 980",
+    cores=6,
+    threads=12,
+    frequency_hz=3.4 * GIGA,
+    flops_per_cycle=4.0,  # SSE2 128-bit: 2 lanes x (mul + add)
+    l1_bytes=32 * KIB,
+    l2_bytes=256 * KIB,
+    l3_bytes=12 * MIB,
+    cache_line_bytes=64,
+    mem_bandwidth_bps=25.6 * GIGA,
+)
+
+#: NVIDIA Tesla K20c: 13 SMX x 192 cores @ 706 MHz, 1.25 MB L2,
+#: 3.52 TFLOPS SP / 1.17 TFLOPS DP (paper §II-B); 208 GB/s GDDR5.
+K20C = GPUSpec(
+    name="NVIDIA Tesla K20c",
+    sm_count=13,
+    cores_per_sm=192,
+    frequency_hz=706 * MEGA,
+    warp_size=32,
+    max_active_warps=13 * 64,  # Kepler: 64 resident warps per SMX
+    l2_bytes=int(1.25 * MIB),
+    shared_mem_per_sm_bytes=48 * KIB,
+    global_bandwidth_bps=208 * GIGA,
+    transaction_bytes=128,
+    peak_sp_flops=3.52e12,
+    peak_dp_flops=1.17e12,
+    kernel_launch_overhead_s=7e-6,
+)
+
+#: PCI Express 2.0 x16: 8 GB/s (paper §II-B), ~10 us software latency.
+PCIE2 = LinkSpec(name="PCIe 2.0 x16", bandwidth_bps=8 * GIGA, latency_s=10e-6)
+
+
+def scaled_cpu(spec: CPUSpec, factor: float) -> CPUSpec:
+    """A hypothetical CPU ``factor``x faster (frequency and bandwidth);
+    used by sensitivity ablations on the CPU:GPU speed ratio."""
+    _positive("factor", factor)
+    return replace(
+        spec,
+        name=f"{spec.name} x{factor:g}",
+        frequency_hz=spec.frequency_hz * factor,
+        mem_bandwidth_bps=spec.mem_bandwidth_bps * factor,
+    )
+
+
+def scaled_gpu(spec: GPUSpec, factor: float) -> GPUSpec:
+    """A hypothetical GPU ``factor``x faster; see :func:`scaled_cpu`."""
+    _positive("factor", factor)
+    return replace(
+        spec,
+        name=f"{spec.name} x{factor:g}",
+        frequency_hz=spec.frequency_hz * factor,
+        global_bandwidth_bps=spec.global_bandwidth_bps * factor,
+        peak_sp_flops=spec.peak_sp_flops * factor,
+        peak_dp_flops=spec.peak_dp_flops * factor,
+    )

@@ -1,0 +1,38 @@
+"""Heterogeneous runtime: Phase I partitioning, the Phase III
+double-ended workqueue, the DES-driven scheduler, and the
+kernel-to-device executor."""
+
+from repro.hetero.partition import (
+    Partition,
+    RowClass,
+    classify_rows,
+    partition_rows,
+    threshold_candidates,
+)
+from repro.hetero.workqueue import (
+    DEFAULT_CPU_ROWS,
+    DEFAULT_GPU_ROWS,
+    DoubleEndedWorkQueue,
+    WorkUnit,
+    chunk_rows,
+)
+from repro.hetero.executor import ProductRun, resolve_kernel, run_product
+from repro.hetero.scheduler import Phase3Outcome, run_workqueue_phase
+
+__all__ = [
+    "Partition",
+    "RowClass",
+    "classify_rows",
+    "partition_rows",
+    "threshold_candidates",
+    "DEFAULT_CPU_ROWS",
+    "DEFAULT_GPU_ROWS",
+    "DoubleEndedWorkQueue",
+    "WorkUnit",
+    "chunk_rows",
+    "ProductRun",
+    "resolve_kernel",
+    "run_product",
+    "Phase3Outcome",
+    "run_workqueue_phase",
+]

@@ -1,0 +1,133 @@
+"""Phase I: row classification and the high/low partition.
+
+Given thresholds ``t_A`` and ``t_B``, rows with more stored entries than
+the threshold form the high-density classes :math:`A_H` / :math:`B_H`;
+the rest form :math:`A_L` / :math:`B_L`.  Matching the paper (§IV-A),
+the matrices are *not* physically split — the partition is a pair of
+boolean arrays, and kernels take row subsets / row masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE
+from repro.formats.csr import CSRMatrix
+from repro.kernels.symbolic import ELEM_BYTES
+
+
+@dataclass(frozen=True)
+class RowClass:
+    """One side's high/low classification."""
+
+    #: boolean array over rows: True = high density (nnz > threshold)
+    high_mask: np.ndarray
+    threshold: int
+
+    @cached_property
+    def high_rows(self) -> np.ndarray:
+        """Row ids of the high-density class, ascending."""
+        return np.flatnonzero(self.high_mask).astype(INDEX_DTYPE)
+
+    @cached_property
+    def low_rows(self) -> np.ndarray:
+        """Row ids of the low-density class, ascending."""
+        return np.flatnonzero(~self.high_mask).astype(INDEX_DTYPE)
+
+    @property
+    def n_high(self) -> int:
+        return int(self.high_rows.size)
+
+    @property
+    def n_low(self) -> int:
+        return int(self.low_rows.size)
+
+
+def classify_rows(matrix: CSRMatrix, threshold: int) -> RowClass:
+    """The Phase I boolean classification: ``row_nnz > threshold``.
+
+    (The paper computes this array on the GPU because it is
+    embarrassingly parallel; the arithmetic is identical.)
+    """
+    threshold = int(threshold)
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    return RowClass(high_mask=matrix.row_nnz() > threshold, threshold=threshold)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Full Phase I output for a product ``A @ B``."""
+
+    a: RowClass
+    b: RowClass
+    #: nnz of A restricted to each class (cost-model context)
+    a_high_nnz: int
+    a_low_nnz: int
+    b_high_nnz: int
+    b_low_nnz: int
+    nrows_b: int
+
+    @property
+    def b_high_footprint(self) -> int:
+        """Bytes of the B_H submatrix (CSR payload + row pointers)."""
+        return self.b_high_nnz * ELEM_BYTES + (self.b.n_high + 1) * 8
+
+    @property
+    def b_low_footprint(self) -> int:
+        """Bytes of the B_L submatrix (CSR payload + row pointers)."""
+        return self.b_low_nnz * ELEM_BYTES + (self.b.n_low + 1) * 8
+
+    def summary(self) -> dict:
+        """Compact dict for logs and experiment records."""
+        return {
+            "t_A": self.a.threshold,
+            "t_B": self.b.threshold,
+            "A_H_rows": self.a.n_high,
+            "A_L_rows": self.a.n_low,
+            "B_H_rows": self.b.n_high,
+            "B_L_rows": self.b.n_low,
+            "A_H_nnz": self.a_high_nnz,
+            "A_L_nnz": self.a_low_nnz,
+            "B_H_nnz": self.b_high_nnz,
+            "B_L_nnz": self.b_low_nnz,
+        }
+
+
+def partition_rows(a: CSRMatrix, b: CSRMatrix, t_a: int, t_b: int) -> Partition:
+    """Compute the Phase I partition of both operands."""
+    ca = classify_rows(a, t_a)
+    cb = classify_rows(b, t_b)
+    a_sizes = a.row_nnz()
+    b_sizes = b.row_nnz()
+    a_high_nnz = int(a_sizes[ca.high_mask].sum())
+    b_high_nnz = int(b_sizes[cb.high_mask].sum())
+    return Partition(
+        a=ca,
+        b=cb,
+        a_high_nnz=a_high_nnz,
+        a_low_nnz=int(a.nnz - a_high_nnz),
+        b_high_nnz=b_high_nnz,
+        b_low_nnz=int(b.nnz - b_high_nnz),
+        nrows_b=b.nrows,
+    )
+
+
+def threshold_candidates(matrix: CSRMatrix, *, max_candidates: int = 24) -> np.ndarray:
+    """Candidate thresholds for the empirical Phase I search (§III-A).
+
+    Quantiles of the positive row sizes, deduplicated, always including
+    0 (all rows high → all-CPU degenerate case) and the maximum row size
+    (all rows low → the algorithm degenerates to [13], §V-B d).
+    """
+    sizes = np.asarray(matrix.row_nnz())
+    positive = sizes[sizes > 0]
+    if positive.size == 0:
+        return np.array([0], dtype=np.int64)
+    qs = np.linspace(0.0, 1.0, max_candidates)
+    cands = np.unique(np.quantile(positive, qs).astype(np.int64))
+    cands = np.union1d(cands, [0, int(sizes.max())])
+    return cands.astype(np.int64)

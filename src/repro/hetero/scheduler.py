@@ -1,0 +1,81 @@
+"""Phase III scheduling: draining the double-ended workqueue.
+
+Driven by the discrete-event engine: each device, when free, dequeues
+from its end of the queue, pays its per-dequeue synchronisation
+overhead, executes the unit (real numerics, modelled time), and
+re-schedules itself.  The loop ends when the cursors meet, at which
+point conservation is checked (every unit executed exactly once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.formats.coo import COOMatrix
+from repro.hardware.engine import EventEngine
+from repro.hardware.platform import HeteroPlatform
+from repro.hetero.workqueue import DoubleEndedWorkQueue, WorkUnit
+
+#: executes a unit on a device kind ("cpu" / "gpu"); returns the tuple part
+UnitExecutor = Callable[[str, WorkUnit], COOMatrix]
+
+
+@dataclass
+class Phase3Outcome:
+    """Results of a drained Phase III queue."""
+
+    parts: list[COOMatrix] = field(default_factory=list)
+    cpu_units: int = 0
+    gpu_units: int = 0
+    #: units each device took from the *other* product's end
+    cpu_stolen: int = 0
+    gpu_stolen: int = 0
+
+
+def run_workqueue_phase(
+    platform: HeteroPlatform,
+    queue: DoubleEndedWorkQueue,
+    execute: UnitExecutor,
+    *,
+    gpu_batch_rows: int | None = None,
+) -> Phase3Outcome:
+    """Drain ``queue`` with both devices running asynchronously.
+
+    ``execute(kind, unit)`` must run the unit's numeric kernel and
+    charge the modelled time (including dequeue overhead) to the
+    matching device; this scheduler only decides *who* takes *which*
+    unit *when*, using each device's private clock.
+    """
+    outcome = Phase3Outcome()
+    engine = EventEngine()
+
+    def cpu_step() -> None:
+        if not queue.has_work():
+            return
+        unit = queue.pop_front()
+        outcome.parts.append(execute("cpu", unit))
+        outcome.cpu_units += 1
+        if unit.product == "AH_BL":
+            outcome.cpu_stolen += 1
+        engine.schedule(platform.cpu.clock, cpu_step)
+
+    def gpu_step() -> None:
+        if not queue.has_work():
+            return
+        unit = (
+            queue.pop_back_batch(gpu_batch_rows)
+            if gpu_batch_rows
+            else queue.pop_back()
+        )
+        outcome.parts.append(execute("gpu", unit))
+        outcome.gpu_units += 1
+        if unit.product == "AL_BH":
+            outcome.gpu_stolen += 1
+        engine.schedule(platform.gpu.clock, gpu_step)
+
+    engine.schedule(platform.cpu.clock, cpu_step)
+    engine.schedule(platform.gpu.clock, gpu_step)
+    engine.run()
+    queue.check_conservation()
+    return outcome

@@ -1,0 +1,158 @@
+"""The Phase III double-ended workqueue (§III-C / §IV-B).
+
+One contiguous array of work-units.  The CPU end is filled with units of
+the product :math:`A_L \\times B_H` (work-unit size ``cpuRows`` = 1000
+rows) and the GPU end with units of :math:`A_H \\times B_L` (work-unit
+size ``gpuRows`` = 10 000 rows).  The devices dequeue from *opposite
+ends* "so that the time taken to synchronize the dequeue operations is
+also minimal"; a device that exhausts its own product's units continues
+into the other end's units until the two cursors meet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE
+from repro.util.errors import SchedulingError
+
+#: paper defaults (§IV-B)
+DEFAULT_CPU_ROWS = 1_000
+DEFAULT_GPU_ROWS = 10_000
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """A contiguous set of A rows to multiply against one B row class."""
+
+    #: which cross product this unit belongs to: "AL_BH" or "AH_BL"
+    product: str
+    #: row ids of A covered by this unit (contiguous slice of the class)
+    rows: np.ndarray
+    #: position in the queue array (diagnostics)
+    index: int
+
+    def __post_init__(self) -> None:
+        if not self.product:
+            raise ValueError("work-unit product tag must be non-empty")
+
+    @property
+    def nrows(self) -> int:
+        return int(self.rows.size)
+
+
+def chunk_rows(rows: np.ndarray, unit_rows: int, product: str, *, start_index: int = 0) -> list[WorkUnit]:
+    """Split a row-id array into contiguous work-units of ``unit_rows``."""
+    if unit_rows <= 0:
+        raise ValueError(f"work-unit size must be positive, got {unit_rows}")
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    units = []
+    for i, lo in enumerate(range(0, rows.size, unit_rows)):
+        units.append(
+            WorkUnit(product=product, rows=rows[lo : lo + unit_rows],
+                     index=start_index + i)
+        )
+    return units
+
+
+@dataclass
+class DoubleEndedWorkQueue:
+    """Two cursors walking toward each other over one unit array."""
+
+    units: list[WorkUnit]
+    _front: int = 0
+    _back: int = field(init=False)
+    #: dequeue log: (end, unit_index) pairs in dequeue order
+    log: list[tuple[str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._back = len(self.units) - 1
+
+    @classmethod
+    def build(
+        cls,
+        al_bh_rows: np.ndarray,
+        ah_bl_rows: np.ndarray,
+        *,
+        cpu_rows: int = DEFAULT_CPU_ROWS,
+        gpu_rows: int = DEFAULT_GPU_ROWS,
+    ) -> "DoubleEndedWorkQueue":
+        """Assemble the Phase III queue: ``A_L x B_H`` units at the CPU
+        (front) end, ``A_H x B_L`` units at the GPU (back) end.
+
+        The back-end units are reversed so the GPU's first dequeue takes
+        the first chunk of :math:`A_H`.
+        """
+        front = chunk_rows(al_bh_rows, cpu_rows, "AL_BH")
+        back = chunk_rows(ah_bl_rows, gpu_rows, "AH_BL", start_index=len(front))
+        return cls(units=front + back[::-1])
+
+    # -- queue state ------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        return max(0, self._back - self._front + 1)
+
+    def has_work(self) -> bool:
+        return self._front <= self._back
+
+    # -- dequeue ------------------------------------------------------------
+    def pop_front(self) -> WorkUnit:
+        """CPU-end dequeue."""
+        if not self.has_work():
+            raise SchedulingError("pop_front on an empty workqueue")
+        unit = self.units[self._front]
+        self._front += 1
+        self.log.append(("front", unit.index))
+        return unit
+
+    def pop_back(self) -> WorkUnit:
+        """GPU-end dequeue."""
+        if not self.has_work():
+            raise SchedulingError("pop_back on an empty workqueue")
+        unit = self.units[self._back]
+        self._back -= 1
+        self.log.append(("back", unit.index))
+        return unit
+
+    def pop_back_batch(self, max_rows: int) -> WorkUnit:
+        """GPU-end dequeue of up to ``max_rows`` rows in one launch.
+
+        When the GPU crosses into the CPU end's (small, cpuRows-sized)
+        units, launching them one at a time would strand it at one wave
+        of warps per launch; the paper sets gpuRows = 10 000 for the
+        GPU's contribution to :math:`A_L \\times B_H`, i.e. it consumes
+        CPU-sized units in bulk.  Consecutive units of the *same*
+        product are merged into a single work-unit/kernel launch.
+        """
+        if max_rows <= 0:
+            raise ValueError(f"max_rows must be positive, got {max_rows}")
+        first = self.pop_back()
+        rows = [first.rows]
+        n = first.nrows
+        while (
+            self.has_work()
+            and self.units[self._back].product == first.product
+            and n + self.units[self._back].nrows <= max_rows
+        ):
+            nxt = self.pop_back()
+            rows.append(nxt.rows)
+            n += nxt.nrows
+        if len(rows) == 1:
+            return first
+        return WorkUnit(
+            product=first.product, rows=np.concatenate(rows), index=first.index
+        )
+
+    # -- invariants -------------------------------------------------------
+    def check_conservation(self) -> None:
+        """After a drained run: every unit dequeued exactly once."""
+        if self.has_work():
+            raise SchedulingError(f"{self.remaining} units were never dequeued")
+        seen = [idx for _, idx in self.log]
+        if len(seen) != len(self.units) or len(set(seen)) != len(self.units):
+            raise SchedulingError(
+                f"dequeue log covers {len(set(seen))}/{len(self.units)} units "
+                f"in {len(seen)} dequeues"
+            )

@@ -1,0 +1,59 @@
+"""Numeric spmm kernels and the Phase IV tuple merge.
+
+Three numerically-equivalent spmm kernels (property-tested against each
+other and against ``scipy.sparse``):
+
+- :func:`esc_multiply` — vectorised expand–sort–compress (GPU-shaped);
+- :func:`spa_multiply` — row-wise dense sparse-accumulator (CPU-shaped,
+  Gustavson);
+- :func:`hash_multiply` — pure-Python dictionary reference.
+
+Plus :func:`merge_tuples` (Phase IV), symbolic work estimation, spmv,
+and the §VI csrmm extension.
+"""
+
+from repro.kernels.symbolic import KernelStats, WorkEstimate, estimate_work, symbolic_nnz
+from repro.kernels.esc import KernelResult, esc_multiply, expand, sort_and_compress
+from repro.kernels.spa import spa_multiply
+from repro.kernels.hash_acc import hash_multiply
+from repro.kernels.merge import (
+    MergeResult,
+    MergeStats,
+    exclusive_scan,
+    mark_master_indices,
+    merge_tuples,
+)
+from repro.kernels.spmv import csr_spmv, masked_spmv, split_spmv
+from repro.kernels.csrmm import CsrmmResult, CsrmmStats, csrmm
+
+#: registry of the interchangeable numeric spmm kernels by name
+SPMM_KERNELS = {
+    "esc": esc_multiply,
+    "spa": spa_multiply,
+    "hash": hash_multiply,
+}
+
+__all__ = [
+    "KernelStats",
+    "WorkEstimate",
+    "estimate_work",
+    "symbolic_nnz",
+    "KernelResult",
+    "esc_multiply",
+    "expand",
+    "sort_and_compress",
+    "spa_multiply",
+    "hash_multiply",
+    "MergeResult",
+    "MergeStats",
+    "exclusive_scan",
+    "mark_master_indices",
+    "merge_tuples",
+    "csr_spmv",
+    "masked_spmv",
+    "split_spmv",
+    "CsrmmResult",
+    "CsrmmStats",
+    "csrmm",
+    "SPMM_KERNELS",
+]

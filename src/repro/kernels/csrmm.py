@@ -1,0 +1,76 @@
+"""csrmm — sparse × dense multiplication (the paper's §VI extension).
+
+The conclusions sketch a heterogeneous csrmm: because ``B`` is dense,
+the split degenerates to assigning :math:`A_H B` to the CPU and
+:math:`A_L B` to the GPU, with no Phase III cross products and a trivial
+Phase IV (row sets are disjoint).  We implement the numeric kernel here;
+:class:`repro.core.hhcsrmm.HHCSRMM` wires it to the simulated platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, VALUE_DTYPE
+from repro.formats.csr import CSRMatrix
+from repro.util.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class CsrmmStats:
+    """Workload accounting for a csrmm call (feeds the cost models)."""
+
+    flops: int
+    bytes_read: int
+    bytes_written: int
+    rows_computed: int
+
+
+@dataclass(frozen=True)
+class CsrmmResult:
+    """Dense output block plus workload statistics."""
+
+    result: np.ndarray
+    stats: CsrmmStats
+
+
+def csrmm(
+    a: CSRMatrix,
+    dense: np.ndarray,
+    a_rows: np.ndarray | None = None,
+) -> CsrmmResult:
+    """Compute ``A[a_rows, :] @ dense`` into a full-height dense array.
+
+    Rows of the output outside ``a_rows`` are zero, so partial results
+    from two devices can be combined by addition.
+    """
+    dense = np.asarray(dense, dtype=VALUE_DTYPE)
+    if dense.ndim != 2 or dense.shape[0] != a.ncols:
+        raise ShapeError(
+            f"dense operand must have shape ({a.ncols}, k), got {dense.shape}"
+        )
+    rows = (
+        np.arange(a.nrows, dtype=INDEX_DTYPE)
+        if a_rows is None
+        else np.asarray(a_rows, dtype=INDEX_DTYPE)
+    )
+    if rows.size and (rows.min() < 0 or rows.max() >= a.nrows):
+        raise ShapeError("a_rows selection out of range")
+    out = np.zeros((a.nrows, dense.shape[1]), dtype=VALUE_DTYPE)
+    flops = 0
+    for i in rows:
+        cols, vals = a.row_slice(int(i))
+        if cols.size:
+            out[i] = vals @ dense[cols]
+            flops += 2 * cols.size * dense.shape[1]
+    k = dense.shape[1]
+    nnz_rows = int(a.row_nnz()[rows].sum()) if rows.size else 0
+    stats = CsrmmStats(
+        flops=flops,
+        bytes_read=nnz_rows * (np.dtype(INDEX_DTYPE).itemsize + 8) + nnz_rows * k * 8,
+        bytes_written=rows.size * k * 8,
+        rows_computed=int(rows.size),
+    )
+    return CsrmmResult(result=out, stats=stats)

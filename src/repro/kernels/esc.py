@@ -1,0 +1,179 @@
+"""ESC (expand – sort – compress) spmm kernel.
+
+This is the vectorised, GPU-shaped kernel: it materialises every
+intermediate product ``A[i,k] * B[k,j]`` as a ``<r, c, v>`` tuple
+(*expand*), sorts the tuple stream by (row, column) (*sort*), and
+segment-reduces like-tuples (*compress*).  It mirrors how the paper's
+GPU algorithm emits per-row partial outputs, and its compress step is
+the same mark/scan/master-index reduction used in Phase IV.
+
+All kernels accept an optional row restriction on ``A`` (Phase III
+work-units are contiguous row ranges) and an optional boolean row mask
+on ``B`` (the Phase I high/low classification): masked-out B rows are
+treated as zero rows, which matches multiplying by :math:`B_H` or
+:math:`B_L` without physically splitting ``B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, VALUE_DTYPE, check_multiply_compatible
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.kernels.symbolic import KernelStats, reuse_curve
+from repro.util.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """A numeric kernel's output tuples plus its workload accounting."""
+
+    #: row-locally merged <r, c, v> tuples in full-C coordinates
+    result: COOMatrix
+    stats: KernelStats
+
+
+def _select_a_entries(a: CSRMatrix, a_rows: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
+    """Return (entry indices into ``a.indices``/``a.data``, owning row ids)."""
+    if a_rows is None:
+        sel = np.arange(a.nnz, dtype=INDEX_DTYPE)
+        rows = np.repeat(np.arange(a.nrows, dtype=INDEX_DTYPE), a.row_nnz())
+        return sel, rows
+    a_rows = np.asarray(a_rows, dtype=INDEX_DTYPE)
+    if a_rows.size and (a_rows.min() < 0 or a_rows.max() >= a.nrows):
+        raise ShapeError("a_rows selection out of range")
+    counts = a.row_nnz()[a_rows]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=INDEX_DTYPE)
+    starts = np.repeat(a.indptr[a_rows], counts)
+    # intra-segment ramp: global position minus segment start position
+    seg_starts = np.zeros(a_rows.size, dtype=INDEX_DTYPE)
+    np.cumsum(counts[:-1], out=seg_starts[1:])
+    ramp = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(seg_starts, counts)
+    sel = starts + ramp
+    rows = np.repeat(a_rows, counts)
+    return sel, rows
+
+
+@dataclass(frozen=True)
+class ExpandResult:
+    """Output of the *expand* phase: one entry per intermediate product."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    #: intermediate products per output row, indexed by A row id
+    per_row_work: np.ndarray
+    #: A entries surviving the row/mask selection
+    a_entries: int
+    #: reference counts per B row (how many selected A entries point at it)
+    b_row_refs: np.ndarray | None = None
+
+
+def expand(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    a_rows: np.ndarray | None = None,
+    b_row_mask: np.ndarray | None = None,
+) -> ExpandResult:
+    """The *expand* phase: emit every intermediate product as a tuple."""
+    check_multiply_compatible(a, b)
+    sel, rows = _select_a_entries(a, a_rows)
+    ks = a.indices[sel]
+    avals = a.data[sel]
+    if b_row_mask is not None:
+        mask = np.asarray(b_row_mask, dtype=bool)
+        if mask.shape != (b.nrows,):
+            raise ShapeError(
+                f"b_row_mask must have shape ({b.nrows},), got {mask.shape}"
+            )
+        keep = mask[ks]
+        rows, ks, avals = rows[keep], ks[keep], avals[keep]
+    b_sizes = b.row_nnz()
+    cnt = b_sizes[ks]
+    total = int(cnt.sum())
+    per_row_work = np.bincount(rows, weights=cnt, minlength=a.nrows).astype(INDEX_DTYPE)
+    b_row_refs = np.bincount(ks, minlength=b.nrows)
+    if total == 0:
+        z = np.empty(0, dtype=INDEX_DTYPE)
+        return ExpandResult(z, z.copy(), np.empty(0, dtype=VALUE_DTYPE),
+                            per_row_work, int(ks.size), b_row_refs)
+    # gather B segments: for A entry e with column k, copy
+    # B.indices[B.indptr[k] : B.indptr[k+1]] (and matching data)
+    starts = np.repeat(b.indptr[ks], cnt)
+    seg_starts = np.zeros(ks.size, dtype=INDEX_DTYPE)
+    np.cumsum(cnt[:-1], out=seg_starts[1:])
+    ramp = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(seg_starts, cnt)
+    src = starts + ramp
+    out_rows = np.repeat(rows, cnt)
+    out_cols = b.indices[src]
+    out_vals = np.repeat(avals, cnt) * b.data[src]
+    return ExpandResult(out_rows, out_cols, out_vals, per_row_work, int(ks.size),
+                        b_row_refs)
+
+
+def sort_and_compress(
+    shape: tuple[int, int],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    *,
+    drop_zeros: bool = False,
+) -> COOMatrix:
+    """The *sort* + *compress* phases: like-tuple reduction.
+
+    Sorts tuples by (row, col) linear key, marks segment heads, and
+    segment-reduces — the same mark/scan/master-index procedure as the
+    Phase IV merge (Fig 4 of the paper).
+    """
+    if rows.size == 0:
+        return COOMatrix.empty(shape)
+    ncols = max(int(shape[1]), 1)
+    keys = rows.astype(INDEX_DTYPE) * INDEX_DTYPE(ncols) + cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    vals = vals[order]
+    head = np.empty(keys.size, dtype=bool)
+    head[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=head[1:])
+    masters = np.flatnonzero(head)
+    summed = np.add.reduceat(vals, masters)
+    ukeys = keys[masters]
+    if drop_zeros:
+        keep = summed != 0.0
+        ukeys, summed = ukeys[keep], summed[keep]
+    return COOMatrix(shape, ukeys // ncols, ukeys % ncols, summed, validate=False)
+
+
+def esc_multiply(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    a_rows: np.ndarray | None = None,
+    b_row_mask: np.ndarray | None = None,
+) -> KernelResult:
+    """Full ESC product ``A[a_rows, :] @ B*mask`` in C coordinates.
+
+    The returned COO matrix has shape ``(a.nrows, b.ncols)`` with entries
+    only in the selected rows; duplicates within the covered rows are
+    merged (as a warp's ``PartialOutput`` accumulator would), so the
+    emitted tuples are row-locally canonical.
+    """
+    ex = expand(a, b, a_rows, b_row_mask)
+    shape = (a.nrows, b.ncols)
+    result = sort_and_compress(shape, ex.rows, ex.cols, ex.vals)
+    processed = (
+        ex.per_row_work
+        if a_rows is None
+        else ex.per_row_work[np.asarray(a_rows, dtype=INDEX_DTYPE)]
+    )
+    # row-local accumulation (the warp's PartialOutput) means the tuples
+    # leaving the kernel equal the locally-merged nnz, not the expansion
+    curve = reuse_curve(ex.b_row_refs, b.row_nnz()) if ex.b_row_refs is not None else None
+    stats = KernelStats.for_product(
+        ex.a_entries, processed, result.nnz, result.nnz, b_reuse_curve=curve
+    )
+    return KernelResult(result=result, stats=stats)

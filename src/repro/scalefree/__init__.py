@@ -1,0 +1,62 @@
+"""Scale-free analysis toolkit: power-law fitting, generators, datasets.
+
+Reproduces the roles of the powerlaw package (Alstott et al. [1]) and
+the GTgraph generator suite [3] that the paper depends on, plus the
+Table I dataset registry with offline synthetic twins.
+"""
+
+from repro.scalefree.powerlaw import (
+    PowerLawFit,
+    alpha_for_target_mean,
+    fit_power_law,
+    ks_distance,
+    mle_alpha,
+    model_tail_cdf,
+    sample_power_law,
+)
+from repro.scalefree.generators import (
+    banded_matrix,
+    lognormal_matrix,
+    powerlaw_matrix,
+    powerlaw_matrix_for_nnz,
+    rmat_matrix,
+    uniform_matrix,
+)
+from repro.scalefree.histogram import RowHistogram, format_histogram, row_histogram
+from repro.scalefree.datasets import (
+    DATASET_NAMES,
+    DEFAULT_MAX_ROWS,
+    DatasetSpec,
+    TABLE_I,
+    clear_dataset_cache,
+    dataset_scale,
+    load_dataset,
+    synthesize_dataset,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "alpha_for_target_mean",
+    "fit_power_law",
+    "ks_distance",
+    "mle_alpha",
+    "model_tail_cdf",
+    "sample_power_law",
+    "banded_matrix",
+    "lognormal_matrix",
+    "powerlaw_matrix",
+    "powerlaw_matrix_for_nnz",
+    "rmat_matrix",
+    "uniform_matrix",
+    "RowHistogram",
+    "format_histogram",
+    "row_histogram",
+    "DATASET_NAMES",
+    "DEFAULT_MAX_ROWS",
+    "DatasetSpec",
+    "TABLE_I",
+    "clear_dataset_cache",
+    "dataset_scale",
+    "load_dataset",
+    "synthesize_dataset",
+]

@@ -1,0 +1,255 @@
+"""Synthetic sparse matrix generators.
+
+The paper uses the GTgraph suite [3] to generate graphs "whose degree
+sequence exhibits a scalefree nature", interprets them as matrices, and
+sweeps the power-law exponent alpha for Fig 10.  GTgraph is C code we
+cannot ship, so this module provides equivalent generators:
+
+- :func:`powerlaw_matrix` — direct row-size sampling from a discrete
+  power law (the knob the Fig 10 sweep needs is exactly alpha);
+- :func:`rmat_matrix` — the recursive R-MAT generator GTgraph also
+  implements, for structure-sensitive tests;
+- :func:`uniform_matrix` and :func:`banded_matrix` — near-uniform
+  row-size matrices standing in for mesh/road-network structure
+  (roadNet-CA, cop20kA have alpha >> 10 in Table I, i.e. are *not*
+  scale-free);
+- :func:`lognormal_matrix` — a heavy-ish but non-power-law alternative
+  used in ablations.
+
+All generators return :class:`repro.formats.csr.CSRMatrix` with values
+drawn uniformly from ``[0.5, 1.5)`` (spmm cost is structure-driven;
+values only need to be generic nonzeros).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, VALUE_DTYPE
+from repro.formats.csr import CSRMatrix
+from repro.scalefree.powerlaw import alpha_for_target_mean, sample_power_law, sizes_for_mean
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_positive
+
+
+def _random_values(rng: np.random.Generator, n: int) -> np.ndarray:
+    return (rng.random(n) + 0.5).astype(VALUE_DTYPE)
+
+
+def _rows_from_sizes(
+    nrows: int,
+    ncols: int,
+    sizes: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    hub_bias: float = 0.0,
+) -> CSRMatrix:
+    """Assemble a CSR matrix from per-row nnz counts.
+
+    Column indices are sampled without replacement per row.  With
+    ``hub_bias > 0`` (and a square matrix), column popularity follows
+    the *row-size* vector — a node's in-degree tracks its out-degree,
+    as in the SNAP/web graphs the paper evaluates — blended with a
+    uniform floor: ``p(col=j) ∝ hub_bias * sizes[j] + (1-hub_bias)``.
+    This degree assortativity is what concentrates references on the
+    hub rows (so :math:`A_H \\times B_H` carries real work and
+    :math:`B_H` is the cache-hot set).  0 gives uniform columns.
+    """
+    sizes = np.minimum(np.asarray(sizes, dtype=INDEX_DTYPE), ncols)
+    total = int(sizes.sum())
+    indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(sizes, out=indptr[1:])
+    if hub_bias > 0.0 and nrows == ncols and total:
+        w = hub_bias * (sizes / max(float(sizes.mean()), 1e-12)) + (1.0 - hub_bias)
+        cdf = np.cumsum(w)
+        cdf /= cdf[-1]
+        cols = np.searchsorted(cdf, rng.random(total), side="right").astype(INDEX_DTYPE)
+        cols = np.minimum(cols, ncols - 1)
+    else:
+        cols = rng.integers(0, ncols, size=total, dtype=INDEX_DTYPE)
+    # de-duplicate within each row: sort (row, col) pairs, drop repeats.
+    rows = np.repeat(np.arange(nrows, dtype=INDEX_DTYPE), sizes)
+    keys = rows * INDEX_DTYPE(ncols) + cols
+    keys = np.unique(keys)  # sorted, duplicates dropped
+    rows = keys // ncols
+    cols = keys % ncols
+    counts = np.bincount(rows, minlength=nrows)
+    indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(
+        (nrows, ncols), indptr, cols, _random_values(rng, keys.size), validate=False
+    )
+
+
+def powerlaw_matrix(
+    nrows: int,
+    ncols: int | None = None,
+    *,
+    alpha: float = 2.5,
+    xmin: int = 1,
+    target_nnz: int | None = None,
+    hub_bias: float = 0.3,
+    max_row_nnz: int | None = None,
+    rng=None,
+) -> CSRMatrix:
+    """Scale-free matrix whose row sizes follow a discrete power law.
+
+    Parameters
+    ----------
+    alpha:
+        Target exponent of the row-size distribution (smaller = more
+        scale-free, as in the paper's Fig 10 x-axis).
+    target_nnz:
+        When given, row sizes are drawn so their *expected* total lands
+        at this value while preserving the tail exponent (via
+        :func:`repro.scalefree.powerlaw.sizes_for_mean`) — the GTgraph
+        workflow of "specify the number of nonzeros that result in a
+        particular alpha", §V-D.  Overrides ``xmin``.
+    hub_bias:
+        Column-popularity skew in [0, 1); see :func:`_rows_from_sizes`.
+    """
+    nrows = int(check_positive("nrows", nrows))
+    ncols = nrows if ncols is None else int(check_positive("ncols", ncols))
+    gen = resolve_rng(rng)
+    cap = ncols if max_row_nnz is None else min(ncols, int(max_row_nnz))
+    if target_nnz is not None:
+        sizes = sizes_for_mean(
+            nrows, alpha, max(1.0, float(target_nnz) / nrows), xmax=cap, rng=gen
+        )
+    else:
+        sizes = sample_power_law(nrows, alpha, xmin=xmin, xmax=cap, rng=gen)
+    return _rows_from_sizes(nrows, ncols, sizes, gen, hub_bias=hub_bias)
+
+
+def powerlaw_matrix_for_nnz(
+    nrows: int,
+    nnz: int,
+    *,
+    ncols: int | None = None,
+    alpha: float | None = None,
+    hub_bias: float = 0.3,
+    rng=None,
+) -> CSRMatrix:
+    """Scale-free matrix hitting a target nnz, choosing alpha from the
+    implied mean row size when not supplied (mirrors GTgraph usage)."""
+    ncols = nrows if ncols is None else int(ncols)
+    mean = nnz / nrows
+    if alpha is None:
+        alpha = alpha_for_target_mean(max(mean, 1.01 + 1e-6), xmin=1)
+    return powerlaw_matrix(
+        nrows, ncols, alpha=alpha, target_nnz=nnz, hub_bias=hub_bias, rng=rng
+    )
+
+
+def uniform_matrix(
+    nrows: int,
+    ncols: int | None = None,
+    *,
+    mean_nnz: float = 4.0,
+    jitter: float = 0.25,
+    rng=None,
+) -> CSRMatrix:
+    """Near-uniform row sizes (road-network-like; *not* scale-free).
+
+    Row sizes are ``max(1, round(Normal(mean, jitter*mean)))`` — a tight
+    distribution whose power-law fit yields a very large alpha, matching
+    the paper's roadNet-CA / cop20kA observations.
+    """
+    nrows = int(check_positive("nrows", nrows))
+    ncols = nrows if ncols is None else int(check_positive("ncols", ncols))
+    gen = resolve_rng(rng)
+    sizes = np.maximum(
+        1, np.round(gen.normal(mean_nnz, jitter * mean_nnz, nrows))
+    ).astype(INDEX_DTYPE)
+    return _rows_from_sizes(nrows, ncols, sizes, gen)
+
+
+def banded_matrix(
+    nrows: int,
+    *,
+    bandwidth: int = 3,
+    fill: float = 0.9,
+    rng=None,
+) -> CSRMatrix:
+    """Banded (mesh-like) square matrix: entries only within
+    ``|i - j| <= bandwidth``, each present with probability ``fill``."""
+    nrows = int(check_positive("nrows", nrows))
+    gen = resolve_rng(rng)
+    offsets = np.arange(-bandwidth, bandwidth + 1)
+    rows_parts, cols_parts = [], []
+    base = np.arange(nrows, dtype=INDEX_DTYPE)
+    for off in offsets:
+        cols = base + off
+        ok = (cols >= 0) & (cols < nrows) & (gen.random(nrows) < fill)
+        rows_parts.append(base[ok])
+        cols_parts.append(cols[ok])
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    order = np.argsort(rows * INDEX_DTYPE(nrows) + cols)
+    rows, cols = rows[order], cols[order]
+    counts = np.bincount(rows, minlength=nrows)
+    indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix((nrows, nrows), indptr, cols,
+                     _random_values(gen, rows.size), validate=False)
+
+
+def lognormal_matrix(
+    nrows: int,
+    ncols: int | None = None,
+    *,
+    mean_nnz: float = 8.0,
+    sigma: float = 1.0,
+    rng=None,
+) -> CSRMatrix:
+    """Heavy-tailed but non-power-law row sizes (lognormal), used in
+    ablations to separate "heavy tail" from "power law" effects."""
+    nrows = int(check_positive("nrows", nrows))
+    ncols = nrows if ncols is None else int(check_positive("ncols", ncols))
+    gen = resolve_rng(rng)
+    mu = np.log(mean_nnz) - 0.5 * sigma**2
+    sizes = np.maximum(1, np.round(gen.lognormal(mu, sigma, nrows))).astype(INDEX_DTYPE)
+    return _rows_from_sizes(nrows, ncols, sizes, gen)
+
+
+def rmat_matrix(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng=None,
+) -> CSRMatrix:
+    """R-MAT graph generator (Chakrabarti et al.), as shipped in GTgraph.
+
+    Generates ``edge_factor * 2**scale`` directed edges over
+    ``2**scale`` vertices by recursive quadrant selection with
+    probabilities ``(a, b, c, d = 1-a-b-c)``; duplicate edges collapse.
+    The default parameters are the Graph500 standard and yield a
+    scale-free degree sequence.
+    """
+    if scale < 1 or scale > 26:
+        raise ValueError(f"scale must be in [1, 26], got {scale}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("RMAT probabilities must be non-negative and sum to <= 1")
+    n = 1 << scale
+    m = int(edge_factor) * n
+    gen = resolve_rng(rng)
+    rows = np.zeros(m, dtype=INDEX_DTYPE)
+    cols = np.zeros(m, dtype=INDEX_DTYPE)
+    for level in range(scale):
+        u = gen.random(m)
+        # choose quadrant: (0,0) w.p. a; (0,1) w.p. b; (1,0) w.p. c; (1,1) w.p. d
+        right = (u >= a) & (u < a + b) | (u >= a + b + c)
+        down = u >= a + b
+        half = 1 << (scale - level - 1)
+        rows += down * half
+        cols += right * half
+    keys = np.unique(rows * INDEX_DTYPE(n) + cols)
+    rows, cols = keys // n, keys % n
+    counts = np.bincount(rows, minlength=n)
+    indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix((n, n), indptr, cols, _random_values(gen, keys.size), validate=False)

@@ -1,0 +1,124 @@
+"""Row-density histograms (the paper's Figs 1 and 5).
+
+The paper's Figure 1/5 plots are histograms of per-row nonzero counts
+with a per-matrix threshold separating "low density" (black bars) from
+"high density" (gray bars), plus the number of high-density rows ("HD")
+in the legend.  This module computes the same data and renders it as
+ASCII (log-scaled Y, like the paper's log axes) for the bench reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.properties import row_stats
+
+
+@dataclass(frozen=True)
+class RowHistogram:
+    """Histogram of per-row nnz with a high/low density threshold."""
+
+    #: left edge of each bin (right edge is the next entry; last bin is
+    #: closed at ``edges[-1]``)
+    edges: np.ndarray
+    #: rows per bin
+    counts: np.ndarray
+    #: density threshold used to classify rows
+    threshold: int
+    #: number of rows with nnz > threshold (the legend's "HD")
+    hd_rows: int
+    #: number of rows with nnz <= threshold
+    ld_rows: int
+    matrix_name: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def nbins(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def hd_fraction(self) -> float:
+        """Fraction of rows classified high-density."""
+        total = self.hd_rows + self.ld_rows
+        return self.hd_rows / total if total else 0.0
+
+
+def row_histogram(
+    matrix,
+    threshold: int,
+    *,
+    nbins: int = 40,
+    log_bins: bool = False,
+    name: str = "",
+) -> RowHistogram:
+    """Histogram a matrix's row sizes against a density threshold.
+
+    Parameters
+    ----------
+    matrix:
+        Any sparse matrix (CSR preferred).
+    threshold:
+        Rows with more than ``threshold`` nonzeros count as high density
+        — the paper's Phase I classification.
+    log_bins:
+        Use logarithmically spaced bins (useful for strongly scale-free
+        matrices whose max row size dwarfs the median).
+    """
+    csr = matrix if hasattr(matrix, "row_nnz") else matrix.tocoo().tocsr()
+    sizes = np.asarray(csr.row_nnz())
+    threshold = int(threshold)
+    hi = max(int(sizes.max(initial=1)), 1)
+    if log_bins and hi > nbins:
+        edges = np.unique(
+            np.round(np.logspace(0, np.log10(hi + 1), nbins + 1)).astype(np.int64)
+        )
+    else:
+        edges = np.arange(0, hi + 2, max(1, (hi + 1) // nbins or 1), dtype=np.int64)
+        if edges[-1] <= hi:
+            edges = np.append(edges, hi + 1)
+    counts, _ = np.histogram(sizes, bins=edges)
+    hd = int(np.count_nonzero(sizes > threshold))
+    return RowHistogram(
+        edges=edges[:-1],
+        counts=counts,
+        threshold=threshold,
+        hd_rows=hd,
+        ld_rows=int(sizes.size - hd),
+        matrix_name=name,
+        extras={"stats": row_stats(csr)},
+    )
+
+
+def format_histogram(hist: RowHistogram, *, width: int = 50) -> str:
+    """Render a :class:`RowHistogram` as ASCII art with a log-scaled bar
+    length (as the paper's figures use log-scaled Y axes).
+
+    High-density bins (entirely above the threshold) are drawn with
+    ``#`` (the paper's gray bars), low-density bins with ``*`` (black
+    bars), bins straddling the threshold with ``+``.
+    """
+    lines = [
+        f"Row histogram: {hist.matrix_name or '<unnamed>'}  "
+        f"(threshold={hist.threshold}, HD={hist.hd_rows})"
+    ]
+    nonzero = hist.counts[hist.counts > 0]
+    if nonzero.size == 0:
+        lines.append("  (no rows)")
+        return "\n".join(lines)
+    logmax = np.log10(float(nonzero.max()) + 1.0)
+    edges = np.append(hist.edges, hist.edges[-1] * 2 + 1)
+    for i, count in enumerate(hist.counts):
+        if count == 0:
+            continue
+        lo, hi = int(edges[i]), int(edges[i + 1]) - 1
+        bar_len = max(1, int(round(width * np.log10(count + 1.0) / max(logmax, 1e-12))))
+        if lo > hist.threshold:
+            ch = "#"
+        elif hi <= hist.threshold:
+            ch = "*"
+        else:
+            ch = "+"
+        lines.append(f"  nnz {lo:>8}-{hi:<8} |{ch * bar_len} {count}")
+    return "\n".join(lines)

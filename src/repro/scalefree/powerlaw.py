@@ -1,0 +1,311 @@
+"""Discrete power-law fitting and sampling.
+
+The paper's Table I reports, for each matrix, the exponent ``alpha`` of
+the power law its row sizes fit to, "obtained using the toolkit
+developed by Alstott et al. [1]" — i.e. the Clauset–Shalizi–Newman
+method.  We implement that method for discrete data:
+
+- conditional MLE for alpha given a lower cutoff ``xmin``
+  (the standard approximation
+  :math:`\\hat\\alpha = 1 + n / \\sum_i \\ln(x_i / (x_{min} - 1/2))`),
+- Kolmogorov–Smirnov distance between the empirical tail and the
+  zeta-normalised model tail,
+- ``xmin`` chosen to minimise the KS distance over observed candidates.
+
+The same distribution family drives the synthetic generators used for
+Fig 10 (:mod:`repro.scalefree.generators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import zeta
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import as_int_array, check_positive
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting a discrete power law to row sizes."""
+
+    #: fitted exponent (the paper's Table I alpha column)
+    alpha: float
+    #: lower cutoff: the fit describes sizes >= xmin
+    xmin: int
+    #: KS distance between data tail and fitted model
+    ks_distance: float
+    #: number of observations in the fitted tail
+    ntail: int
+    #: total number of (positive) observations
+    n: int
+
+    @property
+    def tail_fraction(self) -> float:
+        """Fraction of positive observations inside the fitted tail."""
+        return self.ntail / self.n if self.n else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PowerLawFit(alpha={self.alpha:.2f}, xmin={self.xmin}, "
+            f"KS={self.ks_distance:.4f}, ntail={self.ntail}/{self.n})"
+        )
+
+
+def mle_alpha(values: np.ndarray, xmin: int) -> float:
+    """Conditional discrete-MLE exponent for the tail ``values >= xmin``.
+
+    Uses the Clauset et al. (2009) continuous-approximation estimator,
+    accurate for ``xmin >= 2`` and standard in the powerlaw package the
+    paper cites.  Returns ``inf`` for degenerate tails (all values equal
+    to ``xmin`` gives an unbounded likelihood in alpha).
+    """
+    x = np.asarray(values, dtype=np.float64)
+    tail = x[x >= xmin]
+    if tail.size == 0:
+        raise ValueError(f"no observations >= xmin={xmin}")
+    denom = np.log(tail / (xmin - 0.5)).sum()
+    if denom <= 0:
+        return np.inf
+    return 1.0 + tail.size / denom
+
+
+def model_tail_cdf(alpha: float, xmin: int, xs: np.ndarray) -> np.ndarray:
+    """Model CDF ``P(X <= x | X >= xmin)`` for the discrete power law.
+
+    Computed from Hurwitz zeta tails:
+    ``P(X >= x) = zeta(alpha, x) / zeta(alpha, xmin)``.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    denom = zeta(alpha, xmin)
+    return 1.0 - zeta(alpha, xs + 1.0) / denom
+
+
+def ks_distance(values: np.ndarray, alpha: float, xmin: int) -> float:
+    """KS statistic between the empirical tail CDF and the model CDF."""
+    x = np.sort(np.asarray(values)[np.asarray(values) >= xmin])
+    if x.size == 0:
+        return np.inf
+    if not np.isfinite(alpha):
+        return np.inf
+    uniq, counts = np.unique(x, return_counts=True)
+    ecdf = np.cumsum(counts) / x.size
+    mcdf = model_tail_cdf(alpha, xmin, uniq)
+    return float(np.max(np.abs(ecdf - mcdf)))
+
+
+def fit_power_law(
+    values,
+    *,
+    xmin: int | None = None,
+    max_xmin_candidates: int = 50,
+    min_tail: int = 10,
+) -> PowerLawFit:
+    """Fit a discrete power law to positive integer observations.
+
+    Parameters
+    ----------
+    values:
+        Row sizes (zeros are ignored: an empty row carries no degree
+        information, matching the powerlaw package's handling).
+    xmin:
+        Fix the cutoff instead of optimising it.
+    max_xmin_candidates:
+        Cap on distinct xmin values scanned (evenly subsampled from the
+        observed uniques) to bound cost on huge matrices.
+    min_tail:
+        Candidates leaving fewer than this many tail observations are
+        skipped (the MLE variance blows up).
+    """
+    x = as_int_array("values", values)
+    x = x[x > 0]
+    n = int(x.size)
+    if n == 0:
+        raise ValueError("cannot fit a power law to no positive observations")
+    if xmin is not None:
+        xmin = int(check_positive("xmin", xmin))
+        alpha = mle_alpha(x, xmin)
+        return PowerLawFit(alpha, xmin, ks_distance(x, alpha, xmin), int((x >= xmin).sum()), n)
+
+    candidates = np.unique(x)
+    # never let xmin exhaust the tail
+    candidates = candidates[candidates <= np.sort(x)[-min(min_tail, n)]]
+    if candidates.size == 0:
+        candidates = np.unique(x)[:1]
+    if candidates.size > max_xmin_candidates:
+        idx = np.linspace(0, candidates.size - 1, max_xmin_candidates).astype(int)
+        candidates = candidates[idx]
+
+    best: PowerLawFit | None = None
+    for cand in candidates:
+        cand = int(cand)
+        tail_n = int((x >= cand).sum())
+        if tail_n < min(min_tail, n):
+            continue
+        alpha = mle_alpha(x, cand)
+        ks = ks_distance(x, alpha, cand)
+        fit = PowerLawFit(alpha, cand, ks, tail_n, n)
+        if best is None or fit.ks_distance < best.ks_distance:
+            best = fit
+    if best is None:  # tiny samples: fall back to xmin = smallest value
+        cand = int(candidates[0])
+        alpha = mle_alpha(x, cand)
+        best = PowerLawFit(alpha, cand, ks_distance(x, alpha, cand), int((x >= cand).sum()), n)
+    return best
+
+
+def sample_power_law(
+    n: int,
+    alpha: float,
+    xmin: int = 1,
+    xmax: int | None = None,
+    rng=None,
+) -> np.ndarray:
+    """Draw ``n`` integers from a discrete power law with exponent ``alpha``.
+
+    Uses the standard continuous-approximation inverse transform
+    (Clauset et al., App. D): ``x = floor((xmin - 1/2) (1-u)^{-1/(alpha-1)} + 1/2)``,
+    clipped to ``xmax`` when given.  Requires ``alpha > 1``.
+    """
+    if alpha <= 1.0:
+        raise ValueError(f"power-law exponent must exceed 1, got {alpha}")
+    xmin = int(check_positive("xmin", xmin))
+    gen = resolve_rng(rng)
+    u = gen.random(int(n))
+    x = np.floor((xmin - 0.5) * (1.0 - u) ** (-1.0 / (alpha - 1.0)) + 0.5)
+    if xmax is not None:
+        x = np.minimum(x, float(int(xmax)))
+    return x.astype(np.int64)
+
+
+def powerlaw_mean(alpha: float, xmin: int = 1) -> float:
+    """Mean of the discrete power law ``p(x) ∝ x^-alpha`` on ``x >= xmin``.
+
+    ``E[X] = zeta(alpha - 1, xmin) / zeta(alpha, xmin)``; finite only for
+    ``alpha > 2`` (returns ``inf`` otherwise).
+    """
+    if alpha <= 2.0:
+        return np.inf
+    return float(zeta(alpha - 1.0, xmin) / zeta(alpha, xmin))
+
+
+def sampler_clipped_mean(alpha: float, xmin: int, xmax: int | None) -> float:
+    """Exact mean of ``min(X, xmax)`` under :func:`sample_power_law`.
+
+    The sampler uses the continuous-approximation inverse transform, so
+    its pmf is *not* the zeta law; size targeting must use the sampler's
+    own moments or realised nnz drifts (badly for alpha near 2).  For
+    integer ``X >= xmin``: ``E[min(X, c)] = xmin + sum_{t=xmin}^{c-1}
+    P(X > t)`` with ``P(X > t) = ((t + 1/2) / (xmin - 1/2))^{-(alpha-1)}``
+    under the transform.  The infinite tail sums to a Hurwitz zeta.
+    """
+    if alpha <= 1.0:
+        raise ValueError(f"power-law exponent must exceed 1, got {alpha}")
+    s = xmin - 0.5
+    beta = alpha - 1.0
+    if xmax is None:
+        if alpha <= 2.0:
+            return np.inf
+        return float(xmin + s**beta * zeta(beta, xmin + 0.5))
+    xmax = int(xmax)
+    if xmax <= xmin:
+        return float(min(xmin, xmax))
+    ts = np.arange(xmin, xmax, dtype=np.float64)
+    return float(xmin + (s**beta) * np.sum((ts + 0.5) ** (-beta)))
+
+
+def sizes_for_mean(
+    n: int,
+    alpha: float,
+    mean: float,
+    *,
+    xmax: int | None = None,
+    rng=None,
+) -> np.ndarray:
+    """Sample ``n`` row sizes with power-law tail exponent ``alpha`` and
+    expected mean ``mean``, preserving the tail exponent.
+
+    Two regimes (both keep the *fitted* alpha at the requested value,
+    which naive post-hoc rescaling of sampled sizes does not):
+
+    - if the pure power law at ``xmin = 1`` is lighter than the target
+      mean, shift ``xmin`` upward (binary search on the zeta mean);
+    - if it is heavier (common for alpha close to 2), mix: a fraction
+      ``q`` of rows draw from the power law at ``xmin = 1`` and the rest
+      are single-entry rows, with ``q`` chosen so the blended mean hits
+      the target.  The tail is untouched, so KS-based fitting recovers
+      ``alpha``.
+    """
+    if mean < 1.0:
+        raise ValueError(f"mean row size must be >= 1, got {mean}")
+    gen = resolve_rng(rng)
+
+    def cmean(x0: int) -> float:
+        return sampler_clipped_mean(alpha, x0, xmax)
+
+    m1 = cmean(1)
+    if m1 <= mean:
+        # regime 1: raise xmin until the (clipped) sampler mean brackets
+        # the target, then mix the two adjacent xmin populations so the
+        # expected mean is hit exactly.
+        cap = xmax if xmax is not None else 10**7
+        lo, hi = 1, 2
+        while cmean(hi) < mean and hi < cap:
+            lo, hi = hi, min(hi * 2, cap)
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if cmean(mid) < mean:
+                lo = mid
+            else:
+                hi = mid
+        m_lo, m_hi = cmean(lo), cmean(hi)
+        w_hi = 0.0 if m_hi <= m_lo else min(max((mean - m_lo) / (m_hi - m_lo), 0.0), 1.0)
+        sizes = sample_power_law(n, alpha, lo, xmax, rng=gen)
+        from_hi = gen.random(n) < w_hi
+        n_hi = int(from_hi.sum())
+        if n_hi:
+            sizes[from_hi] = sample_power_law(n_hi, alpha, hi, xmax, rng=gen)
+        return sizes
+    # regime 2: blend unit rows with a power-law tail at xmin = 1
+    q = (mean - 1.0) / (m1 - 1.0) if m1 > 1.0 else 0.0
+    q = min(max(q, 0.0), 1.0)
+    sizes = np.ones(n, dtype=np.int64)
+    tail = gen.random(n) < q
+    ntail = int(tail.sum())
+    if ntail:
+        sizes[tail] = sample_power_law(ntail, alpha, 1, xmax, rng=gen)
+    return sizes
+
+
+def alpha_for_target_mean(target_mean: float, xmin: int = 1, *,
+                          lo: float = 1.05, hi: float = 60.0) -> float:
+    """Invert the power-law mean to find the alpha giving ``target_mean``.
+
+    The paper's GT-graph workflow notes one "has to specify the number
+    of nonzeros ... that result in a particular alpha"; this helper does
+    the reverse for our generators: given a desired mean row size (nnz /
+    nrows) and cutoff, binary-search the alpha whose zeta-mean matches.
+    The mean is finite only for alpha > 2, so ``target_mean`` must
+    exceed ``xmin``.
+    """
+    if target_mean <= xmin:
+        raise ValueError(
+            f"target mean {target_mean} must exceed xmin={xmin} for a proper fit"
+        )
+
+    def mean_of(a: float) -> float:
+        # E[X] = zeta(a-1, xmin) / zeta(a, xmin), finite for a > 2
+        return float(zeta(a - 1.0, xmin) / zeta(a, xmin))
+
+    lo = max(lo, 2.0 + 1e-6)
+    if mean_of(lo) < target_mean:
+        return lo  # even the heaviest permissible tail is too light
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if mean_of(mid) > target_mean:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,57 @@
+"""Shared utilities: deterministic RNG handling, unit helpers, errors.
+
+Everything in :mod:`repro` that needs randomness routes through
+:func:`repro.util.rng.resolve_rng` so that experiments are reproducible
+given a seed, and everything that reports simulated time uses the unit
+helpers in :mod:`repro.util.units`.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ShapeError,
+    FormatError,
+    CalibrationError,
+    SchedulingError,
+)
+from repro.util.rng import resolve_rng, spawn_rngs, DEFAULT_SEED
+from repro.util.units import (
+    GIGA,
+    MEGA,
+    KILO,
+    seconds_to_ms,
+    ms_to_seconds,
+    bytes_to_mb,
+    human_bytes,
+    human_time,
+)
+from repro.util.validation import (
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    as_int_array,
+    as_float_array,
+)
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "CalibrationError",
+    "SchedulingError",
+    "resolve_rng",
+    "spawn_rngs",
+    "DEFAULT_SEED",
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "bytes_to_mb",
+    "human_bytes",
+    "human_time",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "as_int_array",
+    "as_float_array",
+]

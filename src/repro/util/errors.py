@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class at an API boundary while tests can assert on
+precise subclasses.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Two operands have incompatible shapes (e.g. ``A @ B`` with
+    ``A.ncols != B.nrows``), or an array argument has the wrong length."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse-matrix container violates its structural invariants
+    (non-monotone indptr, out-of-range column index, NaN policy, ...)."""
+
+
+class CalibrationError(ReproError, ValueError):
+    """A cost-model calibration constant is out of its physical range
+    (negative bandwidth, zero frequency, efficiency outside (0, 1])."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """The discrete-event engine or workqueue reached an inconsistent
+    state (double completion, dequeue from an empty closed queue, time
+    moving backwards)."""

@@ -1,0 +1,54 @@
+"""Unit constants and human-readable formatting helpers.
+
+Simulated device time is kept in **seconds** (float) throughout the
+library; these helpers exist only at reporting boundaries.
+"""
+
+from __future__ import annotations
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+#: binary prefixes for memory sizes
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+def seconds_to_ms(t: float) -> float:
+    """Convert seconds to milliseconds."""
+    return t * 1e3
+
+
+def ms_to_seconds(t: float) -> float:
+    """Convert milliseconds to seconds."""
+    return t * 1e-3
+
+
+def bytes_to_mb(n: float) -> float:
+    """Convert a byte count to (decimal) megabytes."""
+    return n / MEGA
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count like ``'3.1 MiB'`` for logs and reports."""
+    if n < 0:
+        return "-" + human_bytes(-n)
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def human_time(t: float) -> str:
+    """Format a duration in seconds like ``'12.3 ms'`` for reports."""
+    if t < 0:
+        return "-" + human_time(-t)
+    if t >= 1.0:
+        return f"{t:.3f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f} ms"
+    if t >= 1e-6:
+        return f"{t * 1e6:.3f} us"
+    return f"{t * 1e9:.1f} ns"

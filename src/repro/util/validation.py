@@ -1,0 +1,50 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if value is None or not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if value is None or not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``; return the value."""
+    if value is None or not np.isfinite(value) or not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def as_int_array(name: str, values, *, copy: bool = False) -> np.ndarray:
+    """Coerce to a 1-D int64 array, rejecting floats with fractional parts."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.dtype.kind == "f":
+        if not np.all(arr == np.floor(arr)):
+            raise ValueError(f"{name} contains non-integral values")
+        arr = arr.astype(np.int64)
+    elif arr.dtype.kind in "iu":
+        arr = arr.astype(np.int64, copy=copy)
+    else:
+        raise TypeError(f"{name} must be numeric, got dtype {arr.dtype}")
+    return arr
+
+
+def as_float_array(name: str, values, *, copy: bool = False) -> np.ndarray:
+    """Coerce to a 1-D float64 array."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return np.array(arr, copy=True) if copy else arr

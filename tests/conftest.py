@@ -1,0 +1,57 @@
+"""Shared fixtures: random sparse matrices, a small simulated platform."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.hardware.platform import platform_for_scale
+from repro.scalefree import powerlaw_matrix, uniform_matrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_scipy(m, n, density, seed, fmt="csr"):
+    """Random scipy matrix with reproducible seed."""
+    return sp.random(m, n, density=density, random_state=seed, format=fmt)
+
+
+@pytest.fixture
+def random_pair(rng):
+    """A compatible (A, B) pair as (ours, scipy) tuples."""
+    A = random_scipy(40, 30, 0.15, 7)
+    B = random_scipy(30, 50, 0.15, 8)
+    return CSRMatrix.from_scipy(A), CSRMatrix.from_scipy(B), A, B
+
+
+@pytest.fixture
+def small_scalefree():
+    """A small scale-free square matrix for algorithm tests."""
+    return powerlaw_matrix(800, alpha=2.5, target_nnz=4_000, hub_bias=0.5, rng=17)
+
+
+@pytest.fixture
+def small_uniform():
+    """A small near-uniform square matrix."""
+    return uniform_matrix(800, mean_nnz=4.0, rng=18)
+
+
+@pytest.fixture
+def small_platform():
+    """A platform cache-scaled to the small test matrices."""
+    return platform_for_scale(0.001)
+
+
+def dense_of(matrix) -> np.ndarray:
+    """Dense ndarray view of any of our sparse containers."""
+    return matrix.todense()
+
+
+def assert_same_product(ours: COOMatrix, scipy_ref) -> None:
+    """Assert a kernel result equals the scipy product."""
+    ref = np.asarray(scipy_ref.todense())
+    got = ours.todense()
+    np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-12)

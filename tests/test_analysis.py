@@ -1,0 +1,93 @@
+"""Tests for the experiment drivers (on reduced sizes, so they stay
+fast); the full-size harnesses live under benchmarks/."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    arithmetic_mean,
+    experiment_setup,
+    format_table,
+    geometric_mean,
+    run_baseline,
+    run_fig8,
+    run_fig10,
+    run_hhcpu,
+    run_table1,
+    scaled_units,
+)
+from repro.analysis.experiments import _histogram_for
+from repro.scalefree import TABLE_I
+
+SMALL = 0.0005  # tiny twins for test speed
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="t")
+        assert "t" in out and "bb" in out and "2.500" in out
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert geometric_mean([1.0, 4.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        assert geometric_mean([]) == 0.0
+
+
+class TestRunners:
+    def test_setup_scales(self):
+        s = experiment_setup("cit-Patents", scale=SMALL)
+        assert s.matrix.nrows < TABLE_I["cit-Patents"].rows
+        assert s.scale == SMALL
+
+    def test_scaled_units_floors(self):
+        u = scaled_units(0.0001)
+        assert u["cpu_rows"] >= 100 and u["gpu_rows"] >= 1_000
+
+    def test_run_hhcpu_and_baseline_agree(self):
+        s = experiment_setup("wiki-Vote", scale=0.15)
+        hh = run_hhcpu(s)
+        hipc = run_baseline(s, "hipc2012")
+        assert hh.matrix.allclose(hipc.matrix)
+        assert hh.speedup_over(hipc) > 0
+
+    def test_unknown_baseline(self):
+        s = experiment_setup("wiki-Vote", scale=0.15)
+        with pytest.raises(ValueError):
+            run_baseline(s, "magic")
+
+
+class TestExperiments:
+    def test_table1_rows(self):
+        res = run_table1(names=["wiki-Vote", "roadNet-CA"], scale=0.12)
+        assert len(res.rows) == 2
+        assert res.rows[0].alpha_paper == 3.88
+        assert "Table I" in res.render()
+
+    def test_histogram_driver(self):
+        h = _histogram_for("wiki-Vote", 30, scale=0.12)
+        assert h.threshold == 30
+        assert h.hd_rows >= 0
+        assert "wiki-Vote" in h.render()
+
+    def test_fig8_model_sweep(self):
+        curve = run_fig8("wiki-Vote", scale=0.12, mode="model", max_candidates=6)
+        assert len(curve.thresholds) >= 3
+        assert curve.thresholds[0] == 0
+        assert min(curve.total) > 0
+        assert "Fig 8" in curve.render()
+
+    def test_fig8_real_sweep(self):
+        curve = run_fig8("wiki-Vote", scale=0.06, mode="real", max_candidates=4)
+        assert len(curve.total) == len(curve.thresholds)
+
+    def test_fig8_bad_mode(self):
+        with pytest.raises(ValueError):
+            run_fig8("wiki-Vote", scale=0.06, mode="nope")
+
+    def test_fig10_tiny(self):
+        res = run_fig10(size_factor=0.001, alphas=[3.0, 6.0], mean_nnz=3.0)
+        assert len(res.points) == 6  # 3 sizes x 2 alphas
+        assert all(p.speedup_vs_hipc > 0 for p in res.points)
+        assert len(res.series("1M")) == 2
+        assert "Fig 10" in res.render()

@@ -1,0 +1,136 @@
+"""Tests for the baseline algorithms: numeric agreement with HH-CPU and
+scipy, plus structural behaviours of each."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALGORITHMS,
+    CPUOnly,
+    CuSparseModel,
+    GPUOnly,
+    HiPC2012,
+    MKLModel,
+    SortedWorkqueue,
+    UnsortedWorkqueue,
+)
+from repro.core import HHCPU
+from repro.hardware.platform import platform_for_scale
+from repro.scalefree import powerlaw_matrix
+
+
+@pytest.fixture(scope="module")
+def sf():
+    return powerlaw_matrix(700, alpha=2.4, target_nnz=3_500, hub_bias=0.5, rng=33)
+
+
+@pytest.fixture(scope="module")
+def ref(sf):
+    return (sf.to_scipy() @ sf.to_scipy()).toarray()
+
+
+def pf():
+    return platform_for_scale(0.001)
+
+
+class TestNumericAgreement:
+    @pytest.mark.parametrize("key", sorted(ALGORITHMS))
+    def test_matches_scipy(self, key, sf, ref):
+        algo = ALGORITHMS[key](pf())
+        out = algo.multiply(sf, sf)
+        np.testing.assert_allclose(out.matrix.todense(), ref, rtol=1e-9)
+
+    def test_all_agree_with_hhcpu(self, sf, ref):
+        hh = HHCPU(pf()).multiply(sf, sf)
+        np.testing.assert_allclose(hh.matrix.todense(), ref, rtol=1e-9)
+
+
+class TestHiPC2012:
+    def test_static_split_partitions_rows(self, sf):
+        out = HiPC2012(pf()).multiply(sf, sf)
+        d = out.details
+        assert d["cpu_rows"] + d["gpu_rows"] == sf.nrows
+
+    def test_blind_split_follows_work_ratio(self, sf):
+        algo = HiPC2012(pf())
+        s = algo.choose_split(sf, sf)
+        cpu_rate, gpu_rate = algo.blind_device_rates()
+        # CPU share of intermediate products ~ its blind rate share
+        from repro.core.threshold import ProductProfile
+
+        prof = ProductProfile(sf, sf)
+        per_row = np.bincount(prof.row_of, weights=prof.entry_work,
+                              minlength=sf.nrows)
+        share = per_row[:s].sum() / max(per_row.sum(), 1)
+        assert abs(share - cpu_rate / (cpu_rate + gpu_rate)) < 0.1
+
+    def test_oracle_split_not_worse(self, sf):
+        blind = HiPC2012(pf()).multiply(sf, sf)
+        oracle = HiPC2012(pf(), oracle_split=True).multiply(sf, sf)
+        assert oracle.total_time <= blind.total_time * 1.05
+
+    def test_flip_prefix(self, sf, ref):
+        out = HiPC2012(pf(), cpu_takes_prefix=False).multiply(sf, sf)
+        np.testing.assert_allclose(out.matrix.todense(), ref, rtol=1e-9)
+
+    def test_split_candidates_validation(self):
+        with pytest.raises(ValueError):
+            HiPC2012(split_candidates=1)
+
+
+class TestWorkqueues:
+    def test_both_devices_used(self, sf):
+        out = UnsortedWorkqueue(pf(), cpu_rows=50, gpu_rows=100).multiply(sf, sf)
+        assert out.details["cpu_units"] > 0
+        assert out.details["gpu_units"] > 0
+
+    def test_sorted_row_order(self, sf):
+        algo = SortedWorkqueue(pf())
+        order = algo.row_order(sf)
+        sizes = sf.row_nnz()[order]
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_unsorted_row_order_natural(self, sf):
+        algo = UnsortedWorkqueue(pf())
+        np.testing.assert_array_equal(algo.row_order(sf), np.arange(sf.nrows))
+
+    def test_sorted_pays_merge_sort(self, sf):
+        """The sorted variant permutes rows, so its CSR build includes
+        the sort; the unsorted one only reorders blocks."""
+        uns = UnsortedWorkqueue(pf(), cpu_rows=50, gpu_rows=100).multiply(sf, sf)
+        srt = SortedWorkqueue(pf(), cpu_rows=50, gpu_rows=100).multiply(sf, sf)
+        build = lambda r: sum(
+            e.duration for e in r.trace.events if e.label == "cpu:csr-build"
+        )
+        assert build(srt) > build(uns)
+
+    def test_unit_size_validation(self):
+        with pytest.raises(ValueError):
+            UnsortedWorkqueue(cpu_rows=0)
+
+
+class TestSingleDevice:
+    def test_cpu_only_never_touches_gpu(self, sf):
+        out = CPUOnly(pf()).multiply(sf, sf)
+        assert not any("NVIDIA" in e.device for e in out.trace.events)
+
+    def test_gpu_only_uploads_operands(self, sf):
+        out = GPUOnly(pf()).multiply(sf, sf)
+        labels = [e.label for e in out.trace.events]
+        assert "xfer:A" in labels and "xfer:B" in labels
+
+
+class TestLibraryModels:
+    def test_mkl_faster_than_cpu_rowrow(self, sf):
+        cpu = CPUOnly(pf()).multiply(sf, sf)
+        mkl = MKLModel(pf()).multiply(sf, sf)
+        assert mkl.total_time == pytest.approx(cpu.total_time / 1.18, rel=1e-6)
+
+    def test_cusparse_slower_than_gpu(self, sf):
+        gpu = GPUOnly(pf()).multiply(sf, sf)
+        cusp = CuSparseModel(pf()).multiply(sf, sf)
+        assert cusp.total_time > gpu.total_time
+
+    def test_proxy_details(self, sf):
+        mkl = MKLModel(pf()).multiply(sf, sf)
+        assert mkl.details["proxy_of"] == "CPU-only"

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "not-a-matrix"])
+
+    def test_fig8_flags(self):
+        args = build_parser().parse_args(["fig8", "wiki-Vote", "--real"])
+        assert args.matrix == "wiki-Vote" and args.real
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "webbase-1M" in out and "roadNet-CA" in out
+
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--names", "wiki-Vote", "--scale", "0.2"]) == 0
+        assert "wiki-Vote" in capsys.readouterr().out
+
+    def test_fig8_model(self, capsys):
+        assert main(["fig8", "wiki-Vote", "--scale", "0.1"]) == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_multiply_hhcpu(self, capsys):
+        assert main(["multiply", "wiki-Vote", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "HH-CPU" in out and "thresholds" in out
+
+    def test_multiply_baseline(self, capsys):
+        assert main(["multiply", "wiki-Vote", "--scale", "0.1",
+                     "--algorithm", "hipc2012"]) == 0
+        assert "HiPC2012" in capsys.readouterr().out

@@ -1,0 +1,227 @@
+"""Tests for the device cost models — each paper mechanism must move
+time in the documented direction."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    Calibration,
+    DEFAULT_CALIBRATION,
+    ProductContext,
+    cpu_merge_time,
+    cpu_phase1_time,
+    cpu_spmm_time,
+    gpu_phase1_time,
+    gpu_read_amplification,
+    gpu_spmm_time,
+    gpu_tiling_passes,
+    matrix_upload_time,
+    row_sizes_upload_time,
+    tuples_download_time,
+    warp_wave_inflation,
+)
+from repro.costmodel.context import product_reuse_fractions
+from repro.hardware import I7_980, K20C, PCIE2
+from repro.kernels.symbolic import ELEM_BYTES, KernelStats, reuse_curve
+from repro.util.errors import CalibrationError
+
+CAL = DEFAULT_CALIBRATION
+
+
+def stats(work_per_row, a_entries=None, tuples=None, curve=None):
+    row_work = np.asarray(work_per_row, dtype=np.int64)
+    total = int(row_work.sum())
+    return KernelStats.for_product(
+        a_entries if a_entries is not None else max(1, total // 4),
+        row_work,
+        tuples if tuples is not None else total,
+        tuples if tuples is not None else total,
+        b_reuse_curve=curve,
+    )
+
+
+def ctx(footprint=1 << 20, ncols=10_000, f_cpu=None, f_gpu=None):
+    return ProductContext(footprint, ncols, f_cpu, f_gpu)
+
+
+class TestCalibration:
+    def test_defaults_valid(self):
+        Calibration()
+
+    def test_with_overrides(self):
+        c = CAL.with_overrides(cpu_flop_efficiency=0.05)
+        assert c.cpu_flop_efficiency == 0.05
+        assert CAL.cpu_flop_efficiency != 0.05
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("cpu_flop_efficiency", 2.0), ("gpu_bw_efficiency", 0.0),
+         ("gpu_scatter_write_amp", 100.0), ("gpu_tile_columns", 4),
+         ("cpu_rowrow_vs_mkl", 0.5)],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(CalibrationError):
+            CAL.with_overrides(**{field: value})
+
+
+class TestWarpInflation:
+    def test_uniform_rows_no_inflation(self):
+        assert warp_wave_inflation(np.full(10_000, 64), K20C) == pytest.approx(1.0)
+
+    def test_single_giant_row_pins_makespan(self):
+        work = np.full(2_000, 32)
+        work[0] = 32 * 5_000
+        assert warp_wave_inflation(work, K20C) > 5.0
+
+    def test_empty(self):
+        assert warp_wave_inflation(np.array([]), K20C) == 1.0
+        assert warp_wave_inflation(np.zeros(5), K20C) == 1.0
+
+    def test_more_rows_dilute_imbalance(self):
+        skew_small = np.full(1_000, 32)
+        skew_small[0] = 32 * 500
+        skew_big = np.full(100_000, 32)
+        skew_big[0] = 32 * 500
+        assert warp_wave_inflation(skew_big, K20C) < warp_wave_inflation(
+            skew_small, K20C
+        )
+
+
+class TestGpuModel:
+    def test_tiling_passes(self):
+        assert gpu_tiling_passes(CAL.gpu_tile_columns, CAL) == 1
+        assert gpu_tiling_passes(CAL.gpu_tile_columns + 1, CAL) == 2
+
+    def test_read_amplification_bounds(self):
+        assert gpu_read_amplification(0.0, K20C) == 1.0
+        assert gpu_read_amplification(1.0, K20C) == K20C.transaction_bytes / ELEM_BYTES
+        assert gpu_read_amplification(100.0, K20C) == 1.0
+
+    def test_divergent_work_slower(self):
+        uniform = stats(np.full(5_000, 64))
+        skew = np.full(5_000, 32)
+        skew[0] = 64 * 5_000 - 32 * 4_999  # same total work
+        skewed = stats(skew)
+        c = ctx()
+        assert gpu_spmm_time(skewed, c, K20C, CAL) > gpu_spmm_time(uniform, c, K20C, CAL)
+
+    def test_conflicts_cost(self):
+        free = stats(np.full(100, 100), tuples=10_000)
+        heavy = stats(np.full(100, 100), tuples=500)  # many collisions
+        c = ctx()
+        # conflicts add compute cost, but fewer tuples also shrink the
+        # write traffic; isolate by zeroing the write amplification
+        cal = CAL.with_overrides(gpu_scatter_write_amp=1.0,
+                                 gpu_conflict_penalty_s=5e-9)
+        assert gpu_spmm_time(heavy, c, K20C, cal) > gpu_spmm_time(free, c, K20C, cal)
+
+    def test_empty_work_is_launch_overhead(self):
+        s = stats(np.zeros(10, dtype=int), a_entries=0, tuples=0)
+        assert gpu_spmm_time(s, ctx(), K20C, CAL) == K20C.kernel_launch_overhead_s
+
+    def test_reuse_fraction_reduces_time(self):
+        s = stats(np.full(2_000, 200))
+        slow = gpu_spmm_time(s, ctx(f_gpu=0.0), K20C, CAL)
+        fast = gpu_spmm_time(s, ctx(f_gpu=0.9), K20C, CAL)
+        assert fast <= slow
+
+    def test_phase1_linear(self):
+        assert gpu_phase1_time(2_000_000, K20C, CAL) > gpu_phase1_time(1_000, K20C, CAL)
+
+
+class TestCpuModel:
+    def test_reuse_fraction_speeds_up(self):
+        s = stats(np.full(1_000, 500))
+        hot = cpu_spmm_time(s, ctx(f_cpu=0.9), I7_980, CAL)
+        cold = cpu_spmm_time(s, ctx(f_cpu=0.0), I7_980, CAL)
+        assert hot < cold
+
+    def test_curve_fallback_used(self):
+        refs = np.full(100, 50)
+        sizes = np.full(100, 10)
+        s_hot = stats(np.full(100, 500), curve=reuse_curve(refs, sizes))
+        s_cold = stats(np.full(100, 500))
+        # without context fractions, the launch-local curve applies
+        assert cpu_spmm_time(s_hot, ctx(), I7_980, CAL) < cpu_spmm_time(
+            s_cold, ctx(footprint=1 << 30), I7_980, CAL
+        )
+
+    def test_long_segments_cheaper_than_singletons(self):
+        # same work volume; one streams 100-long segments, one fetches singletons
+        streaming = stats(np.full(100, 1_000), a_entries=1_000)
+        gather = stats(np.full(100, 1_000), a_entries=100_000)
+        c = ctx(f_cpu=0.0)
+        assert cpu_spmm_time(streaming, c, I7_980, CAL) < cpu_spmm_time(
+            gather, c, I7_980, CAL
+        )
+
+    def test_zero_work_row_overhead_only(self):
+        s = stats(np.zeros(100, dtype=int), a_entries=0, tuples=0)
+        assert cpu_spmm_time(s, ctx(), I7_980, CAL) == pytest.approx(
+            100 * CAL.cpu_row_overhead_s
+        )
+
+    def test_merge_sort_costs_more(self):
+        srt = cpu_merge_time(10**6, I7_980, CAL, needs_sort=True)
+        lin = cpu_merge_time(10**6, I7_980, CAL, needs_sort=False)
+        assert srt > lin > 0
+
+    def test_merge_zero(self):
+        assert cpu_merge_time(0, I7_980, CAL) == 0.0
+
+    def test_phase1_positive(self):
+        assert cpu_phase1_time(10_000, I7_980, CAL) > 0
+
+
+class TestTransfer:
+    def test_upload_anchor(self):
+        from repro.scalefree import uniform_matrix
+
+        m = uniform_matrix(1_000, mean_nnz=5, rng=0)
+        t = matrix_upload_time(m, PCIE2)
+        assert t > PCIE2.latency_s
+
+    def test_tuples_wire_format(self):
+        t = tuples_download_time(1_000_000, PCIE2)
+        assert t == pytest.approx(PCIE2.latency_s + 16e6 / 8e9)
+
+    def test_row_sizes_int32(self):
+        t = row_sizes_upload_time(1_000_000, PCIE2)
+        assert t == pytest.approx(PCIE2.latency_s + 4e6 / 8e9)
+
+
+class TestProductReuseFractions:
+    def test_skewed_references_save_more(self, small_scalefree, small_uniform):
+        f_sf, _ = product_reuse_fractions(
+            small_scalefree, small_scalefree,
+            cpu_capacity_bytes=64 * 1024, gpu_capacity_bytes=8 * 1024,
+        )
+        f_un, _ = product_reuse_fractions(
+            small_uniform, small_uniform,
+            cpu_capacity_bytes=64 * 1024, gpu_capacity_bytes=8 * 1024,
+        )
+        assert f_sf > f_un
+
+    def test_bounds(self, small_scalefree):
+        f_cpu, f_gpu = product_reuse_fractions(
+            small_scalefree, small_scalefree,
+            cpu_capacity_bytes=1 << 30, gpu_capacity_bytes=1,
+        )
+        assert 0.0 <= f_gpu <= f_cpu <= 1.0
+
+    def test_empty_selection(self, small_scalefree):
+        f_cpu, f_gpu = product_reuse_fractions(
+            small_scalefree, small_scalefree,
+            a_rows=np.array([], dtype=np.int64),
+            cpu_capacity_bytes=1 << 20, gpu_capacity_bytes=1 << 16,
+        )
+        assert f_cpu == f_gpu == 0.0
+
+    def test_mask_restricts(self, small_scalefree):
+        m = small_scalefree
+        none_left = np.zeros(m.nrows, dtype=bool)
+        f_cpu, _ = product_reuse_fractions(
+            m, m, b_row_mask=none_left,
+            cpu_capacity_bytes=1 << 20, gpu_capacity_bytes=1 << 16,
+        )
+        assert f_cpu == 0.0

@@ -1,0 +1,152 @@
+"""Tests for the COO container."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, concatenate_triplets
+from repro.util.errors import FormatError, ShapeError
+
+
+def make(shape=(3, 4), row=(0, 1, 2), col=(1, 2, 3), data=(1.0, 2.0, 3.0)):
+    return COOMatrix(shape, row, col, data)
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = make()
+        assert m.shape == (3, 4)
+        assert m.nnz == 3
+
+    def test_empty(self):
+        m = COOMatrix.empty((5, 6))
+        assert m.nnz == 0
+        assert m.todense().shape == (5, 6)
+
+    def test_from_dense_drops_zeros(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0]])
+        m = COOMatrix.from_dense(d)
+        assert m.nnz == 2
+        np.testing.assert_array_equal(m.todense(), d)
+
+    def test_from_dense_keep_zeros(self):
+        m = COOMatrix.from_dense(np.zeros((2, 2)), keep_zeros=True)
+        assert m.nnz == 4
+
+    def test_from_dense_1d_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix.from_dense(np.zeros(3))
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            COOMatrix.empty((-1, 3))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), [0], [0, 1], [1.0])
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), [2], [0], [1.0])
+
+    def test_out_of_range_col_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), [0], [-1], [1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), [0], [0], [float("nan")])
+
+
+class TestCanonical:
+    def test_duplicates_accumulate(self):
+        m = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        c = m.canonicalize()
+        assert c.nnz == 2
+        assert c.todense()[0, 1] == 3.0
+
+    def test_canonical_is_sorted(self):
+        m = COOMatrix((3, 3), [2, 0, 1], [0, 2, 1], [1.0, 1.0, 1.0])
+        c = m.canonicalize()
+        assert c.is_canonical()
+
+    def test_drop_zeros_on_cancellation(self):
+        m = COOMatrix((1, 1), [0, 0], [0, 0], [1.0, -1.0])
+        assert m.canonicalize(drop_zeros=True).nnz == 0
+        assert m.canonicalize(drop_zeros=False).nnz == 1
+
+    def test_is_canonical_detects_duplicates(self):
+        m = COOMatrix((2, 2), [0, 0], [1, 1], [1.0, 1.0])
+        assert not m.is_canonical()
+
+    def test_empty_canonicalize(self):
+        assert COOMatrix.empty((2, 2)).canonicalize().nnz == 0
+
+
+class TestConversions:
+    def test_tocsr_roundtrip(self, rng):
+        import scipy.sparse as sp
+
+        S = sp.random(20, 15, density=0.2, random_state=1, format="coo")
+        m = COOMatrix.from_scipy(S)
+        np.testing.assert_allclose(m.tocsr().todense(), S.toarray())
+
+    def test_tocsc_roundtrip(self):
+        import scipy.sparse as sp
+
+        S = sp.random(12, 18, density=0.25, random_state=2, format="coo")
+        m = COOMatrix.from_scipy(S)
+        np.testing.assert_allclose(m.tocsc().todense(), S.toarray())
+
+    def test_to_scipy(self):
+        m = make()
+        np.testing.assert_allclose(m.to_scipy().toarray(), m.todense())
+
+    def test_transpose(self):
+        m = make()
+        np.testing.assert_allclose(m.transpose().todense(), m.todense().T)
+
+    def test_scaled(self):
+        m = make()
+        np.testing.assert_allclose(m.scaled(2.0).todense(), 2 * m.todense())
+
+    def test_copy_independent(self):
+        m = make()
+        c = m.copy()
+        c.data[0] = 99.0
+        assert m.data[0] == 1.0
+
+
+class TestEquality:
+    def test_allclose_same(self):
+        assert make().allclose(make())
+
+    def test_allclose_detects_diff(self):
+        other = make(data=(1.0, 2.0, 3.5))
+        assert not make().allclose(other)
+
+    def test_allclose_shape_mismatch(self):
+        assert not make().allclose(COOMatrix.empty((3, 5)))
+
+    def test_allclose_ignores_order(self):
+        a = COOMatrix((2, 2), [0, 1], [0, 1], [1.0, 2.0])
+        b = COOMatrix((2, 2), [1, 0], [1, 0], [2.0, 1.0])
+        assert a.allclose(b)
+
+
+class TestConcatenate:
+    def test_concat_adds(self):
+        a = COOMatrix((2, 2), [0], [0], [1.0])
+        b = COOMatrix((2, 2), [0], [0], [2.0])
+        merged = concatenate_triplets((2, 2), [a, b])
+        assert merged.canonicalize().todense()[0, 0] == 3.0
+
+    def test_concat_empty_list(self):
+        assert concatenate_triplets((2, 2), []).nnz == 0
+
+    def test_concat_shape_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            concatenate_triplets((2, 2), [COOMatrix.empty((3, 3))])
+
+    def test_density(self):
+        assert make().density == pytest.approx(3 / 12)
+        assert COOMatrix.empty((0, 0)).density == 0.0

@@ -1,0 +1,86 @@
+"""Tests for the CSC container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import CSCMatrix, CSRMatrix
+from repro.util.errors import FormatError
+
+
+def sample():
+    dense = np.array([[1, 0, 2], [0, 3, 0], [4, 0, 5], [0, 6, 0]], dtype=float)
+    return CSCMatrix.from_dense(dense), dense
+
+
+class TestBasics:
+    def test_from_dense(self):
+        m, d = sample()
+        np.testing.assert_array_equal(m.todense(), d)
+
+    def test_empty(self):
+        m = CSCMatrix.empty((3, 5))
+        assert m.nnz == 0
+        assert m.indptr.size == 6
+
+    def test_col_nnz(self):
+        m, _ = sample()
+        np.testing.assert_array_equal(m.col_nnz(), [2, 2, 2])
+
+    def test_col_slice(self):
+        m, _ = sample()
+        rows, vals = m.col_slice(1)
+        np.testing.assert_array_equal(rows, [1, 3])
+        np.testing.assert_array_equal(vals, [3.0, 6.0])
+
+    def test_col_slice_out_of_range(self):
+        m, _ = sample()
+        with pytest.raises(IndexError):
+            m.col_slice(3)
+
+
+class TestValidation:
+    def test_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_row_index_range(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+    def test_data_length_mismatch(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1, 1], [0], [1.0, 2.0])
+
+    def test_nonfinite(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1, 1], [0], [np.nan])
+
+
+class TestConversions:
+    def test_roundtrip_scipy(self):
+        S = sp.random(15, 11, density=0.25, random_state=4, format="csc")
+        m = CSCMatrix(S.shape, S.indptr, S.indices, S.data)
+        np.testing.assert_allclose(m.to_scipy().toarray(), S.toarray())
+
+    def test_tocsr(self):
+        m, d = sample()
+        out = m.tocsr()
+        assert isinstance(out, CSRMatrix)
+        np.testing.assert_array_equal(out.todense(), d)
+
+    def test_transpose_is_csr_of_T(self):
+        m, d = sample()
+        t = m.transpose()
+        assert isinstance(t, CSRMatrix)
+        np.testing.assert_array_equal(t.todense(), d.T)
+
+    def test_tocoo(self):
+        m, d = sample()
+        np.testing.assert_array_equal(m.tocoo().todense(), d)
+
+    def test_copy(self):
+        m, _ = sample()
+        c = m.copy()
+        c.data[0] = 42.0
+        assert m.data[0] != 42.0

@@ -1,0 +1,181 @@
+"""Tests for the CSR container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import CSRMatrix
+from repro.util.errors import FormatError
+
+
+def simple():
+    # [[0, 2, 1, 0], [0, 0, 1, 1], [1, 0, 1, 0], [2, 0, 0, 4]]  (paper Fig 2 A)
+    dense = np.array(
+        [[0, 2, 1, 0], [0, 0, 1, 1], [1, 0, 1, 0], [2, 0, 0, 4]], dtype=float
+    )
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestConstruction:
+    def test_from_dense(self):
+        m, d = simple()
+        np.testing.assert_array_equal(m.todense(), d)
+        assert m.nnz == 8
+
+    def test_empty(self):
+        m = CSRMatrix.empty((4, 3))
+        assert m.nnz == 0
+        assert m.indptr.size == 5
+
+    def test_from_rows(self):
+        m = CSRMatrix.from_rows(
+            (3, 4), [([1, 2], [1.0, 2.0]), ([], []), ([0], [5.0])]
+        )
+        assert m.nnz == 3
+        assert m.todense()[2, 0] == 5.0
+
+    def test_from_rows_wrong_count(self):
+        with pytest.raises(FormatError):
+            CSRMatrix.from_rows((2, 2), [([0], [1.0])])
+
+    def test_from_rows_len_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix.from_rows((1, 2), [([0, 1], [1.0])])
+
+    def test_from_scipy(self):
+        S = sp.random(10, 8, density=0.3, random_state=0, format="csr")
+        m = CSRMatrix.from_scipy(S)
+        np.testing.assert_allclose(m.todense(), S.toarray())
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_indptr_not_starting_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), [1, 1], [], [])
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_indptr_end_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), [0, 2], [0], [1.0])
+
+    def test_column_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), [0, 1], [5], [1.0])
+
+    def test_non_finite_data(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 2), [0, 1], [0], [np.inf])
+
+
+class TestRowAccess:
+    def test_row_nnz(self):
+        m, _ = simple()
+        np.testing.assert_array_equal(m.row_nnz(), [2, 2, 2, 2])
+
+    def test_row_slice_views(self):
+        m, _ = simple()
+        cols, vals = m.row_slice(0)
+        np.testing.assert_array_equal(cols, [1, 2])
+        np.testing.assert_array_equal(vals, [2.0, 1.0])
+
+    def test_row_slice_out_of_range(self):
+        m, _ = simple()
+        with pytest.raises(IndexError):
+            m.row_slice(4)
+        with pytest.raises(IndexError):
+            m.row_slice(-1)
+
+    def test_take_rows(self):
+        m, d = simple()
+        sub = m.take_rows(np.array([3, 0]))
+        np.testing.assert_array_equal(sub.todense(), d[[3, 0]])
+
+    def test_take_rows_empty(self):
+        m, _ = simple()
+        sub = m.take_rows(np.array([], dtype=np.int64))
+        assert sub.nnz == 0
+        assert sub.shape == (0, 4)
+
+    def test_take_rows_out_of_range(self):
+        m, _ = simple()
+        with pytest.raises(IndexError):
+            m.take_rows(np.array([9]))
+
+    def test_take_rows_duplicates_allowed(self):
+        m, d = simple()
+        sub = m.take_rows(np.array([1, 1]))
+        np.testing.assert_array_equal(sub.todense(), d[[1, 1]])
+
+
+class TestNormalisation:
+    def test_has_sorted_indices_true(self):
+        m, _ = simple()
+        assert m.has_sorted_indices
+
+    def test_has_sorted_indices_false(self):
+        m = CSRMatrix((1, 3), [0, 2], [2, 0], [1.0, 2.0])
+        assert not m.has_sorted_indices
+
+    def test_sort_indices(self):
+        m = CSRMatrix((1, 3), [0, 2], [2, 0], [1.0, 2.0])
+        s = m.sort_indices()
+        assert s.has_sorted_indices
+        np.testing.assert_allclose(s.todense(), m.todense())
+
+    def test_prune_zeros(self):
+        m = CSRMatrix((2, 2), [0, 2, 3], [0, 1, 0], [0.0, 1.0, 2.0])
+        p = m.prune_zeros()
+        assert p.nnz == 2
+        np.testing.assert_allclose(p.todense(), m.todense())
+
+
+class TestConversions:
+    def test_tocoo_roundtrip(self):
+        m, d = simple()
+        np.testing.assert_array_equal(m.tocoo().tocsr().todense(), d)
+
+    def test_tocsc(self):
+        m, d = simple()
+        np.testing.assert_array_equal(m.tocsc().todense(), d)
+
+    def test_transpose(self):
+        m, d = simple()
+        np.testing.assert_array_equal(m.transpose().todense(), d.T)
+
+    def test_to_scipy(self):
+        m, d = simple()
+        np.testing.assert_array_equal(m.to_scipy().toarray(), d)
+
+    def test_copy_independent(self):
+        m, _ = simple()
+        c = m.copy()
+        c.data[0] = -1.0
+        assert m.data[0] != -1.0
+
+
+class TestArithmetic:
+    def test_matvec(self):
+        m, d = simple()
+        x = np.arange(4, dtype=float)
+        np.testing.assert_allclose(m.matvec(x), d @ x)
+
+    def test_matvec_shape_check(self):
+        m, _ = simple()
+        with pytest.raises(FormatError):
+            m.matvec(np.zeros(3))
+
+    def test_scaled(self):
+        m, d = simple()
+        np.testing.assert_allclose(m.scaled(0.5).todense(), d * 0.5)
+
+    def test_allclose_across_formats(self):
+        m, _ = simple()
+        assert m.allclose(m.tocoo())
+        assert m.allclose(m.tocsc())

@@ -1,0 +1,97 @@
+"""Tests for MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, read_matrix_market, write_matrix_market
+from repro.util.errors import FormatError
+
+GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 2 1.5
+2 3 -2.0
+3 1 4.0
+"""
+
+PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+"""
+
+SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1.0
+2 1 2.0
+3 3 3.0
+"""
+
+
+class TestRead:
+    def test_general(self):
+        m = read_matrix_market(io.StringIO(GENERAL))
+        assert m.shape == (3, 4)
+        assert m.nnz == 3
+        assert m.todense()[0, 1] == 1.5
+
+    def test_pattern_gets_unit_values(self):
+        m = read_matrix_market(io.StringIO(PATTERN))
+        np.testing.assert_array_equal(m.todense(), np.eye(2))
+
+    def test_symmetric_expands(self):
+        m = read_matrix_market(io.StringIO(SYMMETRIC))
+        d = m.todense()
+        assert d[0, 1] == 2.0 and d[1, 0] == 2.0
+        assert m.nnz == 4  # diagonal not duplicated
+
+    def test_bad_header(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO("nope\n1 1 0\n"))
+
+    def test_unsupported_format(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO("%%MatrixMarket matrix array real general\n"))
+
+    def test_unsupported_field(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+            )
+
+    def test_entry_count_mismatch(self):
+        bad = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(bad))
+
+    def test_empty_matrix(self):
+        src = "%%MatrixMarket matrix coordinate real general\n4 4 0\n"
+        m = read_matrix_market(io.StringIO(src))
+        assert m.nnz == 0 and m.shape == (4, 4)
+
+
+class TestWriteRoundtrip:
+    def test_roundtrip_buffer(self):
+        m = COOMatrix((2, 3), [0, 1], [2, 0], [1.25, -3.5])
+        buf = io.StringIO()
+        write_matrix_market(m, buf, comment="test matrix")
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert back.allclose(m)
+
+    def test_roundtrip_file(self, tmp_path):
+        m = COOMatrix((3, 3), [0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        back = read_matrix_market(path)
+        assert back.allclose(m)
+
+    def test_values_exact(self, tmp_path):
+        # repr round-trip keeps float64 values bit-exact
+        v = 0.1234567890123456789
+        m = COOMatrix((1, 1), [0], [0], [v])
+        path = tmp_path / "v.mtx"
+        write_matrix_market(m, path)
+        assert read_matrix_market(path).data[0] == m.data[0]

@@ -1,0 +1,66 @@
+"""Tests for structural statistics (row stats, memory, Gini)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, csr_memory_bytes, gini_coefficient, row_stats
+from repro.kernels.symbolic import ELEM_BYTES
+
+
+class TestRowStats:
+    def test_basic(self):
+        m = CSRMatrix.from_rows(
+            (3, 10), [([0, 1, 2], [1.0] * 3), ([], []), ([5], [2.0])]
+        )
+        s = row_stats(m)
+        assert s.nnz == 4
+        assert s.min_nnz == 0 and s.max_nnz == 3
+        assert s.empty_rows == 1
+        assert s.mean_nnz == pytest.approx(4 / 3)
+
+    def test_empty_matrix(self):
+        s = row_stats(CSRMatrix.empty((0, 5)))
+        assert s.nnz == 0 and s.cv_nnz == 0.0
+
+    def test_cv_zero_for_uniform(self):
+        m = CSRMatrix.from_rows((2, 4), [([0, 1], [1.0, 1.0]), ([2, 3], [1.0, 1.0])])
+        assert row_stats(m).cv_nnz == 0.0
+
+    def test_accepts_coo(self):
+        m = CSRMatrix.from_dense(np.eye(4)).tocoo()
+        assert row_stats(m).nnz == 4
+
+
+class TestMemory:
+    def test_csr_memory_bytes(self):
+        m = CSRMatrix.from_dense(np.eye(5))
+        expected = 6 * 8 + 5 * ELEM_BYTES
+        assert csr_memory_bytes(m) == expected
+
+    def test_transfer_anchor_5M(self):
+        """Paper §IV-A: a ~5M-nnz matrix ships in ~25-30 ms at 8 GB/s."""
+        from repro.hardware import PCIE2
+
+        nbytes = 5_000_000 * ELEM_BYTES + 1_000_000 * 8
+        t = PCIE2.transfer_time(nbytes)
+        assert 0.008 < t < 0.035
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        sizes = np.zeros(1000)
+        sizes[0] = 1000.0
+        assert gini_coefficient(sizes) > 0.95
+
+    def test_empty(self):
+        assert gini_coefficient(np.array([])) == 0.0
+
+    def test_scalefree_exceeds_uniform(self):
+        from repro.scalefree import powerlaw_matrix, uniform_matrix
+
+        sf = powerlaw_matrix(2000, alpha=2.2, target_nnz=8000, rng=1)
+        un = uniform_matrix(2000, mean_nnz=4.0, rng=1)
+        assert gini_coefficient(sf.row_nnz()) > gini_coefficient(un.row_nnz()) + 0.1

@@ -1,0 +1,134 @@
+"""Tests for the synthetic matrix generators (the GTgraph role)."""
+
+import numpy as np
+import pytest
+
+from repro.scalefree import (
+    banded_matrix,
+    fit_power_law,
+    lognormal_matrix,
+    powerlaw_matrix,
+    powerlaw_matrix_for_nnz,
+    rmat_matrix,
+    uniform_matrix,
+)
+
+
+class TestPowerlawMatrix:
+    def test_shape_and_validity(self):
+        m = powerlaw_matrix(500, 400, alpha=2.5, rng=0)
+        assert m.shape == (500, 400)
+        m.validate()
+
+    def test_target_nnz(self):
+        m = powerlaw_matrix(5_000, alpha=2.5, target_nnz=25_000, rng=1)
+        assert abs(m.nnz - 25_000) / 25_000 < 0.15
+
+    def test_alpha_recoverable(self):
+        m = powerlaw_matrix(20_000, alpha=2.3, target_nnz=80_000, rng=2)
+        fit = fit_power_law(m.row_nnz())
+        assert abs(fit.alpha - 2.3) < 0.4
+
+    def test_max_row_cap(self):
+        m = powerlaw_matrix(5_000, alpha=2.1, target_nnz=25_000,
+                            max_row_nnz=50, rng=3)
+        assert m.row_nnz().max() <= 50
+
+    def test_deterministic(self):
+        a = powerlaw_matrix(300, alpha=2.5, rng=7)
+        b = powerlaw_matrix(300, alpha=2.5, rng=7)
+        assert a.allclose(b)
+
+    def test_hub_bias_assortativity(self):
+        """With hub_bias, big rows are also heavily referenced columns."""
+        m = powerlaw_matrix(5_000, alpha=2.2, target_nnz=25_000,
+                            hub_bias=0.8, rng=4)
+        sizes = m.row_nnz()
+        in_deg = np.bincount(m.indices, minlength=m.ncols)
+        hubs = sizes > np.quantile(sizes, 0.99)
+        assert in_deg[hubs].mean() > 2 * in_deg.mean()
+
+    def test_no_hub_bias_uniform_columns(self):
+        m = powerlaw_matrix(3_000, alpha=2.5, target_nnz=15_000,
+                            hub_bias=0.0, rng=5)
+        in_deg = np.bincount(m.indices, minlength=m.ncols)
+        # uniform column choice: in-degree concentration is low
+        assert in_deg.max() < 30
+
+    def test_for_nnz_chooses_alpha(self):
+        m = powerlaw_matrix_for_nnz(2_000, 10_000, rng=6)
+        assert abs(m.nnz - 10_000) / 10_000 < 0.2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            powerlaw_matrix(0, alpha=2.5)
+
+
+class TestUniformMatrix:
+    def test_mean_and_tightness(self):
+        m = uniform_matrix(5_000, mean_nnz=6.0, jitter=0.1, rng=0)
+        sizes = m.row_nnz()
+        assert abs(sizes.mean() - 6.0) < 0.5
+        assert sizes.std() < 1.5
+
+    def test_min_one_entry(self):
+        m = uniform_matrix(1_000, mean_nnz=1.2, rng=1)
+        assert m.row_nnz().min() >= 0  # dedup may drop, sizes sampled >= 1
+
+    def test_not_scale_free(self):
+        m = uniform_matrix(10_000, mean_nnz=4.0, jitter=0.15, rng=2)
+        fit = fit_power_law(m.row_nnz())
+        assert fit.alpha > 4.5
+
+
+class TestBandedMatrix:
+    def test_band_structure(self):
+        m = banded_matrix(100, bandwidth=2, fill=1.0, rng=0)
+        coo = m.tocoo()
+        assert np.all(np.abs(coo.row - coo.col) <= 2)
+
+    def test_full_fill_count(self):
+        m = banded_matrix(50, bandwidth=1, fill=1.0, rng=1)
+        assert m.nnz == 50 + 49 + 49
+
+    def test_partial_fill(self):
+        m = banded_matrix(200, bandwidth=1, fill=0.5, rng=2)
+        assert 0 < m.nnz < 200 * 3
+
+
+class TestLognormalMatrix:
+    def test_mean(self):
+        m = lognormal_matrix(5_000, mean_nnz=8.0, sigma=0.5, rng=0)
+        assert abs(m.row_nnz().mean() - 8.0) / 8.0 < 0.25
+
+    def test_validates(self):
+        lognormal_matrix(500, mean_nnz=3.0, rng=1).validate()
+
+
+class TestRmat:
+    def test_shape_power_of_two(self):
+        m = rmat_matrix(8, 4, rng=0)
+        assert m.shape == (256, 256)
+
+    def test_edge_count_near_target(self):
+        m = rmat_matrix(10, 8, rng=1)
+        # duplicates collapse, so <= n * edge_factor
+        assert 0.5 * 8 * 1024 < m.nnz <= 8 * 1024
+
+    def test_skewed_degrees(self):
+        m = rmat_matrix(12, 8, rng=2)
+        sizes = m.row_nnz()
+        assert sizes.max() > 8 * sizes[sizes > 0].mean()
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            rmat_matrix(0)
+        with pytest.raises(ValueError):
+            rmat_matrix(30)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_matrix(5, a=0.9, b=0.9, c=0.9)
+
+    def test_deterministic(self):
+        assert rmat_matrix(6, rng=9).allclose(rmat_matrix(6, rng=9))

@@ -1,0 +1,223 @@
+"""Tests for specs, trace, DES engine, devices, and the platform."""
+
+import pytest
+
+from repro.hardware import (
+    CPUSpec,
+    EventEngine,
+    I7_980,
+    K20C,
+    PCIE2,
+    Trace,
+    TraceEvent,
+    default_platform,
+    merge_traces,
+    scaled_cpu,
+    scaled_gpu,
+)
+from repro.hardware.platform import platform_for_scale
+from repro.util.errors import CalibrationError, SchedulingError
+
+
+class TestSpecs:
+    def test_paper_values(self):
+        assert I7_980.cores == 6 and I7_980.threads == 12
+        assert I7_980.l3_bytes == 12 * 1024 * 1024
+        assert K20C.sm_count == 13 and K20C.total_cores == 2496
+        assert K20C.peak_dp_flops == pytest.approx(1.17e12)
+        assert PCIE2.bandwidth_bps == 8e9
+
+    def test_peak_flops(self):
+        assert I7_980.peak_flops == pytest.approx(6 * 3.4e9 * 4.0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(CalibrationError):
+            CPUSpec("bad", 0, 1, 1e9, 1, 1, 1, 1, 64, 1e9)
+
+    def test_transfer_time(self):
+        t = PCIE2.transfer_time(8_000_000_000)
+        assert t == pytest.approx(1.0 + PCIE2.latency_s)
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE2.transfer_time(-1)
+
+    def test_scaled_specs(self):
+        c = scaled_cpu(I7_980, 2.0)
+        assert c.frequency_hz == 2 * I7_980.frequency_hz
+        g = scaled_gpu(K20C, 0.5)
+        assert g.peak_dp_flops == pytest.approx(0.5 * K20C.peak_dp_flops)
+
+
+class TestTrace:
+    def test_event_duration(self):
+        e = TraceEvent("cpu", "II", "x", 1.0, 3.0)
+        assert e.duration == 2.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            TraceEvent("cpu", "II", "x", 3.0, 1.0)
+
+    def test_aggregation(self):
+        t = Trace()
+        t.add(TraceEvent("cpu", "II", "a", 0.0, 1.0))
+        t.add(TraceEvent("gpu", "II", "b", 0.0, 2.0))
+        t.add(TraceEvent("cpu", "III", "c", 1.0, 1.5))
+        assert t.busy_time(device="cpu") == pytest.approx(1.5)
+        assert t.phase_times()["II"] == pytest.approx(2.0)
+        assert t.phase_device_gap("II") == pytest.approx(1.0)
+        assert t.makespan() == pytest.approx(2.0)
+        assert t.devices() == ["cpu", "gpu"]
+        assert t.phases() == ["II", "III"]
+
+    def test_gap_single_device(self):
+        t = Trace()
+        t.add(TraceEvent("cpu", "IV", "m", 0.0, 1.0))
+        assert t.phase_device_gap("IV") == 0.0
+
+    def test_merge_traces_sorted(self):
+        t1, t2 = Trace(), Trace()
+        t1.add(TraceEvent("cpu", "x", "late", 5.0, 6.0))
+        t2.add(TraceEvent("gpu", "x", "early", 0.0, 1.0))
+        merged = merge_traces([t1, t2])
+        assert merged.events[0].label == "early"
+
+    def test_render_limit(self):
+        t = Trace()
+        for i in range(5):
+            t.add(TraceEvent("cpu", "x", f"e{i}", i, i + 1))
+        out = t.render(limit=2)
+        assert "more events" in out
+
+
+class TestEngine:
+    def test_ordering(self):
+        e = EventEngine()
+        seen = []
+        e.schedule(2.0, lambda: seen.append("b"))
+        e.schedule(1.0, lambda: seen.append("a"))
+        e.run()
+        assert seen == ["a", "b"]
+        assert e.now == 2.0
+
+    def test_fifo_at_same_time(self):
+        e = EventEngine()
+        seen = []
+        e.schedule(1.0, lambda: seen.append(1))
+        e.schedule(1.0, lambda: seen.append(2))
+        e.run()
+        assert seen == [1, 2]
+
+    def test_self_scheduling(self):
+        e = EventEngine()
+        count = []
+
+        def tick():
+            if len(count) < 3:
+                count.append(1)
+                e.schedule_after(1.0, tick)
+
+        e.schedule(0.0, tick)
+        e.run()
+        assert len(count) == 3
+
+    def test_past_scheduling_rejected(self):
+        e = EventEngine()
+        e.schedule(5.0, lambda: e.schedule(1.0, lambda: None))
+        with pytest.raises(SchedulingError):
+            e.run()
+
+    def test_negative_delay_rejected(self):
+        e = EventEngine()
+        with pytest.raises(SchedulingError):
+            e.schedule_after(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        e = EventEngine()
+
+        def forever():
+            e.schedule_after(0.1, forever)
+
+        e.schedule(0.0, forever)
+        with pytest.raises(SchedulingError):
+            e.run(max_events=100)
+
+    def test_reset(self):
+        e = EventEngine()
+        e.schedule(1.0, lambda: None)
+        e.reset()
+        assert e.now == 0.0
+        assert e.run() == 0.0
+
+
+class TestPlatform:
+    def test_busy_advances_clock(self):
+        pf = default_platform()
+        pf.cpu.busy("II", "work", 0.5)
+        assert pf.cpu.clock == 0.5
+        assert pf.elapsed == 0.5
+
+    def test_negative_busy_rejected(self):
+        pf = default_platform()
+        with pytest.raises(SchedulingError):
+            pf.cpu.busy("II", "work", -1.0)
+
+    def test_wait_until_only_forward(self):
+        pf = default_platform()
+        pf.cpu.wait_until(1.0)
+        pf.cpu.wait_until(0.2)
+        assert pf.cpu.clock == 1.0
+
+    def test_barrier_syncs(self):
+        pf = default_platform()
+        pf.cpu.busy("x", "a", 1.0)
+        pf.gpu.busy("x", "b", 3.0)
+        t = pf.barrier()
+        assert t == 3.0 and pf.cpu.clock == 3.0
+
+    def test_reset(self):
+        pf = default_platform()
+        pf.cpu.busy("x", "a", 1.0)
+        pf.reset()
+        assert pf.elapsed == 0.0 and not pf.trace.events
+
+    def test_upload_occupies_gpu_after_cpu(self):
+        pf = default_platform()
+        pf.cpu.busy("x", "host", 1.0)
+        from repro.scalefree import uniform_matrix
+
+        m = uniform_matrix(100, mean_nnz=3, rng=0)
+        pf.upload_matrix("x", "xfer", m)
+        assert pf.gpu.clock > 1.0
+
+    def test_streamed_download_pipelines(self):
+        pf = default_platform()
+        pf.gpu.busy("x", "kernel", 1.0)
+        # producing kernel ran [0, 1]; pipelined copy may start at 0
+        pf.stream_tuples_download("x", "xfer", 1000, produced_from=0.0)
+        assert pf.pcie.clock >= 1.0  # never lands before the kernel ends
+        exposed = pf.sync_downloads("x", "wait")
+        assert exposed == pytest.approx(pf.pcie.clock - 0.0 - 0.0, abs=2.0)
+
+    def test_sync_downloads_no_wait_when_cpu_late(self):
+        pf = default_platform()
+        pf.stream_tuples_download("x", "xfer", 10)
+        pf.cpu.busy("x", "slow-host", 1.0)
+        assert pf.sync_downloads("x", "wait") == 0.0
+
+    def test_platform_for_scale_shrinks_caches(self):
+        pf = platform_for_scale(0.01)
+        assert pf.cpu.spec.l3_bytes < I7_980.l3_bytes
+        assert pf.gpu.spec.l2_bytes < K20C.l2_bytes
+        # bandwidths unchanged
+        assert pf.cpu.spec.mem_bandwidth_bps == I7_980.mem_bandwidth_bps
+
+    def test_platform_for_scale_identity(self):
+        pf = platform_for_scale(1.0)
+        assert pf.cpu.spec.l3_bytes == I7_980.l3_bytes
+
+    def test_platform_for_scale_bounds(self):
+        with pytest.raises(ValueError):
+            platform_for_scale(0.0)
+        with pytest.raises(ValueError):
+            platform_for_scale(1.5)

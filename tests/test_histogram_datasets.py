@@ -1,0 +1,123 @@
+"""Tests for row histograms (Figs 1/5) and the Table I dataset twins."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.scalefree import (
+    DATASET_NAMES,
+    TABLE_I,
+    clear_dataset_cache,
+    dataset_scale,
+    fit_power_law,
+    format_histogram,
+    load_dataset,
+    row_histogram,
+    synthesize_dataset,
+)
+
+
+class TestHistogram:
+    def test_counts_cover_all_rows(self, small_scalefree):
+        h = row_histogram(small_scalefree, threshold=10)
+        assert h.counts.sum() == small_scalefree.nrows
+        assert h.hd_rows + h.ld_rows == small_scalefree.nrows
+
+    def test_threshold_classification(self):
+        m = CSRMatrix.from_rows(
+            (3, 10),
+            [(list(range(8)), [1.0] * 8), ([0], [1.0]), ([1, 2], [1.0, 1.0])],
+        )
+        h = row_histogram(m, threshold=2)
+        assert h.hd_rows == 1  # only the 8-entry row exceeds 2
+
+    def test_log_bins(self, small_scalefree):
+        h = row_histogram(small_scalefree, threshold=5, log_bins=True)
+        assert h.counts.sum() == small_scalefree.nrows
+
+    def test_hd_fraction(self):
+        m = CSRMatrix.from_dense(np.eye(4))
+        h = row_histogram(m, threshold=0)
+        assert h.hd_fraction == 1.0
+
+    def test_format_contains_marks(self, small_scalefree):
+        h = row_histogram(small_scalefree, threshold=10, name="t")
+        text = format_histogram(h)
+        assert "threshold=10" in text
+        assert "#" in text or "*" in text
+
+    def test_format_empty(self):
+        h = row_histogram(CSRMatrix.empty((3, 3)), threshold=1)
+        assert "no rows" in format_histogram(h) or h.counts.sum() == 3
+
+
+class TestDatasets:
+    def test_registry_complete(self):
+        assert len(TABLE_I) == 12
+        assert set(DATASET_NAMES) == set(TABLE_I)
+
+    def test_paper_sizes_recorded(self):
+        spec = TABLE_I["webbase-1M"]
+        assert spec.rows == 1_000_005
+        assert spec.nnz == 3_105_536
+        assert spec.alpha_paper == 2.1
+        assert spec.fig5_threshold == 60
+
+    def test_scale_free_flag(self):
+        assert TABLE_I["webbase-1M"].is_scale_free
+        assert not TABLE_I["roadNet-CA"].is_scale_free
+        assert not TABLE_I["cop20kA"].is_scale_free
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_scale(TABLE_I["wiki-Vote"], 1.5)
+
+    def test_auto_scale_caps_rows(self):
+        m = load_dataset("cit-Patents")
+        assert m.nrows <= 20_000 + 1_000
+
+    def test_small_matrix_loads_full(self):
+        m = load_dataset("wiki-Vote")
+        assert m.nrows == TABLE_I["wiki-Vote"].rows
+
+    def test_nnz_proportional(self):
+        for name in ("web-Google", "email-Enron"):
+            spec = TABLE_I[name]
+            m = load_dataset(name)
+            _, target = spec.scaled_sizes(dataset_scale(spec, None))
+            assert abs(m.nnz - target) / target < 0.35
+
+    def test_alpha_fidelity_scale_free(self):
+        for name in ("wiki-Vote", "web-Google", "email-Enron"):
+            m = load_dataset(name)
+            fit = fit_power_law(m.row_nnz())
+            assert abs(fit.alpha - TABLE_I[name].alpha_paper) < 0.6, name
+
+    def test_non_scale_free_fit_is_large(self):
+        m = load_dataset("roadNet-CA")
+        assert fit_power_law(m.row_nnz()).alpha > 4.5
+
+    def test_cache_returns_same_object(self):
+        clear_dataset_cache()
+        a = load_dataset("wiki-Vote")
+        b = load_dataset("wiki-Vote")
+        assert a is b
+
+    def test_explicit_rng_bypasses_cache(self):
+        a = load_dataset("wiki-Vote")
+        b = load_dataset("wiki-Vote", rng=123)
+        assert a is not b
+
+    def test_hub_cap_respected(self):
+        m = load_dataset("roadNet-CA")
+        assert m.row_nnz().max() <= 12 * 2  # uniform kind, mean ~2.8
+
+    def test_synthesize_deterministic(self):
+        spec = TABLE_I["internet"]
+        a = synthesize_dataset(spec, 0.05)
+        b = synthesize_dataset(spec, 0.05)
+        assert a.allclose(b)

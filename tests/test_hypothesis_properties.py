@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: format round-trips, kernel equivalence, merge algebra,
+power-law fitting, and the workqueue."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+import hypothesis.extra.numpy as hnp
+
+from repro.formats import COOMatrix, CSRMatrix, concatenate_triplets
+from repro.kernels import esc_multiply, merge_tuples, spa_multiply
+from repro.kernels.symbolic import ELEM_BYTES, reuse_curve
+from repro.hetero.workqueue import DoubleEndedWorkQueue, chunk_rows
+from repro.scalefree.powerlaw import fit_power_law, sample_power_law
+
+# -- strategies ------------------------------------------------------------
+
+@st.composite
+def small_dense(draw, max_dim=8):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    data = draw(
+        hnp.arrays(
+            np.float64,
+            (m, n),
+            elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.0, 0.5, 3.0]),
+        )
+    )
+    return data
+
+
+@st.composite
+def compatible_dense_pair(draw, max_dim=7):
+    m = draw(st.integers(1, max_dim))
+    p = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    elems = st.sampled_from([0.0, 0.0, 1.0, -1.0, 2.0])
+    a = draw(hnp.arrays(np.float64, (m, p), elements=elems))
+    b = draw(hnp.arrays(np.float64, (p, n), elements=elems))
+    return a, b
+
+
+# -- format properties -------------------------------------------------------
+
+@given(small_dense())
+@settings(max_examples=60, deadline=None)
+def test_dense_coo_csr_roundtrip(dense):
+    m = COOMatrix.from_dense(dense)
+    np.testing.assert_array_equal(m.tocsr().todense(), dense)
+    np.testing.assert_array_equal(m.tocsr().tocsc().todense(), dense)
+
+
+@given(small_dense())
+@settings(max_examples=40, deadline=None)
+def test_transpose_involution(dense):
+    m = CSRMatrix.from_dense(dense)
+    np.testing.assert_array_equal(m.transpose().transpose().todense(), dense)
+
+
+@given(small_dense())
+@settings(max_examples=40, deadline=None)
+def test_canonicalize_idempotent(dense):
+    c1 = COOMatrix.from_dense(dense).canonicalize()
+    c2 = c1.canonicalize()
+    assert c1.allclose(c2)
+    assert c2.is_canonical()
+
+
+@given(small_dense(), small_dense())
+@settings(max_examples=30, deadline=None)
+def test_concat_is_addition(d1, d2):
+    if d1.shape != d2.shape:
+        return
+    a, b = COOMatrix.from_dense(d1), COOMatrix.from_dense(d2)
+    merged = concatenate_triplets(d1.shape, [a, b]).canonicalize(drop_zeros=False)
+    np.testing.assert_allclose(merged.todense(), d1 + d2)
+
+
+# -- kernel properties --------------------------------------------------------
+
+@given(compatible_dense_pair())
+@settings(max_examples=50, deadline=None)
+def test_kernels_match_dense_product(pair):
+    da, db = pair
+    a, b = CSRMatrix.from_dense(da), CSRMatrix.from_dense(db)
+    expected = da @ db
+    for kernel in (esc_multiply, spa_multiply):
+        np.testing.assert_allclose(
+            kernel(a, b).result.todense(), expected, atol=1e-12
+        )
+
+
+@given(compatible_dense_pair(), st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_partition_reconstruction(pair, threshold):
+    """The four high/low partial products always sum to A @ B."""
+    da, db = pair
+    a, b = CSRMatrix.from_dense(da), CSRMatrix.from_dense(db)
+    high_a = a.row_nnz() > threshold
+    high_b = b.row_nnz() > threshold
+    total = np.zeros((a.nrows, b.ncols))
+    for rows in (np.flatnonzero(high_a), np.flatnonzero(~high_a)):
+        for mask in (high_b, ~high_b):
+            total += esc_multiply(a, b, a_rows=rows, b_row_mask=mask).result.todense()
+    np.testing.assert_allclose(total, da @ db, atol=1e-12)
+
+
+@given(compatible_dense_pair())
+@settings(max_examples=30, deadline=None)
+def test_merge_of_kernel_parts(pair):
+    da, db = pair
+    a, b = CSRMatrix.from_dense(da), CSRMatrix.from_dense(db)
+    rows = np.arange(a.nrows)
+    parts = [
+        esc_multiply(a, b, a_rows=rows[: a.nrows // 2]).result,
+        esc_multiply(a, b, a_rows=rows[a.nrows // 2:]).result,
+    ]
+    merged = merge_tuples((a.nrows, b.ncols), parts)
+    np.testing.assert_allclose(merged.matrix.todense(), da @ db, atol=1e-12)
+    merged.matrix.validate()
+
+
+# -- reuse curve properties ------------------------------------------------------
+
+@given(
+    hnp.arrays(np.int64, st.integers(1, 50), elements=st.integers(0, 20)),
+    st.integers(1, 30),
+)
+@settings(max_examples=40, deadline=None)
+def test_reuse_curve_bounds(refs, size):
+    sizes = np.full(refs.size, size)
+    bc, sc = reuse_curve(refs, sizes)
+    assert np.all(np.diff(bc) >= 0) and np.all(np.diff(sc) >= 0)
+    # total savings never exceed total repeat traffic
+    repeat = float(np.maximum(refs - 1, 0).sum()) * size * ELEM_BYTES
+    assert sc[-1] <= repeat + 1e-9
+
+
+# -- power-law properties -------------------------------------------------------
+
+@given(st.floats(1.8, 4.0), st.integers(1, 4))
+@settings(max_examples=15, deadline=None)
+def test_sampler_respects_xmin(alpha, xmin):
+    xs = sample_power_law(500, alpha, xmin=xmin, rng=0)
+    assert xs.min() >= xmin
+
+
+@given(st.floats(2.2, 3.5))
+@settings(max_examples=8, deadline=None)
+def test_fit_recovers_alpha(alpha):
+    xs = sample_power_law(8_000, alpha, rng=1)
+    fit = fit_power_law(xs)
+    assert abs(fit.alpha - alpha) < 0.5
+
+
+# -- workqueue properties ----------------------------------------------------------
+
+@given(
+    st.integers(0, 50), st.integers(0, 50), st.integers(1, 7), st.integers(1, 9),
+    st.lists(st.booleans(), max_size=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_workqueue_conservation(n_front, n_back, cpu_rows, gpu_rows, choices):
+    """Any interleaving of front/back pops covers every unit once."""
+    q = DoubleEndedWorkQueue.build(
+        np.arange(n_front), np.arange(n_back),
+        cpu_rows=cpu_rows, gpu_rows=gpu_rows,
+    )
+    i = 0
+    rows_seen = 0
+    while q.has_work():
+        take_front = choices[i % max(len(choices), 1)] if choices else (i % 2 == 0)
+        unit = q.pop_front() if take_front else q.pop_back_batch(gpu_rows)
+        rows_seen += unit.nrows
+        i += 1
+    q.check_conservation()
+    assert rows_seen == n_front + n_back
+
+
+@given(st.integers(1, 100), st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_chunk_rows_partition(n, unit):
+    units = chunk_rows(np.arange(n), unit, "x")
+    got = np.concatenate([u.rows for u in units])
+    np.testing.assert_array_equal(got, np.arange(n))
+    assert all(u.nrows <= unit for u in units)

@@ -1,0 +1,131 @@
+"""Kernel equivalence: esc == spa == hash == scipy, including masks,
+row restrictions, and the paper's worked example (Fig 2)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import CSRMatrix
+from repro.kernels import esc_multiply, hash_multiply, spa_multiply
+from repro.util.errors import ShapeError
+
+KERNELS = [esc_multiply, spa_multiply, hash_multiply]
+KERNEL_IDS = ["esc", "spa", "hash"]
+
+
+def pair(m, p, n, da, db, sa, sb):
+    A = sp.random(m, p, density=da, random_state=sa, format="csr")
+    B = sp.random(p, n, density=db, random_state=sb, format="csr")
+    return CSRMatrix.from_scipy(A), CSRMatrix.from_scipy(B), A, B
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=KERNEL_IDS)
+class TestAgainstScipy:
+    def test_full_product(self, kernel):
+        a, b, A, B = pair(30, 25, 35, 0.2, 0.2, 1, 2)
+        out = kernel(a, b)
+        np.testing.assert_allclose(out.result.todense(), (A @ B).toarray())
+
+    def test_paper_fig2_example(self, kernel):
+        A = CSRMatrix.from_dense(np.array(
+            [[0, 2, 1, 0], [0, 0, 1, 1], [1, 0, 1, 0], [2, 0, 0, 4]], dtype=float))
+        B = CSRMatrix.from_dense(np.array(
+            [[2, 3, 4], [8, 0, 0], [0, 0, 6], [0, 7, 0]], dtype=float))
+        expected = np.array(
+            [[16, 0, 6], [0, 7, 6], [2, 3, 10], [4, 34, 8]], dtype=float)
+        np.testing.assert_allclose(kernel(A, B).result.todense(), expected)
+
+    def test_row_restriction(self, kernel):
+        a, b, A, B = pair(20, 15, 18, 0.25, 0.25, 3, 4)
+        rows = np.array([0, 3, 7, 19])
+        out = kernel(a, b, a_rows=rows)
+        ref = np.zeros((20, 18))
+        ref[rows] = (A.toarray()[rows] @ B.toarray())
+        np.testing.assert_allclose(out.result.todense(), ref)
+
+    def test_b_mask(self, kernel):
+        a, b, A, B = pair(15, 12, 14, 0.3, 0.3, 5, 6)
+        mask = np.zeros(12, dtype=bool)
+        mask[::2] = True
+        Bm = B.toarray().copy()
+        Bm[~mask] = 0.0
+        out = kernel(a, b, b_row_mask=mask)
+        np.testing.assert_allclose(out.result.todense(), A.toarray() @ Bm)
+
+    def test_mask_and_rows_together(self, kernel):
+        a, b, A, B = pair(12, 10, 11, 0.3, 0.3, 7, 8)
+        rows = np.array([1, 5, 9])
+        mask = np.arange(10) < 5
+        Bm = B.toarray().copy()
+        Bm[~mask] = 0.0
+        ref = np.zeros((12, 11))
+        ref[rows] = A.toarray()[rows] @ Bm
+        out = kernel(a, b, a_rows=rows, b_row_mask=mask)
+        np.testing.assert_allclose(out.result.todense(), ref)
+
+    def test_empty_row_selection(self, kernel):
+        a, b, *_ = pair(10, 10, 10, 0.2, 0.2, 9, 10)
+        out = kernel(a, b, a_rows=np.array([], dtype=np.int64))
+        assert out.result.nnz == 0
+        assert out.stats.total_work == 0
+
+    def test_all_false_mask(self, kernel):
+        a, b, *_ = pair(10, 10, 10, 0.2, 0.2, 11, 12)
+        out = kernel(a, b, b_row_mask=np.zeros(10, dtype=bool))
+        assert out.result.nnz == 0
+
+    def test_empty_operands(self, kernel):
+        a = CSRMatrix.empty((5, 4))
+        b = CSRMatrix.empty((4, 6))
+        out = kernel(a, b)
+        assert out.result.nnz == 0
+
+    def test_incompatible_shapes(self, kernel):
+        a = CSRMatrix.empty((3, 4))
+        b = CSRMatrix.empty((5, 2))
+        with pytest.raises(ShapeError):
+            kernel(a, b)
+
+    def test_rows_out_of_range(self, kernel):
+        a, b, *_ = pair(5, 5, 5, 0.3, 0.3, 13, 14)
+        with pytest.raises(ShapeError):
+            kernel(a, b, a_rows=np.array([10]))
+
+    def test_bad_mask_shape(self, kernel):
+        a, b, *_ = pair(5, 5, 5, 0.3, 0.3, 15, 16)
+        with pytest.raises(ShapeError):
+            kernel(a, b, b_row_mask=np.ones(3, dtype=bool))
+
+
+class TestCrossKernelStats:
+    def test_stats_identical_across_kernels(self):
+        a, b, *_ = pair(25, 20, 22, 0.25, 0.25, 20, 21)
+        rows = np.arange(0, 25, 2)
+        mask = np.arange(20) % 3 != 0
+        outs = [k(a, b, a_rows=rows, b_row_mask=mask) for k in KERNELS]
+        ref = outs[0].stats
+        for o in outs[1:]:
+            s = o.stats
+            assert s.a_entries == ref.a_entries
+            assert s.total_work == ref.total_work
+            assert s.tuples_emitted == ref.tuples_emitted
+            assert s.result_nnz == ref.result_nnz
+            np.testing.assert_array_equal(
+                np.sort(s.row_work), np.sort(ref.row_work)
+            )
+
+    def test_partition_covers_product(self):
+        """The four HH-CPU partial products together equal A @ B."""
+        a, b, A, B = pair(40, 40, 40, 0.1, 0.1, 30, 31)
+        high_a = a.row_nnz() > 4
+        high_b = b.row_nnz() > 4
+        ha = np.flatnonzero(high_a)
+        la = np.flatnonzero(~high_a)
+        parts = [
+            esc_multiply(a, b, a_rows=ha, b_row_mask=high_b).result,
+            esc_multiply(a, b, a_rows=la, b_row_mask=~high_b).result,
+            esc_multiply(a, b, a_rows=la, b_row_mask=high_b).result,
+            esc_multiply(a, b, a_rows=ha, b_row_mask=~high_b).result,
+        ]
+        total = sum(p.todense() for p in parts)
+        np.testing.assert_allclose(total, (A @ B).toarray())

@@ -1,0 +1,95 @@
+"""Tests for the Phase IV tuple merge (mark/scan/reduce)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import COOMatrix
+from repro.kernels import exclusive_scan, mark_master_indices, merge_tuples
+
+
+def coo_random(m, n, density, seed):
+    return COOMatrix.from_scipy(sp.random(m, n, density=density, random_state=seed,
+                                          format="coo"))
+
+
+class TestMarkScan:
+    def test_mark_first_of_each_run(self):
+        keys = np.array([1, 1, 2, 5, 5, 5, 9])
+        np.testing.assert_array_equal(
+            mark_master_indices(keys), [1, 0, 1, 1, 0, 0, 1]
+        )
+
+    def test_mark_empty(self):
+        assert mark_master_indices(np.array([], dtype=np.int64)).size == 0
+
+    def test_mark_all_distinct(self):
+        assert mark_master_indices(np.array([1, 2, 3])).all()
+
+    def test_exclusive_scan(self):
+        flags = np.array([1, 0, 1, 1, 0], dtype=np.int64)
+        np.testing.assert_array_equal(exclusive_scan(flags), [0, 1, 1, 2, 3])
+
+    def test_scan_assigns_output_slots(self):
+        keys = np.array([3, 3, 4, 7, 7])
+        head = mark_master_indices(keys)
+        slots = exclusive_scan(head)
+        # at each master index, the scan value is that run's output slot
+        masters = np.flatnonzero(head)
+        np.testing.assert_array_equal(slots[masters], [0, 1, 2])
+
+
+class TestMerge:
+    def test_single_part(self):
+        part = coo_random(12, 9, 0.3, 1)
+        out = merge_tuples((12, 9), [part])
+        np.testing.assert_allclose(out.matrix.todense(), part.todense())
+
+    def test_multiple_overlapping_parts(self):
+        parts = [coo_random(10, 10, 0.25, s) for s in (1, 2, 3)]
+        out = merge_tuples((10, 10), parts)
+        ref = sum(p.todense() for p in parts)
+        np.testing.assert_allclose(out.matrix.todense(), ref)
+
+    def test_stats_counts(self):
+        a = COOMatrix((2, 2), [0, 0, 1], [0, 0, 1], [1.0, 2.0, 3.0])
+        out = merge_tuples((2, 2), [a])
+        assert out.stats.tuples_in == 3
+        assert out.stats.masters == 2
+        assert out.stats.max_run == 2
+        assert out.stats.reduce_ops == 1
+        assert out.stats.duplication_ratio == pytest.approx(1.5)
+
+    def test_empty(self):
+        out = merge_tuples((4, 4), [])
+        assert out.matrix.nnz == 0
+        assert out.stats.tuples_in == 0
+        assert out.stats.duplication_ratio == 0.0
+
+    def test_drop_zeros(self):
+        a = COOMatrix((1, 1), [0, 0], [0, 0], [2.0, -2.0])
+        kept = merge_tuples((1, 1), [a], drop_zeros=False)
+        dropped = merge_tuples((1, 1), [a], drop_zeros=True)
+        assert kept.matrix.nnz == 1
+        assert dropped.matrix.nnz == 0
+
+    def test_result_is_valid_sorted_csr(self):
+        parts = [coo_random(30, 20, 0.2, s) for s in (5, 6)]
+        out = merge_tuples((30, 20), parts)
+        out.matrix.validate()
+        assert out.matrix.has_sorted_indices
+
+    def test_matches_canonicalize(self):
+        parts = [coo_random(15, 15, 0.3, s) for s in (7, 8, 9)]
+        out = merge_tuples((15, 15), parts)
+        from repro.formats import concatenate_triplets
+
+        canon = concatenate_triplets((15, 15), parts).canonicalize(drop_zeros=False)
+        assert out.matrix.allclose(canon)
+
+    def test_sort_ops_scale(self):
+        big = coo_random(50, 50, 0.4, 10)
+        small = coo_random(5, 5, 0.4, 11)
+        sb = merge_tuples((50, 50), [big]).stats
+        ss = merge_tuples((5, 5), [small]).stats
+        assert sb.sort_ops > ss.sort_ops

@@ -1,0 +1,85 @@
+"""Tests for the spmv helpers and the csrmm (§VI) kernel."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import CSRMatrix
+from repro.kernels import csr_spmv, csrmm, masked_spmv, split_spmv
+from repro.util.errors import ShapeError
+
+
+def mat(seed=1, m=30, n=25, density=0.2):
+    S = sp.random(m, n, density=density, random_state=seed, format="csr")
+    return CSRMatrix.from_scipy(S), S
+
+
+class TestSpmv:
+    def test_csr_spmv(self):
+        a, S = mat()
+        x = np.arange(25, dtype=float)
+        np.testing.assert_allclose(csr_spmv(a, x), S @ x)
+
+    def test_masked_spmv(self):
+        a, S = mat(seed=2)
+        x = np.ones(25)
+        mask = np.arange(30) % 2 == 0
+        out = masked_spmv(a, x, mask)
+        ref = S @ x
+        np.testing.assert_allclose(out[mask], ref[mask])
+        assert np.all(out[~mask] == 0.0)
+
+    def test_masked_spmv_bad_mask(self):
+        a, _ = mat(seed=3)
+        with pytest.raises(ShapeError):
+            masked_spmv(a, np.ones(25), np.ones(5, dtype=bool))
+
+    @pytest.mark.parametrize("threshold", [0, 2, 100])
+    def test_split_spmv_equals_full(self, threshold):
+        a, S = mat(seed=4)
+        x = np.linspace(-1, 1, 25)
+        np.testing.assert_allclose(split_spmv(a, x, threshold), S @ x)
+
+
+class TestCsrmm:
+    def test_full(self):
+        a, S = mat(seed=5)
+        d = np.random.default_rng(0).random((25, 7))
+        out = csrmm(a, d)
+        np.testing.assert_allclose(out.result, S @ d)
+
+    def test_row_restricted(self):
+        a, S = mat(seed=6)
+        d = np.random.default_rng(1).random((25, 4))
+        rows = np.array([0, 10, 29])
+        out = csrmm(a, d, a_rows=rows)
+        ref = np.zeros((30, 4))
+        ref[rows] = S.toarray()[rows] @ d
+        np.testing.assert_allclose(out.result, ref)
+
+    def test_partial_results_add(self):
+        a, S = mat(seed=7)
+        d = np.random.default_rng(2).random((25, 3))
+        half = np.arange(15)
+        rest = np.arange(15, 30)
+        total = csrmm(a, d, a_rows=half).result + csrmm(a, d, a_rows=rest).result
+        np.testing.assert_allclose(total, S @ d)
+
+    def test_stats_flops(self):
+        a, S = mat(seed=8)
+        d = np.zeros((25, 5))
+        out = csrmm(a, d)
+        assert out.stats.flops == 2 * a.nnz * 5
+        assert out.stats.rows_computed == 30
+
+    def test_shape_check(self):
+        a, _ = mat(seed=9)
+        with pytest.raises(ShapeError):
+            csrmm(a, np.zeros((24, 3)))
+        with pytest.raises(ShapeError):
+            csrmm(a, np.zeros(25))
+
+    def test_rows_out_of_range(self):
+        a, _ = mat(seed=10)
+        with pytest.raises(ShapeError):
+            csrmm(a, np.zeros((25, 2)), a_rows=np.array([99]))

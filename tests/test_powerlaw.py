@@ -1,0 +1,149 @@
+"""Tests for power-law fitting and sampling (the Alstott [1] role)."""
+
+import numpy as np
+import pytest
+
+from repro.scalefree.powerlaw import (
+    PowerLawFit,
+    alpha_for_target_mean,
+    fit_power_law,
+    ks_distance,
+    mle_alpha,
+    model_tail_cdf,
+    powerlaw_mean,
+    sample_power_law,
+    sampler_clipped_mean,
+    sizes_for_mean,
+)
+
+
+class TestSampling:
+    def test_range_and_dtype(self):
+        xs = sample_power_law(1000, 2.5, xmin=2, xmax=50, rng=0)
+        assert xs.dtype == np.int64
+        assert xs.min() >= 2 and xs.max() <= 50
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            sample_power_law(10, 1.0)
+
+    def test_deterministic_with_seed(self):
+        a = sample_power_law(100, 2.2, rng=5)
+        b = sample_power_law(100, 2.2, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_heavier_tail_for_smaller_alpha(self):
+        lo = sample_power_law(20_000, 2.1, rng=1)
+        hi = sample_power_law(20_000, 4.0, rng=1)
+        assert lo.max() > hi.max()
+        assert lo.mean() > hi.mean()
+
+
+class TestMle:
+    def test_known_alpha_recovered(self):
+        xs = sample_power_law(30_000, 2.6, rng=2)
+        assert abs(mle_alpha(xs, 3) - 2.6) < 0.15
+
+    def test_degenerate_tail_is_inf(self):
+        assert mle_alpha(np.array([5, 5, 5]), 5) != np.inf  # ln(5/4.5) > 0
+        # but all values equal to xmin below the half-offset floor:
+        assert mle_alpha(np.array([1, 1, 1]), 1) > 2
+
+    def test_empty_tail_rejected(self):
+        with pytest.raises(ValueError):
+            mle_alpha(np.array([1, 2]), 10)
+
+
+class TestKs:
+    def test_model_cdf_monotone(self):
+        xs = np.arange(1, 50)
+        cdf = model_tail_cdf(2.5, 1, xs)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] < 1.0 + 1e-9
+
+    def test_good_fit_has_small_ks(self):
+        xs = sample_power_law(20_000, 2.3, rng=3)
+        alpha = mle_alpha(xs, 2)
+        assert ks_distance(xs, alpha, 2) < 0.05
+
+    def test_bad_alpha_has_larger_ks(self):
+        xs = sample_power_law(20_000, 2.3, rng=4)
+        good = ks_distance(xs, mle_alpha(xs, 2), 2)
+        bad = ks_distance(xs, 5.0, 2)
+        assert bad > good
+
+    def test_inf_alpha(self):
+        assert ks_distance(np.array([1, 2, 3]), np.inf, 1) == np.inf
+
+
+class TestFit:
+    def test_recovers_alpha(self):
+        xs = sample_power_law(30_000, 2.4, rng=6)
+        fit = fit_power_law(xs)
+        assert isinstance(fit, PowerLawFit)
+        assert abs(fit.alpha - 2.4) < 0.25
+
+    def test_fixed_xmin(self):
+        xs = sample_power_law(5_000, 3.0, rng=7)
+        fit = fit_power_law(xs, xmin=2)
+        assert fit.xmin == 2
+
+    def test_zeros_ignored(self):
+        xs = np.concatenate([np.zeros(100, dtype=int),
+                             sample_power_law(5_000, 2.5, rng=8)])
+        fit = fit_power_law(xs)
+        assert fit.n == 5_000
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.zeros(5, dtype=int))
+
+    def test_tail_fraction(self):
+        xs = sample_power_law(2_000, 2.5, rng=9)
+        fit = fit_power_law(xs)
+        assert 0 < fit.tail_fraction <= 1
+
+    def test_uniform_data_yields_large_alpha(self):
+        xs = np.full(3_000, 4)
+        xs[:100] = 5
+        fit = fit_power_law(xs, min_tail=5)
+        assert fit.alpha > 4.0  # clearly outside the scale-free range
+
+
+class TestMeans:
+    def test_powerlaw_mean_matches_samples(self):
+        mean = powerlaw_mean(3.0, 1)
+        xs = sample_power_law(200_000, 3.0, rng=10)
+        # sampler uses the continuous approximation; agree within ~15%
+        assert abs(xs.mean() - mean) / mean < 0.15
+
+    def test_powerlaw_mean_infinite_below_two(self):
+        assert powerlaw_mean(1.9, 1) == np.inf
+
+    def test_sampler_clipped_mean_exact(self):
+        alpha, xmin, xmax = 2.2, 1, 200
+        predicted = sampler_clipped_mean(alpha, xmin, xmax)
+        xs = sample_power_law(400_000, alpha, xmin, xmax, rng=11)
+        assert abs(xs.mean() - predicted) / predicted < 0.02
+
+    def test_sizes_for_mean_hits_target(self):
+        for mean in (1.5, 3.0, 8.0):
+            xs = sizes_for_mean(100_000, 2.5, mean, xmax=10_000, rng=12)
+            assert abs(xs.mean() - mean) / mean < 0.05
+
+    def test_sizes_for_mean_preserves_tail(self):
+        xs = sizes_for_mean(50_000, 2.2, 3.0, xmax=5_000, rng=13)
+        fit = fit_power_law(xs)
+        assert abs(fit.alpha - 2.2) < 0.35
+
+    def test_sizes_for_mean_rejects_sub_one(self):
+        with pytest.raises(ValueError):
+            sizes_for_mean(10, 2.5, 0.5)
+
+    def test_alpha_for_target_mean(self):
+        alpha = alpha_for_target_mean(3.0, xmin=1)
+        assert powerlaw_mean(alpha, 1) == pytest.approx(3.0, rel=0.05)
+
+    def test_alpha_for_target_mean_requires_above_xmin(self):
+        with pytest.raises(ValueError):
+            alpha_for_target_mean(1.0, xmin=1)

@@ -1,0 +1,151 @@
+"""Tests for repro.util: errors, rng, units, validation."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    DEFAULT_SEED,
+    CalibrationError,
+    FormatError,
+    ReproError,
+    SchedulingError,
+    ShapeError,
+    as_float_array,
+    as_int_array,
+    bytes_to_mb,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    human_bytes,
+    human_time,
+    ms_to_seconds,
+    resolve_rng,
+    seconds_to_ms,
+    spawn_rngs,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ShapeError, FormatError, CalibrationError, SchedulingError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compat(self):
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(FormatError, ValueError)
+        assert issubclass(CalibrationError, ValueError)
+
+    def test_scheduling_is_runtime(self):
+        assert issubclass(SchedulingError, RuntimeError)
+
+
+class TestRng:
+    def test_none_uses_default_seed(self):
+        a = resolve_rng(None).random(5)
+        b = np.random.default_rng(DEFAULT_SEED).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed_deterministic(self):
+        assert resolve_rng(3).random() == resolve_rng(3).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert resolve_rng(g) is g
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+    def test_spawn_independent(self):
+        kids = spawn_rngs(1, 3)
+        assert len(kids) == 3
+        draws = [k.random() for k in kids]
+        assert len(set(draws)) == 3
+
+    def test_spawn_prefix_stable(self):
+        first = [g.random() for g in spawn_rngs(9, 2)]
+        second = [g.random() for g in spawn_rngs(9, 4)[:2]]
+        assert first == second
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestUnits:
+    def test_seconds_ms_roundtrip(self):
+        assert ms_to_seconds(seconds_to_ms(0.25)) == pytest.approx(0.25)
+
+    def test_bytes_to_mb(self):
+        assert bytes_to_mb(2_000_000) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize(
+        "n,expect", [(10, "10 B"), (2048, "2.00 KiB"), (3 * 1024**2, "3.00 MiB"),
+                     (5 * 1024**3, "5.00 GiB")]
+    )
+    def test_human_bytes(self, n, expect):
+        assert human_bytes(n) == expect
+
+    def test_human_bytes_negative(self):
+        assert human_bytes(-2048) == "-2.00 KiB"
+
+    @pytest.mark.parametrize(
+        "t,expect",
+        [(2.0, "2.000 s"), (0.0123, "12.300 ms"), (4.5e-6, "4.500 us"),
+         (3e-9, "3.0 ns")],
+    )
+    def test_human_time(self, t, expect):
+        assert human_time(t) == expect
+
+    def test_human_time_negative(self):
+        assert human_time(-0.001) == "-1.000 ms"
+
+
+class TestValidation:
+    def test_check_nonnegative_ok(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_check_nonnegative_rejects(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", float("nan"))
+
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_as_int_array_floats(self):
+        out = as_int_array("v", np.array([1.0, 2.0]))
+        assert out.dtype == np.int64
+
+    def test_as_int_array_fractional_rejected(self):
+        with pytest.raises(ValueError):
+            as_int_array("v", np.array([1.5]))
+
+    def test_as_int_array_2d_rejected(self):
+        with pytest.raises(ValueError):
+            as_int_array("v", np.zeros((2, 2)))
+
+    def test_as_int_array_string_rejected(self):
+        with pytest.raises(TypeError):
+            as_int_array("v", np.array(["a"]))
+
+    def test_as_float_array_copy(self):
+        src = np.array([1.0, 2.0])
+        out = as_float_array("v", src, copy=True)
+        out[0] = 9.0
+        assert src[0] == 1.0

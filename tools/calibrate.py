@@ -1,0 +1,96 @@
+"""Calibration harness: prints paper-anchor diagnostics for a candidate
+Calibration, over a subset (or all) of the Table I twins.
+
+Usage: python tools/calibrate.py [--all] [key=value ...]
+
+Paper anchors (see costmodel/calibration.py):
+  - HH-CPU vs HiPC2012 average ~= 1.25x (higher for low alpha)
+  - HH-CPU vs Unsorted/Sorted-Workqueue ~= 1.15x
+  - HH-CPU vs MKL ~= 3.6x, vs cuSPARSE ~= 4x
+  - Phase I+IV <= ~4% of HH-CPU total
+  - CPU/GPU per-phase gap small (~2%)
+"""
+
+import sys
+import time
+
+from repro.costmodel import DEFAULT_CALIBRATION
+from repro.hardware import default_platform
+from repro.hardware.platform import platform_for_scale
+from repro.scalefree.datasets import dataset_scale
+from repro.scalefree import load_dataset, TABLE_I
+from repro.core import HHCPU
+from repro.baselines import (
+    CPUOnly,
+    CuSparseModel,
+    GPUOnly,
+    HiPC2012,
+    MKLModel,
+    SortedWorkqueue,
+    UnsortedWorkqueue,
+)
+
+SUBSET = ["webbase-1M", "web-Google", "wiki-Vote", "email-Enron", "roadNet-CA", "cop20kA"]
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    names = list(TABLE_I) if "--all" in args else SUBSET
+    overrides = {}
+    for arg in args:
+        if "=" in arg:
+            k, v = arg.split("=", 1)
+            overrides[k] = type(getattr(DEFAULT_CALIBRATION, k))(float(v))
+    calib = DEFAULT_CALIBRATION.with_overrides(**overrides)
+
+    def units(scale):
+        return dict(cpu_rows=max(100, round(1000 * scale * 10)),
+                    gpu_rows=max(1000, round(10000 * scale * 10)))
+
+    algos = {
+        "hh": lambda pf, u: HHCPU(pf, **u),
+        "hipc": lambda pf, u: HiPC2012(pf),
+        "unsorted": lambda pf, u: UnsortedWorkqueue(pf, **u),
+        "sorted": lambda pf, u: SortedWorkqueue(pf, **u),
+        "cpu": lambda pf, u: CPUOnly(pf),
+        "gpu": lambda pf, u: GPUOnly(pf),
+        "mkl": lambda pf, u: MKLModel(pf),
+        "cusparse": lambda pf, u: CuSparseModel(pf),
+    }
+    header = (
+        f"{'matrix':16s} {'hh(ms)':>9s} {'v.hipc':>7s} {'v.uns':>6s} {'v.srt':>6s} "
+        f"{'v.mkl':>6s} {'v.cusp':>7s} {'v.cpu':>6s} {'v.gpu':>6s} {'I+IV%':>6s} {'alpha':>7s}"
+    )
+    print(header)
+    sums = {k: 0.0 for k in ("hipc", "unsorted", "sorted", "mkl", "cusparse", "cpu", "gpu")}
+    t0 = time.time()
+    for name in names:
+        tw = load_dataset(name)
+        scale = dataset_scale(TABLE_I[name], None)
+        res = {}
+        u = units(scale)
+        for key, make in algos.items():
+            pf = platform_for_scale(scale, calib)
+            res[key] = make(pf, u).multiply(tw, tw)
+        hh = res["hh"]
+        sp = {k: hh.speedup_over(res[k]) for k in sums}
+        for k in sums:
+            sums[k] += sp[k]
+        p14 = (hh.phase_times.get("I", 0) + hh.phase_times.get("IV", 0)) / hh.total_time
+        print(
+            f"{name:16s} {hh.total_time*1e3:9.2f} {sp['hipc']:7.2f} {sp['unsorted']:6.2f} "
+            f"{sp['sorted']:6.2f} {sp['mkl']:6.2f} {sp['cusparse']:7.2f} {sp['cpu']:6.2f} "
+            f"{sp['gpu']:6.2f} {100*p14:6.1f} {TABLE_I[name].alpha_paper:7.1f}"
+        )
+    n = len(names)
+    print("-" * len(header))
+    print(
+        f"{'AVERAGE':16s} {'':9s} {sums['hipc']/n:7.2f} {sums['unsorted']/n:6.2f} "
+        f"{sums['sorted']/n:6.2f} {sums['mkl']/n:6.2f} {sums['cusparse']/n:7.2f} "
+        f"{sums['cpu']/n:6.2f} {sums['gpu']/n:6.2f}"
+    )
+    print(f"(wall: {time.time()-t0:.1f}s)  overrides: {overrides}")
+
+
+if __name__ == "__main__":
+    main()
