@@ -7,6 +7,7 @@ Commands mirror the benchmark harness, for interactive use:
     python -m repro fig8 wiki-Vote [--real]
     python -m repro fig10
     python -m repro multiply webbase-1M [--algorithm hipc2012]
+    python -m repro profile wiki-Vote [--export-trace t.json] [--export-metrics m.json]
     python -m repro datasets
 """
 
@@ -67,6 +68,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "cpu", "gpu", "mkl", "cusparse"])
     pm.add_argument("--scale", type=float, default=None)
 
+    pp = sub.add_parser(
+        "profile",
+        help="run one algorithm with the observability layer on and "
+             "report per-phase/per-device time, workqueue and quadrant "
+             "counters; optionally export a Chrome trace and metrics JSON",
+    )
+    pp.add_argument("matrix", choices=DATASET_NAMES)
+    pp.add_argument("--algorithm", default="hh-cpu",
+                    choices=["hh-cpu", "hipc2012", "unsorted", "sorted",
+                             "cpu", "gpu", "mkl", "cusparse"])
+    pp.add_argument("--scale", type=float, default=None)
+    pp.add_argument("--export-trace", metavar="PATH", default=None,
+                    help="write a Chrome trace_event JSON (open in Perfetto "
+                         "or chrome://tracing)")
+    pp.add_argument("--export-metrics", metavar="PATH", default=None,
+                    help="write the metrics snapshot as flat JSON")
+
     sub.add_parser("datasets", help="list the Table I registry")
     return parser
 
@@ -104,6 +122,19 @@ def main(argv: list[str] | None = None) -> int:
         print(result.summary())
         for key, value in result.details.items():
             print(f"  {key}: {value}")
+    elif args.command == "profile":
+        from repro.obs.profile import profile_run
+
+        report = profile_run(
+            args.matrix, algorithm=args.algorithm, scale=args.scale
+        )
+        print(report.render())
+        if args.export_trace:
+            report.write_chrome_trace(args.export_trace)
+            print(f"chrome trace written to {args.export_trace}")
+        if args.export_metrics:
+            report.write_metrics(args.export_metrics)
+            print(f"metrics snapshot written to {args.export_metrics}")
     elif args.command == "datasets":
         for name, spec in TABLE_I.items():
             print(f"{name:16s} rows={spec.rows:>9,} nnz={spec.nnz:>11,} "

@@ -35,6 +35,8 @@ from repro.hetero.workqueue import (
     WorkUnit,
 )
 from repro.kernels.merge import merge_tuples
+from repro.obs.metrics import METRICS
+from repro.obs.spans import SPANS
 from repro.core.result import SpmmResult
 from repro.core.threshold import select_threshold
 
@@ -93,7 +95,15 @@ class HHCPU:
         pf.cpu.busy("I", "host:prepare-row-sizes", pf.cpu.phase1_time(a.nrows + b.nrows))
         pf.upload_row_sizes("I", "xfer:row-sizes", a.nrows + b.nrows)
         pf.gpu.busy("I", "gpu:classify-rows", pf.gpu.phase1_time(a.nrows + b.nrows))
-        part = partition_rows(a, b, int(t_a), int(t_b))
+        with SPANS.span("phase1:partition-rows", category="host.partition") as sp:
+            part = partition_rows(a, b, int(t_a), int(t_b))
+            if sp is not None:
+                sp.set_sim(0.0, pf.elapsed, phase="I")
+        if METRICS.enabled:
+            METRICS.inc("phase1.rows_classified", a.nrows + b.nrows)
+            for key, value in part.summary().items():
+                if key.endswith(("_rows", "_nnz")):
+                    METRICS.set_gauge(f"phase1.partition.{key}", value)
 
         # ---------------- operand staging (charged to Phase II) ----------------
         pf.upload_matrix("II", "xfer:A", a)
@@ -126,6 +136,10 @@ class HHCPU:
         gpu_tuples += gpu_ll.tuples
         pf.stream_tuples_download("II", "xfer:tuples:AL*BL", gpu_ll.tuples,
                                   produced_from=gpu_ll.start)
+        if METRICS.enabled:
+            for tag, run in (("AH_BH", cpu_hh), ("AL_BL", gpu_ll)):
+                METRICS.inc(f"quadrant.{tag}.tuples", run.tuples)
+                METRICS.inc(f"quadrant.{tag}.flops", run.flops)
 
         # ---------------- Phase III (double-ended workqueue) ----------------
         # an empty B class makes the corresponding cross product vanish;
@@ -156,6 +170,9 @@ class HHCPU:
                 a, b, ctx, a_rows=unit.rows, b_row_mask=mask,
                 kernel=self.kernel, extra_overhead=overhead,
             )
+            if METRICS.enabled:
+                METRICS.inc(f"quadrant.{unit.product}.tuples", run.tuples)
+                METRICS.inc(f"quadrant.{unit.product}.flops", run.flops)
             if kind == "gpu":
                 phase3_gpu_tuples += run.tuples
                 pf.stream_tuples_download(
@@ -170,15 +187,24 @@ class HHCPU:
         # ---------------- Phase IV ----------------
         pf.sync_downloads("IV", "xfer:gpu-tuples:wait")
         parts = [cpu_hh.part, gpu_ll.part, *outcome.parts]
-        merged = merge_tuples((a.nrows, b.ncols), parts)
-        # every stream is row-locally sorted, so Phase IV is a linear
-        # multiway merge (the paper's Fig 4 merge of neighbouring
-        # like-tuples), not a global sort
-        pf.cpu.busy(
-            "IV", "cpu:merge-tuples",
-            pf.cpu.merge_time(merged.stats.tuples_in, needs_sort=False),
-            tuples=merged.stats.tuples_in,
-        )
+        with SPANS.span("phase4:merge-tuples", category="merge") as sp:
+            merged = merge_tuples((a.nrows, b.ncols), parts)
+            # every stream is row-locally sorted, so Phase IV is a linear
+            # multiway merge (the paper's Fig 4 merge of neighbouring
+            # like-tuples), not a global sort
+            event = pf.cpu.busy(
+                "IV", "cpu:merge-tuples",
+                pf.cpu.merge_time(merged.stats.tuples_in, needs_sort=False),
+                tuples=merged.stats.tuples_in,
+            )
+            if sp is not None:
+                sp.set_sim(event.start, event.end, device=pf.cpu.name, phase="IV")
+        if METRICS.enabled:
+            METRICS.inc("phase4.tuples_merged", merged.stats.tuples_in)
+            METRICS.inc("phase4.masters", merged.stats.masters)
+            METRICS.set_gauge(
+                "phase4.duplication_ratio", merged.stats.duplication_ratio
+            )
         total = pf.barrier()
 
         trace = pf.trace

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.costmodel.calibration import Calibration
 from repro.costmodel.context import ProductContext
+from repro.obs.metrics import METRICS
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -95,6 +96,17 @@ def cpu_spmm_time(
     out_bytes = stats.bytes_written
     eff_bw = spec.mem_bandwidth_bps * calib.cpu_bw_efficiency
     t_mem = (a_bytes + b_effective + out_bytes) / eff_bw
+
+    if METRICS.enabled:
+        # cache-hit estimate: share of the requested B traffic the model
+        # believes the LLC served (pre-line-amplification bytes)
+        fetched = b_effective / amp if amp > 0 else b_effective
+        METRICS.inc("costmodel.cpu.b_bytes_requested", float(b_total))
+        METRICS.inc("costmodel.cpu.b_bytes_fetched", float(fetched))
+        METRICS.set_gauge(
+            "costmodel.cpu.cache_hit_fraction",
+            1.0 - fetched / b_total if b_total else 0.0,
+        )
 
     t_overhead = stats.rows_processed * calib.cpu_row_overhead_s
     # additive combination: the row-row inner loop is latency-bound

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.costmodel.calibration import Calibration
 from repro.costmodel.context import ProductContext
+from repro.obs.metrics import METRICS
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -105,6 +106,14 @@ def gpu_spmm_time(
     elif stats.b_reuse_curve is not None:
         saved = stats.reuse_saved_bytes(spec.l2_bytes) * calib.gpu_l2_reuse_max
         b_bytes = max(b_bytes - saved, 0.0)
+    if METRICS.enabled:
+        requested = stats.total_work * ELEM_BYTES
+        METRICS.inc("costmodel.gpu.b_bytes_requested", float(requested))
+        METRICS.inc("costmodel.gpu.b_bytes_fetched", float(b_bytes))
+        METRICS.set_gauge(
+            "costmodel.gpu.cache_hit_fraction",
+            1.0 - b_bytes / requested if requested else 0.0,
+        )
     b_bytes *= read_amp
     write_bytes = stats.bytes_written * calib.gpu_scatter_write_amp
     eff_bw = spec.global_bandwidth_bps * calib.gpu_bw_efficiency

@@ -105,12 +105,26 @@ class Trace:
         vals = sorted(per_dev.values(), reverse=True)
         return vals[0] - vals[1]
 
+    def phase_device_gap_relative(self, phase: str) -> float:
+        """The within-phase device gap as a fraction of the phase's
+        max-over-devices time — the convention of the paper's "the
+        difference ... is on average under 2%" claim.  0 when only one
+        device participated or the phase is empty."""
+        per_dev = self.phase_breakdown().get(phase, {})
+        if len(per_dev) < 2:
+            return 0.0
+        vals = sorted(per_dev.values(), reverse=True)
+        if vals[0] <= 0:
+            return 0.0
+        return (vals[0] - vals[1]) / vals[0]
+
     def makespan(self) -> float:
         """End of the last event (simulation clock at completion)."""
         return max((e.end for e in self.events), default=0.0)
 
     def render(self, *, limit: int = 50) -> str:
-        """Human-readable event listing for debugging and reports."""
+        """Human-readable event listing for debugging and reports,
+        with a footer summarising the whole trace."""
         lines = []
         for e in self.events[:limit]:
             lines.append(
@@ -119,15 +133,29 @@ class Trace:
             )
         if len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more events)")
+        lines.append(
+            f"-- {len(self.events)} events, {len(self.devices())} devices, "
+            f"makespan {human_time(self.makespan())}"
+        )
         return "\n".join(lines)
 
 
 def merge_traces(traces: Iterable[Trace]) -> Trace:
     """Combine several traces (e.g. repeated runs) into one, preserving
-    event order by start time."""
+    event order by start time.
+
+    A :class:`Trace` instance appearing more than once in ``traces``
+    (easy to do when merging per-algorithm traces that share a
+    platform) contributes its events only once — previously it was
+    double-appended.
+    """
     out = Trace()
     events: list[TraceEvent] = []
+    seen: set[int] = set()
     for t in traces:
+        if id(t) in seen:
+            continue
+        seen.add(id(t))
         events.extend(t.events)
     for e in sorted(events, key=lambda ev: (ev.start, ev.end)):
         out.add(e)

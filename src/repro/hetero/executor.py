@@ -20,6 +20,7 @@ from repro.hardware.device import SimDevice
 from repro.kernels.esc import KernelResult, esc_multiply
 from repro.kernels.symbolic import ELEM_BYTES
 from repro.kernels import SPMM_KERNELS
+from repro.obs.spans import SPANS
 
 #: kernel signature shared by esc/spa/hash
 KernelFn = Callable[..., KernelResult]
@@ -104,16 +105,19 @@ def run_product(
     cost) to ``device``.
     """
     fn = resolve_kernel(kernel)
-    result = fn(a, b, a_rows=a_rows, b_row_mask=b_row_mask)
-    duration = device.spmm_time(result.stats, ctx) + extra_overhead
-    event = device.busy(
-        phase,
-        label,
-        duration,
-        flops=result.stats.flops,
-        tuples=result.stats.tuples_emitted,
-        rows=result.stats.rows_processed,
-    )
+    with SPANS.span(label, category=f"kernel.{device.kind}") as sp:
+        result = fn(a, b, a_rows=a_rows, b_row_mask=b_row_mask)
+        duration = device.spmm_time(result.stats, ctx) + extra_overhead
+        event = device.busy(
+            phase,
+            label,
+            duration,
+            flops=result.stats.flops,
+            tuples=result.stats.tuples_emitted,
+            rows=result.stats.rows_processed,
+        )
+        if sp is not None:
+            sp.set_sim(event.start, event.end, device=device.name, phase=phase)
     return ProductRun(
         part=result.result,
         duration=duration,

@@ -16,6 +16,7 @@ from repro.formats.coo import COOMatrix
 from repro.hardware.engine import EventEngine
 from repro.hardware.platform import HeteroPlatform
 from repro.hetero.workqueue import DoubleEndedWorkQueue, WorkUnit
+from repro.obs.metrics import METRICS
 
 #: executes a unit on a device kind ("cpu" / "gpu"); returns the tuple part
 UnitExecutor = Callable[[str, WorkUnit], COOMatrix]
@@ -56,8 +57,14 @@ def run_workqueue_phase(
         unit = queue.pop_front()
         outcome.parts.append(execute("cpu", unit))
         outcome.cpu_units += 1
-        if unit.product == "AH_BL":
+        stolen = unit.product == "AH_BL"
+        if stolen:
             outcome.cpu_stolen += 1
+        if METRICS.enabled:
+            METRICS.inc("phase3.workqueue.cpu.dequeues")
+            METRICS.inc("phase3.workqueue.cpu.rows", unit.nrows)
+            if stolen:
+                METRICS.inc("phase3.workqueue.cpu.steals")
         engine.schedule(platform.cpu.clock, cpu_step)
 
     def gpu_step() -> None:
@@ -70,12 +77,28 @@ def run_workqueue_phase(
         )
         outcome.parts.append(execute("gpu", unit))
         outcome.gpu_units += 1
-        if unit.product == "AL_BH":
+        stolen = unit.product == "AL_BH"
+        if stolen:
             outcome.gpu_stolen += 1
+        if METRICS.enabled:
+            METRICS.inc("phase3.workqueue.gpu.dequeues")
+            METRICS.inc("phase3.workqueue.gpu.rows", unit.nrows)
+            if stolen:
+                METRICS.inc("phase3.workqueue.gpu.steals")
         engine.schedule(platform.gpu.clock, gpu_step)
 
     engine.schedule(platform.cpu.clock, cpu_step)
     engine.schedule(platform.gpu.clock, gpu_step)
     engine.run()
     queue.check_conservation()
+    if METRICS.enabled:
+        # starvation: simulated idle a device accumulates at the phase
+        # barrier after its end of the queue drained first
+        end = max(platform.cpu.clock, platform.gpu.clock)
+        METRICS.set_gauge(
+            "phase3.workqueue.cpu.starvation_s", end - platform.cpu.clock
+        )
+        METRICS.set_gauge(
+            "phase3.workqueue.gpu.starvation_s", end - platform.gpu.clock
+        )
     return outcome

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.formats.base import INDEX_DTYPE
+from repro.obs.metrics import METRICS
 from repro.util.errors import SchedulingError
 
 #: paper defaults (§IV-B)
@@ -105,6 +106,8 @@ class DoubleEndedWorkQueue:
         unit = self.units[self._front]
         self._front += 1
         self.log.append(("front", unit.index))
+        if METRICS.enabled:
+            METRICS.inc("phase3.workqueue.front.units")
         return unit
 
     def pop_back(self) -> WorkUnit:
@@ -114,6 +117,8 @@ class DoubleEndedWorkQueue:
         unit = self.units[self._back]
         self._back -= 1
         self.log.append(("back", unit.index))
+        if METRICS.enabled:
+            METRICS.inc("phase3.workqueue.back.units")
         return unit
 
     def pop_back_batch(self, max_rows: int) -> WorkUnit:
@@ -141,6 +146,9 @@ class DoubleEndedWorkQueue:
             n += nxt.nrows
         if len(rows) == 1:
             return first
+        if METRICS.enabled:
+            METRICS.inc("phase3.workqueue.back.batched_launches")
+            METRICS.inc("phase3.workqueue.back.batched_units", len(rows))
         return WorkUnit(
             product=first.product, rows=np.concatenate(rows), index=first.index
         )

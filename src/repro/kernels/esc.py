@@ -24,6 +24,7 @@ from repro.formats.base import INDEX_DTYPE, VALUE_DTYPE, check_multiply_compatib
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.kernels.symbolic import KernelStats, reuse_curve
+from repro.obs.metrics import METRICS
 from repro.util.errors import ShapeError
 
 
@@ -176,4 +177,9 @@ def esc_multiply(
     stats = KernelStats.for_product(
         ex.a_entries, processed, result.nnz, result.nnz, b_reuse_curve=curve
     )
+    if METRICS.enabled:
+        METRICS.inc("kernels.esc.launches")
+        METRICS.inc("kernels.esc.flops", stats.flops)
+        METRICS.inc("kernels.esc.tuples", result.nnz)
+        METRICS.inc("kernels.esc.expanded", int(ex.rows.size))
     return KernelResult(result=result, stats=stats)

@@ -15,6 +15,7 @@ from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.kernels.esc import KernelResult
 from repro.kernels.symbolic import KernelStats, reuse_curve
+from repro.obs.metrics import METRICS
 from repro.util.errors import ShapeError
 
 
@@ -77,4 +78,9 @@ def hash_multiply(
         result.nnz,
         b_reuse_curve=reuse_curve(b_row_refs, b.row_nnz()),
     )
+    if METRICS.enabled:
+        # every intermediate product performs exactly one dict probe
+        METRICS.inc("kernels.hash.launches")
+        METRICS.inc("kernels.hash.probes", stats.total_work)
+        METRICS.inc("kernels.hash.collisions", stats.total_work - result.nnz)
     return KernelResult(result=result, stats=stats)

@@ -28,6 +28,7 @@ import numpy as np
 from repro.formats.base import INDEX_DTYPE
 from repro.formats.coo import COOMatrix, concatenate_triplets
 from repro.formats.csr import CSRMatrix
+from repro.obs.metrics import METRICS
 
 
 @dataclass(frozen=True)
@@ -135,4 +136,9 @@ def merge_tuples(
         reduce_ops=int(tuples_in - masters.size),
     )
     assert slots.size == tuples_in  # scan covers every tuple
+    if METRICS.enabled:
+        METRICS.inc("kernels.merge.calls")
+        METRICS.inc("kernels.merge.tuples_in", stats.tuples_in)
+        METRICS.inc("kernels.merge.reduce_ops", stats.reduce_ops)
+        METRICS.inc("kernels.merge.sort_ops", stats.sort_ops)
     return MergeResult(matrix=matrix, stats=stats)

@@ -21,6 +21,7 @@ from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.kernels.esc import KernelResult
 from repro.kernels.symbolic import KernelStats, reuse_curve
+from repro.obs.metrics import METRICS
 from repro.util.errors import ShapeError
 
 
@@ -58,6 +59,8 @@ def spa_multiply(
     per_row_work = np.zeros(a.nrows, dtype=INDEX_DTYPE)
     tuples_emitted = 0
     a_entries = 0
+    spa_resets = 0
+    spa_reset_slots = 0
     b_sizes = b.row_nnz()
     b_row_refs = np.zeros(b.nrows, dtype=INDEX_DTYPE)
 
@@ -88,6 +91,8 @@ def spa_multiply(
         nz = np.unique(touched_cols)
         vals = spa[nz]
         spa[nz] = 0.0  # reset only what we touched (cache-friendly)
+        spa_resets += 1
+        spa_reset_slots += int(nz.size)
         out_rows.append(np.full(nz.size, i, dtype=INDEX_DTYPE))
         out_cols.append(nz)
         out_vals.append(vals.copy())
@@ -108,4 +113,9 @@ def spa_multiply(
         a_entries, per_row_work[rows_iter], tuples_emitted, result.nnz,
         b_reuse_curve=reuse_curve(b_row_refs, b_sizes),
     )
+    if METRICS.enabled:
+        METRICS.inc("kernels.spa.launches")
+        METRICS.inc("kernels.spa.flops", stats.flops)
+        METRICS.inc("kernels.spa.resets", spa_resets)
+        METRICS.inc("kernels.spa.reset_slots", spa_reset_slots)
     return KernelResult(result=result, stats=stats)

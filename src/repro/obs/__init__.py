@@ -1,0 +1,44 @@
+"""Observability: metrics, spans, exporters, and the profile driver.
+
+The ``repro.obs`` subsystem is how the repo answers "where did the time
+and work go?" — the question behind Fig 7's phase breakdown, the
+"<2% CPU/GPU gap" claim, and the Fig 8 threshold trade-off:
+
+- :mod:`repro.obs.metrics` — in-process counters/gauges/timers with
+  hierarchical dot-names and deterministic JSON snapshots;
+- :mod:`repro.obs.spans` — nested spans carrying both the simulated
+  clock and real wall-clock self time;
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  Perfetto / ``chrome://tracing``) and flat ``metrics.json`` snapshots;
+- :mod:`repro.obs.profile` — the ``python -m repro profile`` driver
+  (imported lazily: it depends on the analysis layer).
+
+The shared :data:`METRICS` registry and :data:`SPANS` recorder start
+*disabled*; instrumented hot paths cost one branch until a profiler
+(or a test) enables them, so the tier-1 suite is unaffected.
+"""
+
+from repro.obs.metrics import METRICS, MetricsRegistry, TimerStat
+from repro.obs.spans import SPANS, Span, SpanRecorder, observed
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_metrics,
+    metrics_document,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "TimerStat",
+    "SPANS",
+    "Span",
+    "SpanRecorder",
+    "observed",
+    "chrome_trace",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_metrics",
+    "metrics_document",
+]

@@ -1,0 +1,167 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat metrics snapshots.
+
+The Chrome trace format (the *Trace Event Format*, consumed by
+``chrome://tracing`` and by Perfetto's legacy importer) is a JSON
+object with a ``traceEvents`` list.  We emit only constructs every
+viewer understands:
+
+- complete events (``"ph": "X"``) with microsecond ``ts``/``dur``;
+- metadata events (``"ph": "M"``) naming processes and threads.
+
+Two clock domains become two *processes* in the viewer:
+
+- **pid 1 — simulated platform**: every :class:`TraceEvent` of the run,
+  one thread (tid) per simulated device, timestamps on the simulated
+  clock.  This is Fig 7 as a timeline.
+- **pid 2 — host wall clock**: the nested :class:`Span` records, with
+  real wall timestamps relative to the first span.  Viewers nest
+  overlapping X events on the same tid automatically, so the span tree
+  renders as a flame chart.
+
+``export_metrics`` writes a :class:`MetricsRegistry` snapshot with a
+schema tag and optional run context, deterministic (sorted keys) so
+snapshots diff cleanly across runs — the same flat-JSON shape as the
+repo's benchmark trajectory files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+if TYPE_CHECKING:
+    from repro.hardware.trace import Trace
+
+#: seconds → trace_event microseconds
+_US = 1e6
+
+SIM_PID = 1
+WALL_PID = 2
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays and other extras to JSON-safe types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _metadata_event(pid: int, tid: int, name: str, value: str) -> dict:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": value},
+    }
+
+
+def chrome_trace_events(trace: Trace, spans: Iterable[Span] | None = None) -> list[dict]:
+    """The run as a flat ``traceEvents`` list (metadata first)."""
+    events: list[dict] = [
+        _metadata_event(SIM_PID, 0, "process_name", "simulated platform"),
+    ]
+    device_tid = {d: i + 1 for i, d in enumerate(trace.devices())}
+    for device, tid in device_tid.items():
+        events.append(_metadata_event(SIM_PID, tid, "thread_name", device))
+    for e in trace.events:
+        events.append(
+            {
+                "name": e.label,
+                "cat": f"phase-{e.phase}",
+                "ph": "X",
+                "ts": e.start * _US,
+                "dur": e.duration * _US,
+                "pid": SIM_PID,
+                "tid": device_tid[e.device],
+                "args": _jsonable(e.meta),
+            }
+        )
+    spans = list(spans) if spans is not None else []
+    if spans:
+        events.append(_metadata_event(WALL_PID, 0, "process_name", "host wall clock"))
+        events.append(_metadata_event(WALL_PID, 1, "thread_name", "host"))
+    for sp in spans:
+        args: dict = {
+            "category": sp.category,
+            "wall_self_us": sp.wall_self_s * _US,
+            **_jsonable(sp.meta),
+        }
+        if sp.sim_start is not None:
+            args["sim_start_s"] = sp.sim_start
+            args["sim_end_s"] = sp.sim_end
+        if sp.device:
+            args["device"] = sp.device
+        if sp.phase:
+            args["phase"] = sp.phase
+        events.append(
+            {
+                "name": sp.name,
+                "cat": sp.category or "span",
+                "ph": "X",
+                "ts": sp.wall_start * _US,
+                "dur": sp.wall_duration_s * _US,
+                "pid": WALL_PID,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace(trace: Trace, spans: Iterable[Span] | None = None) -> dict:
+    """A complete Chrome/Perfetto-loadable trace document."""
+    return {
+        "traceEvents": chrome_trace_events(trace, spans),
+        "displayTimeUnit": "ms",
+    }
+
+
+def export_chrome_trace(
+    path: str, trace: Trace, spans: Iterable[Span] | None = None
+) -> dict:
+    """Write the Chrome trace JSON to ``path``; returns the document."""
+    doc = chrome_trace(trace, spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+    return doc
+
+
+def metrics_document(
+    metrics: "MetricsRegistry | dict", *, context: dict | None = None
+) -> dict:
+    """A metrics snapshot wrapped with a schema tag and run context.
+
+    ``metrics`` is either a live :class:`MetricsRegistry` or an
+    already-taken snapshot dict (as stored by a profile report).
+    """
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    doc = {"schema": "repro-metrics/1", **_jsonable(snapshot)}
+    if context:
+        doc["context"] = _jsonable(context)
+    return doc
+
+
+def export_metrics(
+    path: str, metrics: "MetricsRegistry | dict", *, context: dict | None = None
+) -> dict:
+    """Write a deterministic metrics snapshot JSON to ``path``."""
+    doc = metrics_document(metrics, context=context)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    return doc

@@ -1,0 +1,178 @@
+"""In-process metrics registry: counters, gauges, timers.
+
+The registry is the numeric half of the observability layer (spans in
+:mod:`repro.obs.spans` are the temporal half).  Metric names are
+hierarchical dot-paths (``phase3.workqueue.cpu.steals``) so snapshots
+group naturally by subsystem; aggregation is in-process and
+zero-dependency, and :meth:`MetricsRegistry.snapshot` is deterministic
+(sorted names) so exports can be diffed across runs.
+
+Three kinds, mirroring the usual statsd/Prometheus trio:
+
+- **counter** — monotonically accumulated value (``inc``);
+- **gauge** — last-written value (``set_gauge``);
+- **timer** — a duration distribution: count/total/min/max (``observe``
+  or the :meth:`MetricsRegistry.timer` context manager).
+
+A name is bound to the kind of its first use; re-using it as another
+kind raises :class:`~repro.util.errors.MetricError` — silent kind
+drift is how dashboards rot.
+
+Hot-path cost: the module-level :data:`METRICS` registry starts
+*disabled* and every mutating method early-returns when disabled, so
+instrumented kernels cost one attribute load + one branch per call
+site.  The truly hot loops additionally guard with ``if
+METRICS.enabled:`` so even argument evaluation is skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.util.errors import MetricError
+
+_KIND_COUNTER = "counter"
+_KIND_GAUGE = "gauge"
+_KIND_TIMER = "timer"
+
+
+@dataclass
+class TimerStat:
+    """Aggregated duration distribution for one timer name."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class MetricsRegistry:
+    """Hierarchically-named counters, gauges, and timers.
+
+    Parameters
+    ----------
+    enabled:
+        When False every mutating method is a no-op (reads still work).
+        Direct instantiations default to enabled; the shared
+        :data:`METRICS` instance starts disabled so the instrumented
+        library costs nothing unless a profiler turns it on.
+    """
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, TimerStat] = {}
+        self._kinds: dict[str, str] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+    def _bind(self, name: str, kind: str) -> None:
+        if not name or not isinstance(name, str):
+            raise MetricError(f"metric name must be a non-empty string, got {name!r}")
+        bound = self._kinds.get(name)
+        if bound is None:
+            self._kinds[name] = kind
+        elif bound != kind:
+            raise MetricError(
+                f"metric {name!r} already registered as a {bound}, "
+                f"cannot re-use it as a {kind}"
+            )
+
+    def reset(self) -> None:
+        """Drop every recorded value and name binding (new run)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._kinds.clear()
+
+    # -- counters ----------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Accumulate ``value`` onto the counter ``name``."""
+        if not self.enabled:
+            return
+        self._bind(name, _KIND_COUNTER)
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    # -- gauges ------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest value."""
+        if not self.enabled:
+            return
+        self._bind(name, _KIND_GAUGE)
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    # -- timers ------------------------------------------------------------
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration sample into the timer ``name``."""
+        if not self.enabled:
+            return
+        self._bind(name, _KIND_TIMER)
+        self._timers.setdefault(name, TimerStat()).observe(float(seconds))
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a ``with`` block into the timer ``name`` (wall clock)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deterministic (name-sorted) plain-dict view of every metric."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "timers": {k: self._timers[k].as_dict() for k in sorted(self._timers)},
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The snapshot as deterministic JSON (sorted keys throughout)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def prefixed(self, prefix: str) -> dict[str, float]:
+        """Counters and gauges whose name starts with ``prefix`` (flat)."""
+        out: dict[str, float] = {}
+        for k, v in self._counters.items():
+            if k.startswith(prefix):
+                out[k] = v
+        for k, v in self._gauges.items():
+            if k.startswith(prefix):
+                out[k] = v
+        return {k: out[k] for k in sorted(out)}
+
+
+#: the shared library-wide registry; disabled until a profiler enables it
+METRICS = MetricsRegistry(enabled=False)

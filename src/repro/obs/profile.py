@@ -1,0 +1,259 @@
+"""The ``python -m repro profile`` driver.
+
+Runs one algorithm on one Table I matrix with the full observability
+layer switched on, then reports where time and work went:
+
+- the Fig-7 per-phase table (max-over-devices convention) with the
+  within-phase load-balance gap, absolute and relative (the paper's
+  "<2% on average" claim is the *relative* gap);
+- per-device busy time and utilisation of the simulated makespan;
+- Phase III workqueue behaviour (dequeues, steals, starvation);
+- per-quadrant tuple/flop counters (:math:`A_H B_H` … :math:`A_L B_L`);
+- host wall-clock self time by span category (where the *real* compute
+  went, as opposed to the simulated clock).
+
+This module sits above the analysis layer (it reuses
+:func:`~repro.analysis.runners.experiment_setup` and the table
+helpers), so it is deliberately **not** imported from
+``repro.obs.__init__`` — import it as ``repro.obs.profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.runners import ExperimentSetup, experiment_setup, run_baseline, run_hhcpu
+from repro.analysis.tables import format_table
+from repro.core.result import SpmmResult
+from repro.obs.export import export_chrome_trace, export_metrics
+from repro.obs.metrics import METRICS
+from repro.obs.spans import Span, observed
+from repro.util.units import human_time
+
+#: algorithm names accepted by --algorithm (mirror the multiply command)
+PROFILE_ALGORITHMS = (
+    "hh-cpu", "hipc2012", "unsorted", "sorted", "cpu", "gpu", "mkl", "cusparse",
+)
+
+
+def _slug(name: str) -> str:
+    """A device/phase name as a metric-path segment."""
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled run produced."""
+
+    name: str
+    algorithm: str
+    scale: float
+    result: SpmmResult
+    #: deterministic metrics snapshot taken at the end of the run
+    snapshot: dict
+    #: wall+sim spans recorded during the run
+    spans: list[Span] = field(default_factory=list)
+    #: self-time aggregation {category: (count, seconds)}
+    wall_by_category: dict = field(default_factory=dict)
+
+    # -- exports -----------------------------------------------------------
+    def write_chrome_trace(self, path: str) -> dict:
+        """Export the run as Chrome ``trace_event`` JSON (Perfetto)."""
+        return export_chrome_trace(path, self.result.trace, self.spans)
+
+    def write_metrics(self, path: str) -> dict:
+        """Export the metrics snapshot (flat, diffable JSON)."""
+        return export_metrics(
+            path,
+            self.snapshot,
+            context={
+                "matrix": self.name,
+                "algorithm": self.algorithm,
+                "scale": self.scale,
+            },
+        )
+
+    # -- rendering ---------------------------------------------------------
+    def _phase_table(self) -> str:
+        trace = self.result.trace
+        devices = trace.devices()
+        breakdown = trace.phase_breakdown()
+        rows = []
+        for phase in trace.phases():
+            per_dev = breakdown.get(phase, {})
+            rows.append(
+                [phase]
+                + [per_dev.get(d, 0.0) * 1e3 for d in devices]
+                + [
+                    trace.phase_times().get(phase, 0.0) * 1e3,
+                    trace.phase_device_gap(phase) * 1e3,
+                    100.0 * trace.phase_device_gap_relative(phase),
+                ]
+            )
+        return format_table(
+            ["phase"] + [f"{d} ms" for d in devices]
+            + ["max ms", "gap ms", "gap %"],
+            rows,
+            title="Per-phase simulated time (Fig-7 max-over-devices convention)",
+        )
+
+    def _device_table(self) -> str:
+        trace = self.result.trace
+        makespan = trace.makespan()
+        rows = [
+            [d, trace.busy_time(device=d) * 1e3,
+             100.0 * trace.busy_time(device=d) / makespan if makespan else 0.0]
+            for d in trace.devices()
+        ]
+        return format_table(
+            ["device", "busy ms", "util %"], rows, title="Device busy time"
+        )
+
+    def _workqueue_table(self) -> str | None:
+        counters = self.snapshot.get("counters", {})
+        gauges = self.snapshot.get("gauges", {})
+        if not any(k.startswith("phase3.workqueue.") for k in counters):
+            return None
+        rows = [
+            [
+                dev,
+                int(counters.get(f"phase3.workqueue.{dev}.dequeues", 0)),
+                int(counters.get(f"phase3.workqueue.{dev}.steals", 0)),
+                int(counters.get(f"phase3.workqueue.{dev}.rows", 0)),
+                gauges.get(f"phase3.workqueue.{dev}.starvation_s", 0.0) * 1e3,
+            ]
+            for dev in ("cpu", "gpu")
+        ]
+        return format_table(
+            ["device", "dequeues", "steals", "rows", "starved ms"],
+            rows,
+            title="Phase III workqueue",
+        )
+
+    def _quadrant_table(self) -> str | None:
+        counters = self.snapshot.get("counters", {})
+        quads = [
+            q for q in ("AH_BH", "AL_BL", "AL_BH", "AH_BL")
+            if f"quadrant.{q}.tuples" in counters or f"quadrant.{q}.flops" in counters
+        ]
+        if not quads:
+            return None
+        rows = [
+            [
+                q.replace("_", "x"),
+                int(counters.get(f"quadrant.{q}.tuples", 0)),
+                int(counters.get(f"quadrant.{q}.flops", 0)),
+            ]
+            for q in quads
+        ]
+        return format_table(
+            ["quadrant", "tuples", "flops"],
+            rows,
+            title="Cross-product quadrants (tuples = locally-merged nnz)",
+        )
+
+    def _wall_table(self) -> str | None:
+        if not self.wall_by_category:
+            return None
+        rows = [
+            [cat, count, secs * 1e3]
+            for cat, (count, secs) in self.wall_by_category.items()
+        ]
+        return format_table(
+            ["category", "spans", "self ms"],
+            rows,
+            title="Host wall clock (self time by span category)",
+        )
+
+    def render(self) -> str:
+        res = self.result
+        gap = max(
+            (res.trace.phase_device_gap_relative(p) for p in res.trace.phases()),
+            default=0.0,
+        )
+        sections = [
+            f"profile — {res.algorithm} on {self.name} (scale={self.scale:g})",
+            f"total simulated time {human_time(res.total_time)}, "
+            f"nnz(C)={res.matrix.nnz:,}, "
+            f"worst within-phase device gap {100 * gap:.2f}% of phase max",
+            "",
+            self._phase_table(),
+            "",
+            self._device_table(),
+        ]
+        for extra in (
+            self._workqueue_table(),
+            self._quadrant_table(),
+            self._wall_table(),
+        ):
+            if extra:
+                sections.extend(["", extra])
+        merge = res.merge_stats
+        if merge is not None and merge.tuples_in:
+            sections.extend([
+                "",
+                f"Phase IV merge: {merge.tuples_in:,} tuples in, "
+                f"{merge.masters:,} master indices, "
+                f"duplication {merge.duplication_ratio:.3f}x",
+            ])
+        return "\n".join(sections)
+
+
+def _derive_trace_metrics(result: SpmmResult) -> None:
+    """Publish trace-level aggregates as gauges (per-phase simulated
+    times, gaps, device busy time, makespan)."""
+    trace = result.trace
+    for phase, t in trace.phase_times().items():
+        METRICS.set_gauge(f"trace.phase.{_slug(phase)}.time_s", t)
+        METRICS.set_gauge(
+            f"trace.phase.{_slug(phase)}.gap_abs_s", trace.phase_device_gap(phase)
+        )
+        METRICS.set_gauge(
+            f"trace.phase.{_slug(phase)}.gap_rel",
+            trace.phase_device_gap_relative(phase),
+        )
+    for device in trace.devices():
+        METRICS.set_gauge(
+            f"trace.device.{_slug(device)}.busy_s", trace.busy_time(device=device)
+        )
+    METRICS.set_gauge("trace.makespan_s", trace.makespan())
+    METRICS.set_gauge("result.total_time_s", result.total_time)
+    METRICS.set_gauge("result.nnz", result.matrix.nnz)
+
+
+def profile_setup(
+    setup: ExperimentSetup, *, algorithm: str = "hh-cpu"
+) -> ProfileReport:
+    """Profile one prepared experiment setup."""
+    if algorithm not in PROFILE_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {PROFILE_ALGORITHMS}"
+        )
+    with observed() as (metrics, spans):
+        with metrics.timer("profile.run_wall_s"):
+            if algorithm == "hh-cpu":
+                result = run_hhcpu(setup)
+            else:
+                result = run_baseline(setup, algorithm)
+        _derive_trace_metrics(result)
+        snapshot = metrics.snapshot()
+        recorded = list(spans.spans)
+        by_category = spans.self_time_by_category()
+    return ProfileReport(
+        name=setup.name,
+        algorithm=algorithm,
+        scale=setup.scale,
+        result=result,
+        snapshot=snapshot,
+        spans=recorded,
+        wall_by_category=by_category,
+    )
+
+
+def profile_run(
+    name: str, *, algorithm: str = "hh-cpu", scale: float | None = None
+) -> ProfileReport:
+    """Load a Table I twin and profile ``algorithm`` on it (A x A)."""
+    return profile_setup(
+        experiment_setup(name, scale=scale), algorithm=algorithm
+    )

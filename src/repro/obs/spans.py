@@ -1,0 +1,169 @@
+"""Nested span instrumentation over two clocks.
+
+Every interesting activity in a run — a kernel launch, a PCIe
+transfer, a Phase IV merge — exists in *two* time domains (DESIGN.md
+§2): the **simulated clock** of the modelled platform (what the paper's
+figures report) and the **host wall clock** actually spent executing
+the real numerics.  A :class:`Span` carries both: the recorder stamps
+wall-clock enter/exit around the instrumented block, and the caller
+annotates the simulated interval from the :class:`TraceEvent` the block
+produced (:meth:`Span.set_sim`).
+
+Spans nest: the recorder keeps an open-span stack, so a Phase III
+work-unit span opened inside a scheduler drain span becomes its child,
+and :attr:`Span.wall_self_s` (own wall time minus children's) is what
+flame-graph tools call self time.
+
+Like :data:`repro.obs.metrics.METRICS`, the module-level :data:`SPANS`
+recorder starts disabled and costs one branch per instrumented site
+until a profiler enables it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One recorded activity with wall-clock and (optional) simulated bounds."""
+
+    name: str
+    category: str
+    #: nesting depth (0 = top level) and position in the recorder's list
+    depth: int
+    index: int
+    #: index of the enclosing span, or None at top level
+    parent: int | None
+    #: host wall clock, seconds relative to the recorder's epoch
+    wall_start: float = 0.0
+    wall_end: float = 0.0
+    #: total wall seconds of direct children (for self-time)
+    child_wall_s: float = 0.0
+    #: simulated-clock interval, set via :meth:`set_sim`; None until then
+    sim_start: float | None = None
+    sim_end: float | None = None
+    device: str | None = None
+    phase: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def wall_duration_s(self) -> float:
+        return self.wall_end - self.wall_start
+
+    @property
+    def wall_self_s(self) -> float:
+        """Own wall time excluding children (flame-graph self time)."""
+        return max(0.0, self.wall_duration_s - self.child_wall_s)
+
+    @property
+    def sim_duration_s(self) -> float:
+        if self.sim_start is None or self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+    def set_sim(
+        self,
+        start: float,
+        end: float,
+        *,
+        device: str | None = None,
+        phase: str | None = None,
+    ) -> None:
+        """Attach the simulated-clock interval (from a trace event)."""
+        self.sim_start = float(start)
+        self.sim_end = float(end)
+        if device is not None:
+            self.device = device
+        if phase is not None:
+            self.phase = phase
+
+
+class SpanRecorder:
+    """Collects nested :class:`Span` records for one profiled run."""
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+        self._epoch: float | None = None
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+        self._epoch = None
+
+    def _now(self) -> float:
+        t = time.perf_counter()
+        if self._epoch is None:
+            self._epoch = t
+        return t - self._epoch
+
+    @contextmanager
+    def span(self, name: str, *, category: str = "", **meta):
+        """Record a ``with`` block as a span; yields the :class:`Span`
+        (or None when disabled) so the block can annotate it."""
+        if not self.enabled:
+            yield None
+            return
+        sp = Span(
+            name=name,
+            category=category,
+            depth=len(self._stack),
+            index=len(self.spans),
+            parent=self._stack[-1] if self._stack else None,
+            wall_start=self._now(),
+            meta=meta,
+        )
+        self.spans.append(sp)
+        self._stack.append(sp.index)
+        try:
+            yield sp
+        finally:
+            self._stack.pop()
+            sp.wall_end = self._now()
+            if sp.parent is not None:
+                self.spans[sp.parent].child_wall_s += sp.wall_duration_s
+
+    # -- aggregation -------------------------------------------------------
+    def self_time_by_category(self) -> dict[str, tuple[int, float]]:
+        """``{category: (span_count, total_wall_self_seconds)}``, sorted
+        by descending self time (ties broken by name for determinism)."""
+        acc: dict[str, list[float]] = {}
+        for sp in self.spans:
+            key = sp.category or sp.name
+            slot = acc.setdefault(key, [0, 0.0])
+            slot[0] += 1
+            slot[1] += sp.wall_self_s
+        items = sorted(acc.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        return {k: (int(c), t) for k, (c, t) in items}
+
+
+#: the shared library-wide recorder; disabled until a profiler enables it
+SPANS = SpanRecorder(enabled=False)
+
+
+@contextmanager
+def observed(metrics=None, spans=None):
+    """Enable the shared METRICS/SPANS (reset first) for a ``with``
+    block, restoring their previous enabled state afterwards.
+
+    The profile driver uses this so an exception mid-run cannot leave
+    the global instrumentation switched on for unrelated code.
+    """
+    from repro.obs.metrics import METRICS
+
+    m = METRICS if metrics is None else metrics
+    s = SPANS if spans is None else spans
+    prev_m, prev_s = m.enabled, s.enabled
+    m.reset()
+    s.reset()
+    m.enabled = True
+    s.enabled = True
+    try:
+        yield m, s
+    finally:
+        m.enabled = prev_m
+        s.enabled = prev_s

@@ -29,3 +29,9 @@ class SchedulingError(ReproError, RuntimeError):
     """The discrete-event engine or workqueue reached an inconsistent
     state (double completion, dequeue from an empty closed queue, time
     moving backwards)."""
+
+
+class MetricError(ReproError, ValueError):
+    """An observability metric was used inconsistently (empty name, or
+    the same name registered as two different kinds, e.g. a counter
+    re-registered as a gauge)."""

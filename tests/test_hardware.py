@@ -75,6 +75,24 @@ class TestTrace:
         t.add(TraceEvent("cpu", "IV", "m", 0.0, 1.0))
         assert t.phase_device_gap("IV") == 0.0
 
+    def test_gap_relative(self):
+        t = Trace()
+        t.add(TraceEvent("cpu", "II", "a", 0.0, 1.0))
+        t.add(TraceEvent("gpu", "II", "b", 0.0, 2.0))
+        assert t.phase_device_gap_relative("II") == pytest.approx(0.5)
+
+    def test_gap_relative_single_device_or_empty(self):
+        t = Trace()
+        t.add(TraceEvent("cpu", "IV", "m", 0.0, 1.0))
+        assert t.phase_device_gap_relative("IV") == 0.0
+        assert t.phase_device_gap_relative("missing") == 0.0
+
+    def test_gap_relative_zero_phase_max(self):
+        t = Trace()
+        t.add(TraceEvent("cpu", "I", "a", 0.0, 0.0))
+        t.add(TraceEvent("gpu", "I", "b", 0.0, 0.0))
+        assert t.phase_device_gap_relative("I") == 0.0
+
     def test_merge_traces_sorted(self):
         t1, t2 = Trace(), Trace()
         t1.add(TraceEvent("cpu", "x", "late", 5.0, 6.0))
@@ -82,12 +100,24 @@ class TestTrace:
         merged = merge_traces([t1, t2])
         assert merged.events[0].label == "early"
 
+    def test_merge_traces_same_instance_counted_once(self):
+        t = Trace()
+        t.add(TraceEvent("cpu", "x", "a", 0.0, 1.0))
+        merged = merge_traces([t, t])
+        assert len(merged.events) == 1
+
     def test_render_limit(self):
         t = Trace()
         for i in range(5):
             t.add(TraceEvent("cpu", "x", f"e{i}", i, i + 1))
         out = t.render(limit=2)
         assert "more events" in out
+
+    def test_render_footer_summary(self):
+        t = Trace()
+        t.add(TraceEvent("cpu", "x", "a", 0.0, 2.0))
+        out = t.render()
+        assert "1 events" in out and "makespan" in out
 
 
 class TestEngine:

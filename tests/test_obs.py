@@ -1,0 +1,309 @@
+"""Tests for the observability layer: metrics registry, spans,
+Chrome-trace / metrics exporters, and the profile driver + CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.hardware.trace import Trace, TraceEvent
+from repro.obs import (
+    METRICS,
+    SPANS,
+    MetricsRegistry,
+    SpanRecorder,
+    chrome_trace,
+    export_chrome_trace,
+    export_metrics,
+    metrics_document,
+    observed,
+)
+from repro.scalefree import powerlaw_matrix
+from repro.util.errors import MetricError
+
+GOLDEN = Path(__file__).parent / "data" / "golden_chrome_trace.json"
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    """Leave the shared registry/recorder pristine for other tests."""
+    yield
+    METRICS.reset()
+    METRICS.enabled = False
+    SPANS.reset()
+    SPANS.enabled = False
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        m.inc("a.b.c")
+        m.inc("a.b.c", 4)
+        assert m.counter("a.b.c") == 5
+        assert m.counter("missing") == 0
+
+    def test_gauge_keeps_last_value(self):
+        m = MetricsRegistry()
+        m.set_gauge("x", 1.0)
+        m.set_gauge("x", 2.5)
+        assert m.gauge("x") == 2.5
+        assert m.gauge("missing") is None
+
+    def test_timer_distribution(self):
+        m = MetricsRegistry()
+        for s in (0.1, 0.3, 0.2):
+            m.observe("t", s)
+        snap = m.snapshot()["timers"]["t"]
+        assert snap["count"] == 3
+        assert snap["total_s"] == pytest.approx(0.6)
+        assert snap["min_s"] == pytest.approx(0.1)
+        assert snap["max_s"] == pytest.approx(0.3)
+        assert snap["mean_s"] == pytest.approx(0.2)
+
+    def test_timer_context_manager(self):
+        m = MetricsRegistry()
+        with m.timer("block"):
+            pass
+        assert m.snapshot()["timers"]["block"]["count"] == 1
+
+    def test_kind_collision_rejected(self):
+        m = MetricsRegistry()
+        m.inc("name")
+        with pytest.raises(MetricError):
+            m.set_gauge("name", 1.0)
+        with pytest.raises(MetricError):
+            m.observe("name", 1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().inc("")
+
+    def test_disabled_registry_is_noop(self):
+        m = MetricsRegistry(enabled=False)
+        m.inc("c")
+        m.set_gauge("g", 1.0)
+        m.observe("t", 1.0)
+        snap = m.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_snapshot_deterministic_across_insert_order(self):
+        m1, m2 = MetricsRegistry(), MetricsRegistry()
+        m1.inc("z.last", 1); m1.inc("a.first", 2); m1.set_gauge("mid", 3)
+        m2.set_gauge("mid", 3); m2.inc("a.first", 2); m2.inc("z.last", 1)
+        assert m1.to_json() == m2.to_json()
+        assert list(m1.snapshot()["counters"]) == ["a.first", "z.last"]
+
+    def test_reset_clears_values_and_bindings(self):
+        m = MetricsRegistry()
+        m.inc("n")
+        m.reset()
+        assert m.counter("n") == 0
+        m.set_gauge("n", 1.0)  # rebinding as another kind now allowed
+        assert m.gauge("n") == 1.0
+
+    def test_prefixed_view(self):
+        m = MetricsRegistry()
+        m.inc("phase3.workqueue.cpu.steals", 2)
+        m.set_gauge("phase3.workqueue.cpu.starvation_s", 0.5)
+        m.inc("phase4.tuples", 9)
+        view = m.prefixed("phase3.")
+        assert set(view) == {
+            "phase3.workqueue.cpu.steals",
+            "phase3.workqueue.cpu.starvation_s",
+        }
+
+
+class TestSpans:
+    def test_nesting_and_self_time(self):
+        rec = SpanRecorder()
+        with rec.span("outer") as outer:
+            with rec.span("inner") as inner:
+                pass
+        assert outer.depth == 0 and inner.depth == 1
+        assert inner.parent == outer.index
+        assert outer.wall_self_s <= outer.wall_duration_s
+        assert outer.child_wall_s == pytest.approx(inner.wall_duration_s)
+
+    def test_sim_annotation(self):
+        rec = SpanRecorder()
+        with rec.span("k", category="kernel.cpu") as sp:
+            sp.set_sim(1.0, 3.0, device="cpu0", phase="II")
+        assert sp.sim_duration_s == pytest.approx(2.0)
+        assert sp.device == "cpu0" and sp.phase == "II"
+
+    def test_disabled_recorder_yields_none(self):
+        rec = SpanRecorder(enabled=False)
+        with rec.span("x") as sp:
+            assert sp is None
+        assert rec.spans == []
+
+    def test_self_time_by_category_ordering(self):
+        rec = SpanRecorder()
+        with rec.span("a", category="slow"):
+            for _ in range(1000):
+                pass
+        with rec.span("b", category="fast"):
+            pass
+        agg = rec.self_time_by_category()
+        assert set(agg) == {"slow", "fast"}
+        counts = [c for c, _ in agg.values()]
+        assert counts == [1, 1]
+
+    def test_observed_restores_global_state(self):
+        assert not METRICS.enabled and not SPANS.enabled
+        with observed() as (m, s):
+            assert m is METRICS and s is SPANS
+            assert m.enabled and s.enabled
+            m.inc("inside")
+        assert not METRICS.enabled and not SPANS.enabled
+        # values recorded inside the window survive for export
+        assert METRICS.counter("inside") == 1
+
+
+def _hand_built_trace() -> Trace:
+    t = Trace()
+    t.add(TraceEvent("cpu0", "II", "cpu:AH*BH", 0.0, 2.0, {"flops": 10}))
+    t.add(TraceEvent("gpu0", "II", "gpu:AL*BL", 0.0, 1.5, {"flops": 6}))
+    t.add(TraceEvent("cpu0", "IV", "cpu:merge", 2.0, 2.5, {"tuples": 4}))
+    return t
+
+
+class TestChromeExport:
+    def test_golden_file(self):
+        doc = chrome_trace(_hand_built_trace())
+        golden = json.loads(GOLDEN.read_text())
+        assert doc == golden
+
+    def test_export_is_valid_json_on_disk(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(str(path), _hand_built_trace())
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_small_multiply_run_emits_valid_trace_events(self, tmp_path):
+        from repro.core.hhcpu import hhcpu_multiply
+
+        a = powerlaw_matrix(300, alpha=2.5, target_nnz=1_500, hub_bias=0.5, rng=11)
+        with observed():
+            result = hhcpu_multiply(a, a)
+            spans = list(SPANS.spans)
+        path = tmp_path / "trace.json"
+        export_chrome_trace(str(path), result.trace, spans)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events, "empty trace"
+        for e in events:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+            assert e["ph"] in ("X", "M")
+            if e["ph"] == "X":
+                assert e["dur"] >= 0 and e["ts"] >= 0
+        # both clock domains present: simulated devices and wall spans
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 2}
+        thread_names = {
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert any("K20c" in n or "gpu" in n.lower() for n in thread_names)
+        # every simulated event of the run is exported
+        assert sum(
+            1 for e in events if e["ph"] == "X" and e["pid"] == 1
+        ) == len(result.trace.events)
+
+    def test_metrics_document_from_registry_and_snapshot(self):
+        m = MetricsRegistry()
+        m.inc("c", 2)
+        from_reg = metrics_document(m, context={"matrix": "x"})
+        from_snap = metrics_document(m.snapshot(), context={"matrix": "x"})
+        assert from_reg == from_snap
+        assert from_reg["schema"] == "repro-metrics/1"
+        assert from_reg["counters"]["c"] == 2
+
+    def test_export_metrics_roundtrip(self, tmp_path):
+        m = MetricsRegistry()
+        m.inc("phase4.tuples_merged", 7)
+        path = tmp_path / "m.json"
+        export_metrics(str(path), m)
+        doc = json.loads(path.read_text())
+        assert doc["counters"]["phase4.tuples_merged"] == 7
+
+
+class TestInstrumentationGating:
+    def test_hot_paths_record_nothing_when_disabled(self):
+        from repro.core.hhcpu import hhcpu_multiply
+
+        METRICS.reset()
+        a = powerlaw_matrix(300, alpha=2.5, target_nnz=1_500, hub_bias=0.5, rng=11)
+        hhcpu_multiply(a, a)
+        assert METRICS.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+        assert SPANS.spans == []
+
+    def test_hhcpu_records_required_metrics_when_enabled(self):
+        from repro.core.hhcpu import hhcpu_multiply
+
+        a = powerlaw_matrix(300, alpha=2.5, target_nnz=1_500, hub_bias=0.5, rng=11)
+        with observed() as (m, _):
+            hhcpu_multiply(a, a)
+            counters = m.snapshot()["counters"]
+        assert counters["phase1.rows_classified"] == 600
+        assert "phase4.tuples_merged" in counters
+        assert any(k.startswith("quadrant.") and k.endswith(".flops")
+                   for k in counters)
+        assert any(k.startswith("phase3.workqueue.") for k in counters)
+        assert any(k.startswith("kernels.") for k in counters)
+        assert any(k.startswith("costmodel.") for k in m.prefixed("costmodel."))
+
+
+class TestProfileDriver:
+    def test_profile_run_report_and_exports(self, tmp_path):
+        from repro.obs.profile import profile_run
+
+        report = profile_run("wiki-Vote", scale=0.05)
+        text = report.render()
+        assert "Per-phase simulated time" in text
+        assert "Phase III workqueue" in text
+        assert "quadrant" in text
+
+        tpath, mpath = tmp_path / "t.json", tmp_path / "m.json"
+        report.write_chrome_trace(str(tpath))
+        report.write_metrics(str(mpath))
+        trace_doc = json.loads(tpath.read_text())
+        metrics_doc = json.loads(mpath.read_text())
+        assert trace_doc["traceEvents"]
+        gauges = metrics_doc["gauges"]
+        for key in ("trace.phase.I.time_s", "trace.phase.III.time_s",
+                    "trace.makespan_s"):
+            assert key in gauges
+        counters = metrics_doc["counters"]
+        for key in ("phase3.workqueue.cpu.dequeues",
+                    "phase3.workqueue.gpu.dequeues",
+                    "quadrant.AH_BH.tuples", "quadrant.AL_BL.flops"):
+            assert key in counters
+        assert metrics_doc["context"]["matrix"] == "wiki-Vote"
+
+    def test_profile_baseline_algorithm(self):
+        from repro.obs.profile import profile_run
+
+        report = profile_run("wiki-Vote", algorithm="cpu", scale=0.05)
+        assert report.result.algorithm.lower().startswith("cpu")
+
+    def test_profile_unknown_algorithm_rejected(self):
+        from repro.obs.profile import profile_setup
+        from repro.analysis.runners import experiment_setup
+
+        with pytest.raises(ValueError):
+            profile_setup(experiment_setup("wiki-Vote", scale=0.05),
+                          algorithm="nope")
+
+
+class TestProfileCLI:
+    def test_profile_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        tpath, mpath = tmp_path / "t.json", tmp_path / "m.json"
+        assert main(["profile", "wiki-Vote", "--scale", "0.05",
+                     "--export-trace", str(tpath),
+                     "--export-metrics", str(mpath)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase simulated time" in out
+        assert json.loads(tpath.read_text())["traceEvents"]
+        assert "counters" in json.loads(mpath.read_text())
