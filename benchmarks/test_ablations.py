@@ -10,7 +10,7 @@
 - heterogeneous csrmm (§VI) vs single-device csrmm.
 """
 
-import time
+import time  # repro: noqa[DET001] — the ablation times real host kernels
 
 import numpy as np
 import pytest

@@ -8,7 +8,11 @@ Commands mirror the benchmark harness, for interactive use:
     python -m repro fig10
     python -m repro multiply webbase-1M [--algorithm hipc2012]
     python -m repro profile wiki-Vote [--export-trace t.json] [--export-metrics m.json]
+    python -m repro check [--format json] [--baseline]
     python -m repro datasets
+
+With no (or an unknown) command the CLI prints usage listing the
+subcommands and exits 2 instead of raising.
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Regenerate the paper's tables and figures on the simulated platform.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=False)
 
     for name in ("table1", "fig5", "fig6", "fig7", "fig9"):
         p = sub.add_parser(name, help=f"regenerate {name}")
@@ -86,11 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the metrics snapshot as flat JSON")
 
     sub.add_parser("datasets", help="list the Table I registry")
+
+    from repro.lint.cli import add_check_arguments
+
+    pc = sub.add_parser(
+        "check",
+        help="simulation-soundness static analysis (DET/CLK/MET/UNIT rules); "
+             "exit 0 clean, 1 findings, 2 usage error",
+    )
+    add_check_arguments(pc)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "check":
+        from repro.lint.cli import run_check
+
+        return run_check(args)
     names = getattr(args, "names", None) or DATASET_NAMES
     scale = getattr(args, "scale", None)
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.result import SpmmResult
-from repro.formats.base import check_multiply_compatible
 from repro.formats.csr import CSRMatrix
 from repro.hardware.platform import HeteroPlatform, default_platform
 from repro.hetero.partition import classify_rows

@@ -1,0 +1,51 @@
+"""Simulation-soundness static analysis (``python -m repro check``).
+
+An AST-based checker enforcing the invariants the reproduction's
+numbers depend on, none of which the test suite can see directly:
+
+- **DET001/DET002** — all randomness flows through
+  :mod:`repro.util.rng`; nothing iterates unordered containers where
+  ordering could leak into simulated schedules;
+- **CLK001** — simulation code never reads host wall clocks, and
+  simulated-clock values never land in host-clock span fields;
+- **MET001/MET002** — every metric name is declared in
+  :mod:`repro.obs.catalog` and every mutating ``METRICS`` call is
+  gated on ``METRICS.enabled``;
+- **UNIT001** — unit conversions happen at reporting boundaries only.
+
+Layout: :mod:`~repro.lint.base` (types + registry),
+:mod:`~repro.lint.rules` (the domain rules),
+:mod:`~repro.lint.engine` (walking + filtering),
+:mod:`~repro.lint.suppressions` (``# repro: noqa[RULE]``),
+:mod:`~repro.lint.baseline` (grandfathered findings),
+:mod:`~repro.lint.reporters` (text/JSON), :mod:`~repro.lint.cli`.
+"""
+
+from repro.lint.base import (
+    REGISTRY,
+    Finding,
+    ModuleContext,
+    RawFinding,
+    Rule,
+    all_rules,
+    register,
+)
+from repro.lint.engine import DEFAULT_ROOTS, LintResult, lint_file, lint_paths
+from repro.lint.reporters import json_document, render_json, render_text
+
+__all__ = [
+    "REGISTRY",
+    "Finding",
+    "ModuleContext",
+    "RawFinding",
+    "Rule",
+    "all_rules",
+    "register",
+    "DEFAULT_ROOTS",
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "json_document",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,90 @@
+"""Small AST utilities shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.obs.catalog import FSTRING_SENTINEL
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None.
+
+    Works on call targets: ``dotted_name(call.func)`` gives
+    ``"np.random.default_rng"`` for ``np.random.default_rng(...)``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def literal_string(node: ast.expr) -> str | None:
+    """The value of a string literal or f-string, else None.
+
+    F-string formatted values become :data:`FSTRING_SENTINEL` so the
+    result still occupies one dot-path segment per formatted value and
+    can be matched against ``{placeholder}`` catalog patterns.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                parts.append(piece.value)
+            else:
+                parts.append(FSTRING_SENTINEL)
+        return "".join(parts)
+    return None
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully qualified origin for every import in a module.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                mapping[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def qualified_call_name(call: ast.Call, imports: dict[str, str]) -> str | None:
+    """The fully qualified dotted name a call resolves to, best effort.
+
+    Resolves the leading segment through the module's import map, so
+    ``np.random.rand()`` -> ``numpy.random.rand`` and an aliased
+    ``rng()`` (from ``from numpy.random import default_rng as rng``)
+    -> ``numpy.random.default_rng``.
+    """
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin
+
+
+def iter_loop_iterables(tree: ast.Module):
+    """Yield every expression something iterates over: ``for`` targets
+    and comprehension generators (the places set ordering leaks)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter

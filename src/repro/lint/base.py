@@ -1,0 +1,130 @@
+"""Core lint types: findings, severities, rules, and the registry.
+
+A rule is a class with an ``id`` (``DET001`` …), a ``severity``, a
+one-line ``description``, and a ``check(ctx)`` generator yielding
+:class:`RawFinding` tuples.  Rules register themselves with the
+module-level registry via the :func:`register` decorator; the engine
+(:mod:`repro.lint.engine`) instantiates every registered rule per run
+and turns raw findings into path-stamped :class:`Finding` records.
+
+Severities: ``error`` findings fail ``repro check`` (exit 1);
+``warning`` findings are reported but never affect the exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, NamedTuple
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+_SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+class RawFinding(NamedTuple):
+    """What a rule yields: position + message, no file identity yet."""
+
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation, fully located and attributable."""
+
+    rule: str
+    severity: str
+    path: str  # posix-style path relative to the scan root
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file, so a
+        baselined finding survives unrelated edits above it."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one file under analysis."""
+
+    path: Path
+    #: posix relpath used in reports (stable across machines)
+    relpath: str
+    #: dotted module path, e.g. ``repro.core.hhcpu`` (best effort; the
+    #: file stem when the file is outside any ``repro`` package)
+    module: str
+    tree: ast.Module
+    source_lines: list[str] = field(default_factory=list)
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether the module lives in (or under) any named package,
+        given as dotted prefixes like ``"repro.core"``."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in packages
+        )
+
+
+class Rule:
+    """Base class; subclasses set the class attributes and ``check``."""
+
+    id: str = ""
+    severity: str = SEVERITY_ERROR
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        raise NotImplementedError
+
+    def findings(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for raw in self.check(ctx):
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=ctx.relpath,
+                line=raw.line,
+                col=raw.col,
+                message=raw.message,
+            )
+
+
+#: rule id -> rule class, in registration order
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (import-time)."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.severity not in _SEVERITIES:
+        raise ValueError(
+            f"rule {rule_cls.id}: severity must be one of {_SEVERITIES}, "
+            f"got {rule_cls.severity!r}"
+        )
+    if rule_cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in id order."""
+    import repro.lint.rules  # noqa: F401  (import populates REGISTRY)
+
+    return [REGISTRY[rid]() for rid in sorted(REGISTRY)]

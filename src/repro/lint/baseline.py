@@ -1,0 +1,60 @@
+"""The committed-baseline file: grandfathered findings.
+
+The baseline holds :meth:`~repro.lint.base.Finding.fingerprint` strings
+(rule + path + message, no line numbers, so findings survive unrelated
+edits).  ``repro check --baseline`` subtracts it from the report, which
+lets a new rule land with pre-existing debt tracked instead of blocking
+CI — though this repo's policy (ISSUE 2) is to *fix* what a new rule
+flags, so the committed baseline stays empty.
+
+A fingerprint appearing N times in the baseline excuses at most N
+matching findings; extra occurrences of the same violation are new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.base import Finding
+from repro.util.errors import ReproError
+
+BASELINE_VERSION = 1
+
+#: the committed repo-root baseline ``repro check --baseline`` defaults to
+DEFAULT_BASELINE_PATH = ".repro-lint-baseline.json"
+
+
+def baseline_document(findings: list[Finding]) -> dict:
+    """The JSON document capturing ``findings`` as a baseline."""
+    return {
+        "version": BASELINE_VERSION,
+        "entries": sorted(f.fingerprint() for f in findings),
+    }
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> dict:
+    doc = baseline_document(findings)
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint -> allowance count from a baseline file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ReproError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"baseline file {path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ReproError(
+            f"baseline file {path} has unsupported version "
+            f"{doc.get('version') if isinstance(doc, dict) else doc!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = doc.get("entries", [])
+    if not isinstance(entries, list) or not all(isinstance(e, str) for e in entries):
+        raise ReproError(f"baseline file {path}: 'entries' must be a list of strings")
+    return Counter(entries)

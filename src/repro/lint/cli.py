@@ -1,0 +1,105 @@
+"""The ``python -m repro check`` subcommand.
+
+Exit codes (CI-friendly):
+
+- **0** — no unsuppressed, unbaselined error-severity findings;
+- **1** — findings (the report lists them);
+- **2** — usage or environment problems (bad path, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import DEFAULT_BASELINE_PATH, load_baseline, write_baseline
+from repro.lint.engine import DEFAULT_ROOTS, lint_paths
+from repro.lint.reporters import render_json, render_rules, render_text
+from repro.util.errors import ReproError
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``check`` options to an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to analyse (default: {', '.join(DEFAULT_ROOTS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", nargs="?", const=DEFAULT_BASELINE_PATH, default=None,
+        metavar="PATH",
+        help="subtract a committed baseline file from the report "
+             f"(default path when given bare: {DEFAULT_BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--write-baseline", nargs="?", const=DEFAULT_BASELINE_PATH, default=None,
+        metavar="PATH",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-noqa", action="store_true",
+        help="ignore inline `# repro: noqa[...]` suppressions",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """Execute ``repro check`` for parsed arguments."""
+    if args.list_rules:
+        print(render_rules())
+        return 0
+
+    paths = args.paths or None
+    if paths:
+        missing = [p for p in paths if not Path(p).exists()]
+        if missing:
+            print(f"repro check: no such path: {', '.join(missing)}", file=sys.stderr)
+            return 2
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ReproError as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+
+    result = lint_paths(
+        paths, respect_noqa=not args.no_noqa, baseline=baseline
+    )
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, result.findings)
+        print(
+            f"baseline with {len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} "
+            f"written to {args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="Simulation-soundness static analysis for the repro codebase.",
+    )
+    add_check_arguments(parser)
+    return run_check(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

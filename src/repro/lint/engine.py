@@ -1,0 +1,208 @@
+"""The lint engine: file discovery, rule dispatch, filtering.
+
+:func:`lint_paths` is the one entry point: it walks the given roots
+(defaulting to the repo's analysed trees), parses each Python file
+once, runs every registered rule over the AST, then filters the raw
+findings through inline ``# repro: noqa`` suppressions and the optional
+committed baseline.  Output ordering is fully deterministic (sorted by
+path, then position, then rule) so reports diff cleanly.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from repro.lint.base import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+)
+from repro.lint.suppressions import is_suppressed, suppression_map
+
+#: trees ``repro check`` analyses when no paths are given (repo-root
+#: relative; missing ones are skipped so the CLI works from a checkout
+#: or an installed tree alike)
+DEFAULT_ROOTS = ("src/repro", "tools", "benchmarks")
+
+#: directories never descended into
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS or part.startswith(".")
+                           for part in sub.relative_to(path).parts):
+                    out.add(sub)
+    return sorted(out)
+
+
+def module_name(path: Path) -> str:
+    """Best-effort dotted module path for scoping rules.
+
+    Files under a ``repro`` package directory (wherever it sits — the
+    real ``src/repro`` or a test fixture's ``src/repro``) get their
+    dotted path from that anchor; anything else is just its stem, which
+    keeps path-scoped rules (CLK001, UNIT001) out of tools/benchmarks.
+    """
+    parts = list(path.parts)
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        mod_parts = list(parts[anchor:])
+    else:
+        mod_parts = [parts[-1]]
+    mod_parts[-1] = mod_parts[-1].removesuffix(".py")
+    if mod_parts[-1] == "__init__":
+        mod_parts.pop()
+    return ".".join(mod_parts)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """CI verdict: no unsuppressed, unbaselined errors."""
+        return self.errors == 0
+
+    def summary(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "ok": self.ok,
+        }
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return str(PurePosixPath(*rel.parts))
+
+
+def lint_file(
+    path: Path, *, root: Path, rules: list[Rule], respect_noqa: bool = True
+) -> tuple[list[Finding], int]:
+    """``(kept findings, suppressed count)`` for one file."""
+    rel = _relpath(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SYNTAX",
+                severity=SEVERITY_ERROR,
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ], 0
+    lines = source.splitlines()
+    ctx = ModuleContext(
+        path=path,
+        relpath=rel,
+        module=module_name(path),
+        tree=tree,
+        source_lines=lines,
+    )
+    found: list[Finding] = []
+    for rule in rules:
+        found.extend(rule.findings(ctx))
+    if not respect_noqa:
+        return found, 0
+    supp = suppression_map(lines)
+    kept = [f for f in found if not is_suppressed(f.rule, f.line, supp)]
+    return kept, len(found) - len(kept)
+
+
+def lint_paths(
+    paths: list[str | Path] | None = None,
+    *,
+    root: str | Path | None = None,
+    rules: list[Rule] | None = None,
+    respect_noqa: bool = True,
+    baseline: Counter | None = None,
+) -> LintResult:
+    """Run the checker over files/directories and return the result.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to analyse; defaults to the repo's
+        :data:`DEFAULT_ROOTS` that exist under ``root``.
+    root:
+        Base directory findings are reported relative to (default cwd).
+    rules:
+        Rule instances to run (default: every registered rule).
+    respect_noqa:
+        Honour inline ``# repro: noqa`` markers (default True).
+    baseline:
+        Fingerprint allowance counts (from
+        :func:`repro.lint.baseline.load_baseline`); matching findings
+        are counted as ``baselined`` instead of reported.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    if paths is None:
+        targets = [base / r for r in DEFAULT_ROOTS if (base / r).exists()]
+    else:
+        targets = [Path(p) for p in paths]
+    active = rules if rules is not None else all_rules()
+
+    result = LintResult()
+    collected: list[Finding] = []
+    for path in iter_python_files(targets):
+        kept, suppressed = lint_file(
+            path, root=base, rules=active, respect_noqa=respect_noqa
+        )
+        collected.extend(kept)
+        result.suppressed += suppressed
+        result.files_checked += 1
+
+    if baseline:
+        allowance = Counter(baseline)
+        remaining: list[Finding] = []
+        for finding in collected:
+            fp = finding.fingerprint()
+            if allowance.get(fp, 0) > 0:
+                allowance[fp] -= 1
+                result.baselined += 1
+            else:
+                remaining.append(finding)
+        collected = remaining
+
+    result.findings = sorted(
+        collected, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Text and JSON reporters for lint results.
+
+Both are deterministic: findings arrive sorted from the engine and the
+JSON document sorts its keys, so reports can be committed as goldens
+and diffed across runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.base import REGISTRY, all_rules
+from repro.lint.engine import LintResult
+
+REPORT_SCHEMA = "repro-lint/1"
+
+
+def render_text(result: LintResult) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [f.render() for f in result.findings]
+    s = result.summary()
+    tail = (
+        f"{s['files_checked']} files checked: "
+        f"{s['errors']} error(s), {s['warnings']} warning(s)"
+    )
+    extras = []
+    if s["suppressed"]:
+        extras.append(f"{s['suppressed']} suppressed by noqa")
+    if s["baselined"]:
+        extras.append(f"{s['baselined']} in baseline")
+    if extras:
+        tail += f" ({', '.join(extras)})"
+    lines.append(tail)
+    if s["ok"] and not result.findings:
+        lines.append("ok")
+    return "\n".join(lines)
+
+
+def json_document(result: LintResult) -> dict:
+    """The machine-readable report (schema ``repro-lint/1``)."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "summary": result.summary(),
+        "findings": [f.as_dict() for f in result.findings],
+    }
+
+
+def render_json(result: LintResult, *, indent: int = 2) -> str:
+    return json.dumps(json_document(result), indent=indent, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The rule listing for ``repro check --list-rules``."""
+    rules = all_rules()
+    width = max(len(r.id) for r in rules)
+    lines = [
+        f"{r.id:<{width}}  [{r.severity}] {r.description}" for r in rules
+    ]
+    lines.append(f"{len(REGISTRY)} rules registered")
+    return "\n".join(lines)

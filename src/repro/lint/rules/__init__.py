@@ -1,0 +1,20 @@
+"""Domain rules for the simulation-soundness checker.
+
+Importing this package populates :data:`repro.lint.base.REGISTRY`:
+
+- **DET001/DET002** (:mod:`~repro.lint.rules.determinism`) — host
+  randomness and unordered-iteration leaks;
+- **CLK001** (:mod:`~repro.lint.rules.clock`) — clock-domain hygiene;
+- **MET001/MET002** (:mod:`~repro.lint.rules.metrics_rules`) — metric
+  catalog membership and hot-path gating;
+- **UNIT001** (:mod:`~repro.lint.rules.units_rules`) — unit conversions
+  at reporting boundaries only.
+
+To add a rule: subclass :class:`repro.lint.base.Rule` in a module here,
+decorate it with :func:`repro.lint.base.register`, import the module
+below, and add a fixture with one violation to ``tests/data/lint_fixtures``.
+"""
+
+from repro.lint.rules import clock, determinism, metrics_rules, units_rules
+
+__all__ = ["clock", "determinism", "metrics_rules", "units_rules"]

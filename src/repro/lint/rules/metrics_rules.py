@@ -1,0 +1,178 @@
+"""MET001/MET002 — metrics hygiene.
+
+MET001 keeps every metric name a call site mints inside the declared
+catalog (:mod:`repro.obs.catalog`) — the same catalog the runtime
+registry validates against, so the static and dynamic checks cannot
+drift apart.  MET002 keeps instrumentation off the hot path: every
+mutating ``METRICS.*`` call must sit behind an ``if METRICS.enabled:``
+gate so argument evaluation is skipped when profiling is off.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import literal_string
+from repro.lint.base import ModuleContext, RawFinding, Rule, register
+from repro.obs.catalog import FSTRING_SENTINEL, is_declared
+
+#: METRICS method -> catalog kind it must resolve to
+_KIND_OF_METHOD = {
+    "inc": "counter",
+    "counter": "counter",
+    "set_gauge": "gauge",
+    "gauge": "gauge",
+    "observe": "timer",
+    "timer": "timer",
+}
+
+#: methods that write (and therefore cost something when enabled);
+#: ``timer`` is excluded from MET002 because it gates internally
+_MUTATING_METHODS = frozenset({"inc", "set_gauge", "observe"})
+
+
+def _metrics_call(node: ast.expr) -> tuple[str, ast.Call] | None:
+    """``(method, call)`` when ``node`` is ``METRICS.<method>(...)``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "METRICS"
+        and node.func.attr in _KIND_OF_METHOD
+    ):
+        return node.func.attr, node
+    return None
+
+
+@register
+class MET001(Rule):
+    """Metric name literals must appear in the declared catalog."""
+
+    id = "MET001"
+    description = (
+        "every METRICS.inc/set_gauge/observe/timer name literal must be "
+        "declared in repro.obs.catalog (with the matching kind)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            hit = _metrics_call(node)
+            if hit is None:
+                continue
+            method, call = hit
+            if not call.args:
+                continue
+            name = literal_string(call.args[0])
+            if name is None:
+                continue  # dynamic name: the runtime validator's job
+            kind = _KIND_OF_METHOD[method]
+            if not is_declared(name, kind):
+                shown = name.replace(FSTRING_SENTINEL, "{...}")
+                reason = (
+                    "declared with a different kind"
+                    if is_declared(name)
+                    else "not declared"
+                )
+                yield RawFinding(
+                    call.lineno, call.col_offset,
+                    f"metric {shown!r} used as a {kind} is {reason} in "
+                    "repro.obs.catalog; declare it there (single source of "
+                    "truth) or fix the call site",
+                )
+
+
+def _is_enabled_expr(test: ast.expr) -> bool:
+    """``X.enabled`` (possibly one operand of an `and`)."""
+    if isinstance(test, ast.Attribute) and test.attr == "enabled":
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_is_enabled_expr(v) for v in test.values)
+    return False
+
+
+def _is_not_enabled_expr(test: ast.expr) -> bool:
+    return (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and _is_enabled_expr(test.operand)
+    )
+
+
+@register
+class MET002(Rule):
+    """Mutating METRICS calls must be gated on ``METRICS.enabled``."""
+
+    id = "MET002"
+    description = (
+        "METRICS.inc/set_gauge/observe must sit behind an "
+        "`if METRICS.enabled:` gate (or an early-return guard) so "
+        "argument evaluation is free when profiling is off"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        out: list[RawFinding] = []
+        self._scan_body(ctx.tree.body, False, out)
+        yield from out
+
+    # -- gated-region tracking --------------------------------------------
+    def _scan_body(self, body: list[ast.stmt], gated: bool, out: list[RawFinding]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                if _is_enabled_expr(stmt.test):
+                    self._scan_body(stmt.body, True, out)
+                    self._scan_body(stmt.orelse, gated, out)
+                    continue
+                if _is_not_enabled_expr(stmt.test) and any(
+                    isinstance(s, ast.Return) for s in stmt.body
+                ):
+                    # `if not METRICS.enabled: return` — the rest of this
+                    # body only runs with metrics on
+                    self._scan_body(stmt.body, gated, out)
+                    self._scan_body(stmt.orelse, gated, out)
+                    gated = True
+                    continue
+                self._scan_expr(stmt.test, gated, out)
+                self._scan_body(stmt.body, gated, out)
+                self._scan_body(stmt.orelse, gated, out)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                # lexical reading: a def/class inside a gated block is
+                # considered gated (mutating methods early-return when
+                # disabled anyway — the gate is a cost optimisation)
+                self._scan_body(stmt.body, gated, out)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(stmt.iter, gated, out)
+                self._scan_body(stmt.body, gated, out)
+                self._scan_body(stmt.orelse, gated, out)
+            elif isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test, gated, out)
+                self._scan_body(stmt.body, gated, out)
+                self._scan_body(stmt.orelse, gated, out)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, gated, out)
+                self._scan_body(stmt.body, gated, out)
+            elif isinstance(stmt, ast.Try):
+                self._scan_body(stmt.body, gated, out)
+                for handler in stmt.handlers:
+                    self._scan_body(handler.body, gated, out)
+                self._scan_body(stmt.orelse, gated, out)
+                self._scan_body(stmt.finalbody, gated, out)
+            else:
+                self._scan_expr(stmt, gated, out)
+
+    def _scan_expr(self, node: ast.AST, gated: bool, out: list[RawFinding]) -> None:
+        if gated:
+            return
+        for sub in ast.walk(node):
+            hit = _metrics_call(sub)
+            if hit is None:
+                continue
+            method, call = hit
+            if method in _MUTATING_METHODS:
+                out.append(RawFinding(
+                    call.lineno, call.col_offset,
+                    f"ungated METRICS.{method}(...); wrap in "
+                    "`if METRICS.enabled:` so the call site costs one "
+                    "branch when profiling is off",
+                ))

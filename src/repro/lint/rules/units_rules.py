@@ -1,0 +1,55 @@
+"""UNIT001 — unit-conversion helpers stay at reporting boundaries.
+
+Inside the cost models and kernels the invariant is *raw seconds and
+bytes*: every formula adds and divides SI quantities, and a stray
+``seconds_to_ms`` in the middle of one silently produces values a
+thousand times off.  The :mod:`repro.util.units` helpers exist for
+tables and log lines only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import dotted_name
+from repro.lint.base import ModuleContext, RawFinding, Rule, register
+
+#: hot-path packages where raw seconds/bytes are the invariant
+HOT_PACKAGES = ("repro.costmodel", "repro.kernels")
+
+#: the repro.util.units conversion/formatting helpers
+_CONVERSIONS = frozenset({
+    "seconds_to_ms", "ms_to_seconds", "bytes_to_mb",
+    "human_time", "human_bytes",
+})
+
+
+@register
+class UNIT001(Rule):
+    """Unit conversions banned in cost-model/kernel hot paths."""
+
+    id = "UNIT001"
+    description = (
+        "repro.util.units conversion helpers are reporting-boundary "
+        "only — banned in costmodel/ and kernels/ where raw "
+        "seconds/bytes are the invariant"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        if not ctx.in_package(*HOT_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = dotted_name(node.func)
+            if qual is None:
+                continue
+            leaf = qual.rsplit(".", 1)[-1]
+            if leaf in _CONVERSIONS:
+                yield RawFinding(
+                    node.lineno, node.col_offset,
+                    f"unit conversion `{leaf}` in a hot path; keep raw "
+                    "seconds/bytes here and convert at the reporting "
+                    "boundary (tables, renderers, exporters)",
+                )

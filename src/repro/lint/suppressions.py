@@ -1,0 +1,52 @@
+"""Inline ``# repro: noqa[RULE]`` suppressions.
+
+A finding is suppressed when the physical line it is reported on
+carries a marker:
+
+- ``# repro: noqa`` — suppress every rule on that line;
+- ``# repro: noqa[DET001]`` — suppress one rule;
+- ``# repro: noqa[DET001,CLK001]`` — suppress several.
+
+Markers are per-line and deliberately narrow: there is no file-level
+or block-level form, so every suppression sits next to the code it
+excuses and shows up in diffs that touch it.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+)
+
+#: sentinel for "all rules" in the suppression map
+ALL_RULES = None
+
+
+def suppression_map(source_lines: list[str]) -> dict[int, frozenset[str] | None]:
+    """1-based line number -> suppressed rule ids (None = all rules)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source_lines, start=1):
+        m = _NOQA.search(line)
+        if not m:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            out[lineno] = ALL_RULES
+        else:
+            ids = frozenset(
+                r.strip().upper() for r in rules.split(",") if r.strip()
+            )
+            out[lineno] = ids or ALL_RULES
+    return out
+
+
+def is_suppressed(
+    rule: str, line: int, suppressions: dict[int, frozenset[str] | None]
+) -> bool:
+    """Whether a finding of ``rule`` on ``line`` is suppressed."""
+    if line not in suppressions:
+        return False
+    ids = suppressions[line]
+    return ids is ALL_RULES or rule in ids

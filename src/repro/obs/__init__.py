@@ -4,6 +4,8 @@ The ``repro.obs`` subsystem is how the repo answers "where did the time
 and work go?" — the question behind Fig 7's phase breakdown, the
 "<2% CPU/GPU gap" claim, and the Fig 8 threshold trade-off:
 
+- :mod:`repro.obs.catalog` — the declared metric-name catalog (single
+  source of truth for the MET001 lint rule and runtime validation);
 - :mod:`repro.obs.metrics` — in-process counters/gauges/timers with
   hierarchical dot-names and deterministic JSON snapshots;
 - :mod:`repro.obs.spans` — nested spans carrying both the simulated
@@ -18,6 +20,7 @@ The shared :data:`METRICS` registry and :data:`SPANS` recorder start
 (or a test) enables them, so the tier-1 suite is unaffected.
 """
 
+from repro.obs.catalog import CATALOG, MetricSpec, declared_names, is_declared, spec_for
 from repro.obs.metrics import METRICS, MetricsRegistry, TimerStat
 from repro.obs.spans import SPANS, Span, SpanRecorder, observed
 from repro.obs.export import (
@@ -29,6 +32,11 @@ from repro.obs.export import (
 )
 
 __all__ = [
+    "CATALOG",
+    "MetricSpec",
+    "declared_names",
+    "is_declared",
+    "spec_for",
     "METRICS",
     "MetricsRegistry",
     "TimerStat",

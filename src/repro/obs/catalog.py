@@ -1,0 +1,148 @@
+"""The declared metric-name catalog: the single source of truth.
+
+Every metric the library emits through :data:`repro.obs.metrics.METRICS`
+is declared here, once, with its kind and unit.  Two consumers read the
+catalog and *must* stay in sync by construction:
+
+- the **MET001 lint rule** (:mod:`repro.lint.rules.metrics_rules`)
+  statically checks every ``METRICS.inc/set_gauge/observe/timer`` name
+  literal against it;
+- :class:`~repro.obs.metrics.MetricsRegistry` validates names and kinds
+  at runtime when constructed with ``validate=True`` (the test suite
+  runs the profile driver under a validating registry).
+
+Names may contain ``{placeholder}`` segments for families minted with
+f-strings at the call site (``quadrant.{product}.tuples``).  A
+placeholder matches exactly one dot-path segment, so declared families
+stay as narrow as the call sites that emit them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_KIND_COUNTER = "counter"
+_KIND_GAUGE = "gauge"
+_KIND_TIMER = "timer"
+
+#: placeholder syntax inside a declared name: ``{word}``
+_PLACEHOLDER = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+#: what the lint rule substitutes for an f-string's formatted values
+#: before matching against the catalog (never a dot, so it occupies
+#: exactly one segment, like any real formatted value is expected to)
+FSTRING_SENTINEL = "\x00"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared metric (or ``{placeholder}`` family of metrics)."""
+
+    name: str
+    kind: str
+    unit: str
+    description: str
+
+    def pattern(self) -> re.Pattern:
+        """Compiled regex matching every concrete name of this spec."""
+        parts = []
+        last = 0
+        for m in _PLACEHOLDER.finditer(self.name):
+            parts.append(re.escape(self.name[last:m.start()]))
+            parts.append(r"[^.]+")
+            last = m.end()
+        parts.append(re.escape(self.name[last:]))
+        return re.compile("^" + "".join(parts) + "$")
+
+
+def _c(name: str, unit: str, description: str) -> MetricSpec:
+    return MetricSpec(name, _KIND_COUNTER, unit, description)
+
+
+def _g(name: str, unit: str, description: str) -> MetricSpec:
+    return MetricSpec(name, _KIND_GAUGE, unit, description)
+
+
+def _t(name: str, unit: str, description: str) -> MetricSpec:
+    return MetricSpec(name, _KIND_TIMER, unit, description)
+
+
+#: every metric the library may emit, sorted by name within subsystem
+CATALOG: tuple[MetricSpec, ...] = (
+    # -- cost models -------------------------------------------------------
+    _c("costmodel.cpu.b_bytes_requested", "bytes", "B traffic the CPU model was asked for"),
+    _c("costmodel.cpu.b_bytes_fetched", "bytes", "B traffic the CPU model charged to DRAM"),
+    _g("costmodel.cpu.cache_hit_fraction", "fraction", "share of B traffic served by the LLC"),
+    _c("costmodel.gpu.b_bytes_requested", "bytes", "B traffic the GPU model was asked for"),
+    _c("costmodel.gpu.b_bytes_fetched", "bytes", "B traffic the GPU model charged to DRAM"),
+    _g("costmodel.gpu.cache_hit_fraction", "fraction", "share of B traffic served by L2"),
+    # -- HH-CPU phases -----------------------------------------------------
+    _c("phase1.rows_classified", "rows", "rows classified high/low in Phase I"),
+    _g("phase1.partition.{key}", "count", "partition summary entry (rows/nnz per class)"),
+    _c("quadrant.{product}.tuples", "tuples", "locally-merged nnz per cross-product quadrant"),
+    _c("quadrant.{product}.flops", "flops", "multiply-adds per cross-product quadrant"),
+    _c("phase4.tuples_merged", "tuples", "tuples entering the Phase IV global merge"),
+    _c("phase4.masters", "indices", "master (unique) indices out of the global merge"),
+    _g("phase4.duplication_ratio", "ratio", "tuples_in / masters for the global merge"),
+    # -- Phase III workqueue -----------------------------------------------
+    _c("phase3.workqueue.front.units", "units", "work-units enqueued at the CPU end"),
+    _c("phase3.workqueue.back.units", "units", "work-units enqueued at the GPU end"),
+    _c("phase3.workqueue.back.batched_launches", "launches", "batched GPU dequeues"),
+    _c("phase3.workqueue.back.batched_units", "units", "work-units covered by batched dequeues"),
+    _c("phase3.workqueue.{device}.dequeues", "units", "work-units a device dequeued"),
+    _c("phase3.workqueue.{device}.rows", "rows", "A-rows a device processed in Phase III"),
+    _c("phase3.workqueue.{device}.steals", "units", "cross-end (stolen) work-units"),
+    _g("phase3.workqueue.{device}.starvation_s", "seconds", "simulated idle at the phase barrier"),
+    # -- kernels -----------------------------------------------------------
+    _c("kernels.esc.launches", "launches", "ESC kernel launches"),
+    _c("kernels.esc.flops", "flops", "ESC multiply-adds"),
+    _c("kernels.esc.tuples", "tuples", "ESC output tuples after local reduce"),
+    _c("kernels.esc.expanded", "tuples", "ESC expanded (pre-reduce) tuples"),
+    _c("kernels.spa.launches", "launches", "SPA kernel launches"),
+    _c("kernels.spa.flops", "flops", "SPA multiply-adds"),
+    _c("kernels.spa.resets", "resets", "dense-accumulator resets"),
+    _c("kernels.spa.reset_slots", "slots", "accumulator slots cleared across resets"),
+    _c("kernels.merge.calls", "calls", "k-way merge invocations"),
+    _c("kernels.merge.tuples_in", "tuples", "tuples entering merges"),
+    _c("kernels.merge.reduce_ops", "ops", "duplicate reductions performed"),
+    _c("kernels.merge.sort_ops", "ops", "comparison work attributed to merge sorting"),
+    _c("kernels.hash.launches", "launches", "hash-accumulator launches"),
+    _c("kernels.hash.probes", "probes", "hash table probes"),
+    _c("kernels.hash.collisions", "probes", "probes that hit an occupied slot"),
+    # -- profile-driver derived gauges -------------------------------------
+    _g("trace.phase.{phase}.time_s", "seconds", "per-phase simulated time (max over devices)"),
+    _g("trace.phase.{phase}.gap_abs_s", "seconds", "within-phase device gap, absolute"),
+    _g("trace.phase.{phase}.gap_rel", "fraction", "within-phase device gap / phase max"),
+    _g("trace.device.{device}.busy_s", "seconds", "per-device simulated busy time"),
+    _g("trace.makespan_s", "seconds", "simulated makespan of the run"),
+    _g("result.total_time_s", "seconds", "modelled total time reported by the algorithm"),
+    _g("result.nnz", "nnz", "nnz of the result matrix"),
+    _t("profile.run_wall_s", "seconds", "host wall clock of the profiled run"),
+)
+
+_COMPILED: tuple[tuple[re.Pattern, MetricSpec], ...] = tuple(
+    (spec.pattern(), spec) for spec in CATALOG
+)
+
+
+def spec_for(name: str) -> MetricSpec | None:
+    """The :class:`MetricSpec` a concrete (or sentinel-bearing) metric
+    name falls under, or None if it is undeclared."""
+    for pattern, spec in _COMPILED:
+        if pattern.match(name):
+            return spec
+    return None
+
+
+def is_declared(name: str, kind: str | None = None) -> bool:
+    """Whether ``name`` is declared (and, if given, with ``kind``)."""
+    spec = spec_for(name)
+    if spec is None:
+        return False
+    return kind is None or spec.kind == kind
+
+
+def declared_names() -> list[str]:
+    """Every declared name/family, sorted (for docs and reports)."""
+    return sorted(spec.name for spec in CATALOG)

@@ -78,10 +78,17 @@ class MetricsRegistry:
         Direct instantiations default to enabled; the shared
         :data:`METRICS` instance starts disabled so the instrumented
         library costs nothing unless a profiler turns it on.
+    validate:
+        When True every name is checked against the declared catalog
+        (:mod:`repro.obs.catalog`) on first use, and its kind must
+        match the declaration.  Off by default (zero cost in library
+        use); the test suite profiles under a validating registry so an
+        undeclared or mis-kinded metric fails loudly before it ships.
     """
 
-    def __init__(self, *, enabled: bool = True):
+    def __init__(self, *, enabled: bool = True, validate: bool = False):
         self.enabled = enabled
+        self.validate = validate
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._timers: dict[str, TimerStat] = {}
@@ -93,11 +100,29 @@ class MetricsRegistry:
             raise MetricError(f"metric name must be a non-empty string, got {name!r}")
         bound = self._kinds.get(name)
         if bound is None:
+            if self.validate:
+                self._check_declared(name, kind)
             self._kinds[name] = kind
         elif bound != kind:
             raise MetricError(
                 f"metric {name!r} already registered as a {bound}, "
                 f"cannot re-use it as a {kind}"
+            )
+
+    @staticmethod
+    def _check_declared(name: str, kind: str) -> None:
+        from repro.obs.catalog import spec_for
+
+        spec = spec_for(name)
+        if spec is None:
+            raise MetricError(
+                f"metric {name!r} is not declared in repro.obs.catalog "
+                f"(add a MetricSpec there, or fix the call site)"
+            )
+        if spec.kind != kind:
+            raise MetricError(
+                f"metric {name!r} is declared as a {spec.kind} in "
+                f"repro.obs.catalog but used as a {kind}"
             )
 
     def reset(self) -> None:

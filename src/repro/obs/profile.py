@@ -202,6 +202,8 @@ class ProfileReport:
 def _derive_trace_metrics(result: SpmmResult) -> None:
     """Publish trace-level aggregates as gauges (per-phase simulated
     times, gaps, device busy time, makespan)."""
+    if not METRICS.enabled:
+        return
     trace = result.trace
     for phase, t in trace.phase_times().items():
         METRICS.set_gauge(f"trace.phase.{_slug(phase)}.time_s", t)

@@ -146,24 +146,29 @@ SPANS = SpanRecorder(enabled=False)
 
 
 @contextmanager
-def observed(metrics=None, spans=None):
+def observed(metrics=None, spans=None, *, validate=None):
     """Enable the shared METRICS/SPANS (reset first) for a ``with``
     block, restoring their previous enabled state afterwards.
 
     The profile driver uses this so an exception mid-run cannot leave
-    the global instrumentation switched on for unrelated code.
+    the global instrumentation switched on for unrelated code.  Pass
+    ``validate=True`` to additionally check every metric name against
+    the declared catalog for the duration of the block (tests do).
     """
     from repro.obs.metrics import METRICS
 
     m = METRICS if metrics is None else metrics
     s = SPANS if spans is None else spans
-    prev_m, prev_s = m.enabled, s.enabled
+    prev_m, prev_s, prev_v = m.enabled, s.enabled, m.validate
     m.reset()
     s.reset()
     m.enabled = True
     s.enabled = True
+    if validate is not None:
+        m.validate = bool(validate)
     try:
         yield m, s
     finally:
         m.enabled = prev_m
         s.enabled = prev_s
+        m.validate = prev_v

@@ -13,7 +13,7 @@ from repro.util.errors import (
     CalibrationError,
     SchedulingError,
 )
-from repro.util.rng import resolve_rng, spawn_rngs, DEFAULT_SEED
+from repro.util.rng import normalise, resolve_rng, spawn_rngs, DEFAULT_SEED
 from repro.util.units import (
     GIGA,
     MEGA,
@@ -38,6 +38,7 @@ __all__ = [
     "FormatError",
     "CalibrationError",
     "SchedulingError",
+    "normalise",
     "resolve_rng",
     "spawn_rngs",
     "DEFAULT_SEED",

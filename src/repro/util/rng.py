@@ -36,6 +36,11 @@ def resolve_rng(rng: int | np.random.Generator | None = None) -> np.random.Gener
     raise TypeError(f"rng must be None, int, or numpy Generator, got {type(rng)!r}")
 
 
+#: canonical name for the seed-or-generator normalisation; the DET001
+#: lint rule points offenders here ("seed through repro.util.rng.normalise")
+normalise = resolve_rng
+
+
 def spawn_rngs(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent child generators from one parent.
 

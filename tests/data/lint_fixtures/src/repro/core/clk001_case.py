@@ -1,0 +1,7 @@
+"""Fixture: exactly one CLK001 violation (host clock in sim code)."""
+
+from time import perf_counter  # host wall clock has no place in core/
+
+
+def stamp_phase():
+    return perf_counter()

@@ -1,0 +1,8 @@
+"""Fixture: exactly one DET002 violation (set-iteration order leak)."""
+
+
+def drain_in_arbitrary_order(units):
+    order = []
+    for unit in set(units):  # iteration order can differ between runs
+        order.append(unit)
+    return order

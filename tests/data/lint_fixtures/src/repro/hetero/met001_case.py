@@ -1,0 +1,8 @@
+"""Fixture: exactly one MET001 violation (undeclared metric name)."""
+
+from repro.obs.metrics import METRICS
+
+
+def record(n):
+    if METRICS.enabled:
+        METRICS.inc("phase3.workqueue.bogus_counter", n)  # not in the catalog

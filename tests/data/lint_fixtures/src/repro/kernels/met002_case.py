@@ -1,0 +1,7 @@
+"""Fixture: exactly one MET002 violation (ungated mutating call)."""
+
+from repro.obs.metrics import METRICS
+
+
+def record_launch():
+    METRICS.inc("kernels.esc.launches")  # declared, but not gated

@@ -1,0 +1,7 @@
+"""Fixture: exactly one UNIT001 violation (conversion in a hot path)."""
+
+from repro.util.units import seconds_to_ms
+
+
+def kernel_cost_ms(t_compute_s, t_mem_s):
+    return seconds_to_ms(t_compute_s + t_mem_s)  # hot paths keep raw seconds

@@ -1,0 +1,8 @@
+"""Fixture: exactly one DET001 violation (unseeded numpy Generator)."""
+
+import numpy as np
+
+
+def draw_values(n):
+    rng = np.random.default_rng()  # unseeded: nondeterministic per process
+    return rng.random(n)

@@ -1,7 +1,6 @@
 """Tests for the experiment drivers (on reduced sizes, so they stay
 fast); the full-size harnesses live under benchmarks/."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

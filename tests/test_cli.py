@@ -6,9 +6,23 @@ from repro.__main__ import build_parser, main
 
 
 class TestParser:
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_command_prints_usage(self, capsys):
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        for command in ("profile", "check", "multiply", "table1"):
+            assert command in out
+
+    def test_unknown_command_exits_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_check_flags(self):
+        args = build_parser().parse_args(["check", "--format", "json", "--baseline"])
+        assert args.command == "check"
+        assert args.format == "json"
+        assert args.baseline == ".repro-lint-baseline.json"
 
     def test_unknown_matrix_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,7 +1,6 @@
 """Tests for symbolic work estimation, KernelStats, and reuse curves."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.formats import CSRMatrix

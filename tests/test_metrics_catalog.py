@@ -1,0 +1,115 @@
+"""Tests for the metric catalog and its two consumers.
+
+The catalog (:mod:`repro.obs.catalog`) must be the *single* source of
+truth: the MET001 lint rule resolves names through the same
+``is_declared`` the runtime registry validates with, and a profiled run
+of the real pipeline must only ever mint declared names.
+"""
+
+import pytest
+
+from repro.obs import catalog
+from repro.obs.catalog import CATALOG, declared_names, is_declared, spec_for
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.spans import observed
+from repro.util.errors import MetricError
+
+
+class TestCatalog:
+    def test_concrete_names_resolve(self):
+        assert is_declared("kernels.esc.flops", "counter")
+        assert is_declared("trace.makespan_s", "gauge")
+        assert is_declared("profile.run_wall_s", "timer")
+
+    def test_placeholder_families_resolve(self):
+        assert is_declared("quadrant.AH_BH.tuples", "counter")
+        assert is_declared("phase3.workqueue.cpu.starvation_s", "gauge")
+        assert is_declared("trace.phase.III.time_s", "gauge")
+        assert is_declared("phase1.partition.A_H_rows", "gauge")
+
+    def test_placeholder_is_one_segment(self):
+        # a placeholder must not swallow dots: an extra level is undeclared
+        assert not is_declared("quadrant.AH.BH.tuples")
+        assert not is_declared("trace.phase..time_s")
+
+    def test_undeclared_and_kind_mismatch(self):
+        assert not is_declared("no.such.metric")
+        assert not is_declared("kernels.esc.flops", "gauge")
+        assert spec_for("no.such.metric") is None
+
+    def test_specs_are_well_formed(self):
+        assert len({s.name for s in CATALOG}) == len(CATALOG)
+        for spec in CATALOG:
+            assert spec.kind in ("counter", "gauge", "timer")
+            assert spec.unit and spec.description
+
+    def test_declared_names_sorted(self):
+        names = declared_names()
+        assert names == sorted(names) and len(names) == len(CATALOG)
+
+
+class TestSingleSourceOfTruth:
+    def test_lint_rule_reads_this_catalog(self):
+        from repro.lint.rules import metrics_rules
+
+        assert metrics_rules.is_declared is catalog.is_declared
+
+    def test_registry_validation_reads_this_catalog(self):
+        reg = MetricsRegistry(enabled=True, validate=True)
+        for spec in CATALOG:
+            concrete = spec.name.replace("{", "").replace("}", "")
+            if spec.kind == "counter":
+                reg.inc(concrete)
+            elif spec.kind == "gauge":
+                reg.set_gauge(concrete, 1.0)
+            else:
+                reg.observe(concrete, 1e-3)
+
+
+class TestValidatingRegistry:
+    def test_undeclared_name_rejected(self):
+        reg = MetricsRegistry(enabled=True, validate=True)
+        with pytest.raises(MetricError, match="not declared"):
+            reg.inc("made.up.counter")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry(enabled=True, validate=True)
+        with pytest.raises(MetricError, match="different|declared as"):
+            reg.set_gauge("kernels.esc.flops", 3.0)
+
+    def test_disabled_registry_never_validates(self):
+        reg = MetricsRegistry(enabled=False, validate=True)
+        reg.inc("made.up.counter")  # no-op, no binding, no error
+
+    def test_default_registry_does_not_validate(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("made.up.counter")
+        assert reg.counter("made.up.counter") == 1
+
+    def test_observed_validate_flag_round_trips(self):
+        assert METRICS.validate is False
+        with observed(validate=True) as (m, _):
+            assert m is METRICS and m.validate
+            with pytest.raises(MetricError):
+                m.inc("made.up.counter")
+        assert METRICS.validate is False
+
+
+class TestProfiledRunIsDeclared:
+    @pytest.mark.parametrize("algorithm", ["hh-cpu", "hipc2012"])
+    def test_profile_mints_only_declared_names(self, algorithm):
+        """The full pipeline under a validating registry: any undeclared
+        or mis-kinded metric raises MetricError inside the run."""
+        from repro.obs.profile import profile_run
+
+        METRICS.validate = True
+        try:
+            report = profile_run("wiki-Vote", algorithm=algorithm, scale=0.05)
+        finally:
+            METRICS.validate = False
+        snapshot = report.snapshot
+        for section, kind in (
+            ("counters", "counter"), ("gauges", "gauge"), ("timers", "timer")
+        ):
+            for name in snapshot[section]:
+                assert is_declared(name, kind), name

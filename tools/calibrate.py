@@ -12,7 +12,7 @@ Paper anchors (see costmodel/calibration.py):
 """
 
 import sys
-import time
+import time  # repro: noqa[DET001] — calibration measures real host wall time
 
 from repro.costmodel import DEFAULT_CALIBRATION
 from repro.hardware import default_platform
