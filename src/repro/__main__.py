@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "or chrome://tracing)")
     pp.add_argument("--export-metrics", metavar="PATH", default=None,
                     help="write the metrics snapshot as flat JSON")
+    pp.add_argument("--faults", metavar="SPEC", default=None,
+                    help="fault-spec JSON file (device crashes, stragglers, "
+                         "stalls, transient PCIe/work-unit errors); the run "
+                         "degrades gracefully and the result stays exact "
+                         "(hh-cpu only)")
 
     sub.add_parser("datasets", help="list the Table I registry")
 
@@ -146,8 +151,14 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "profile":
         from repro.obs.profile import profile_run
 
+        injector = None
+        if args.faults:
+            from repro.faults import FaultInjector, load_fault_spec
+
+            injector = FaultInjector(load_fault_spec(args.faults))
         report = profile_run(
-            args.matrix, algorithm=args.algorithm, scale=args.scale
+            args.matrix, algorithm=args.algorithm, scale=args.scale,
+            faults=injector,
         )
         print(report.render())
         if args.export_trace:

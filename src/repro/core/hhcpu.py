@@ -21,11 +21,19 @@ modelled (see DESIGN.md §2).
 
 from __future__ import annotations
 
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import RetryPolicy
+from repro.faults.spec import FaultSpec
 from repro.formats.base import check_multiply_compatible
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.hardware.platform import HeteroPlatform, default_platform
-from repro.hetero.executor import make_context, resolve_kernel, run_product
+from repro.hetero.executor import (
+    make_context,
+    resolve_kernel,
+    run_product,
+    run_product_resilient,
+)
 from repro.hetero.partition import partition_rows
 from repro.hetero.scheduler import run_workqueue_phase
 from repro.hetero.workqueue import (
@@ -56,6 +64,14 @@ class HHCPU:
     threshold_a, threshold_b:
         Fixed Phase I thresholds; ``None`` selects them with the
         analytic estimator (the library's "empirical" pick).
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` (or a
+        :class:`~repro.faults.spec.FaultSpec`, wrapped automatically)
+        enabling the fault-injection / graceful-degradation path; the
+        numeric result stays exact under any survivable schedule.
+    retry:
+        Retry-policy override for Phase III recovery; defaults to the
+        fault spec's policy.
     """
 
     name = "HH-CPU"
@@ -69,6 +85,8 @@ class HHCPU:
         gpu_rows: int = DEFAULT_GPU_ROWS,
         threshold_a: int | None = None,
         threshold_b: int | None = None,
+        faults: FaultInjector | FaultSpec | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.platform = platform or default_platform()
         self.kernel = resolve_kernel(kernel)
@@ -78,12 +96,19 @@ class HHCPU:
         self.gpu_rows = int(gpu_rows)
         self.threshold_a = threshold_a
         self.threshold_b = threshold_b
+        if isinstance(faults, FaultSpec):
+            faults = FaultInjector(faults)
+        self.faults = faults
+        self.retry = retry
 
     # -- public API ---------------------------------------------------------
     def multiply(self, a: CSRMatrix, b: CSRMatrix) -> SpmmResult:
         """Compute ``C = A @ B`` on the simulated platform."""
         check_multiply_compatible(a, b)
         pf = self.platform
+        inj = self.faults
+        if inj is not None:
+            pf.inject_faults(inj)
         pf.reset()
 
         # ---------------- Phase I ----------------
@@ -93,8 +118,29 @@ class HHCPU:
             t_a = auto_a if t_a is None else t_a
             t_b = auto_b if t_b is None else t_b
         pf.cpu.busy("I", "host:prepare-row-sizes", pf.cpu.phase1_time(a.nrows + b.nrows))
-        pf.upload_row_sizes("I", "xfer:row-sizes", a.nrows + b.nrows)
-        pf.gpu.busy("I", "gpu:classify-rows", pf.gpu.phase1_time(a.nrows + b.nrows))
+        if inj is not None and inj.crashed("gpu", pf.gpu.clock):
+            # the GPU was dead on arrival: the host classifies its own
+            # rows and the whole run degrades to single-device mode
+            inj.mark_dead("gpu", inj.crash_time("gpu"))
+            pf.cpu.busy(
+                "I", "host:classify-rows:failover",
+                pf.cpu.phase1_time(a.nrows + b.nrows),
+            )
+        else:
+            pf.upload_row_sizes("I", "xfer:row-sizes", a.nrows + b.nrows)
+            classify = pf.gpu.busy(
+                "I", "gpu:classify-rows", pf.gpu.phase1_time(a.nrows + b.nrows)
+            )
+            if inj is not None:
+                crash_t = inj.crash_time("gpu")
+                if crash_t is not None and classify.start <= crash_t < classify.end:
+                    pf.gpu.curtail(crash_t, reason="crash")
+                    inj.mark_dead("gpu", crash_t)
+                    pf.cpu.wait_until(crash_t)
+                    pf.cpu.busy(
+                        "I", "host:classify-rows:failover",
+                        pf.cpu.phase1_time(a.nrows + b.nrows),
+                    )
         with SPANS.span("phase1:partition-rows", category="host.partition") as sp:
             part = partition_rows(a, b, int(t_a), int(t_b))
             if sp is not None:
@@ -106,9 +152,11 @@ class HHCPU:
                     METRICS.set_gauge(f"phase1.partition.{key}", value)
 
         # ---------------- operand staging (charged to Phase II) ----------------
-        pf.upload_matrix("II", "xfer:A", a)
-        pf.upload_matrix("II", "xfer:B", b)
-        pf.upload_boolean("II", "xfer:row-classes", a.nrows + b.nrows)
+        gpu_down = inj is not None and inj.crashed("gpu", pf.gpu.clock)
+        if not gpu_down:
+            pf.upload_matrix("II", "xfer:A", a)
+            pf.upload_matrix("II", "xfer:B", b)
+            pf.upload_boolean("II", "xfer:row-classes", a.nrows + b.nrows)
 
         # one context per partial product: reuse fractions are
         # product-level (the cache persists across work-units)
@@ -123,19 +171,22 @@ class HHCPU:
 
         # ---------------- Phase II (overlapped) ----------------
         gpu_tuples = 0
-        cpu_hh = run_product(
-            pf.cpu, "II", "cpu:AH*BH", a, b, ctx_hh,
+        cpu_hh, hh_kind = run_product_resilient(
+            pf.cpu, pf.gpu, inj, "II", "cpu:AH*BH", a, b, ctx_hh,
             a_rows=part.a.high_rows, b_row_mask=part.b.high_mask,
             kernel=self.kernel,
         )
-        gpu_ll = run_product(
-            pf.gpu, "II", "gpu:AL*BL", a, b, ctx_ll,
+        gpu_ll, ll_kind = run_product_resilient(
+            pf.gpu, pf.cpu, inj, "II", "gpu:AL*BL", a, b, ctx_ll,
             a_rows=part.a.low_rows, b_row_mask=~part.b.high_mask,
             kernel=self.kernel,
         )
-        gpu_tuples += gpu_ll.tuples
-        pf.stream_tuples_download("II", "xfer:tuples:AL*BL", gpu_ll.tuples,
-                                  produced_from=gpu_ll.start)
+        for tag, run, kind in (("AH*BH", cpu_hh, hh_kind), ("AL*BL", gpu_ll, ll_kind)):
+            if kind == "gpu":
+                gpu_tuples += run.tuples
+                pf.stream_tuples_download(
+                    "II", f"xfer:tuples:{tag}", run.tuples, produced_from=run.start
+                )
         if METRICS.enabled:
             for tag, run in (("AH_BH", cpu_hh), ("AL_BL", gpu_ll)):
                 METRICS.inc(f"quadrant.{tag}.tuples", run.tuples)
@@ -181,7 +232,10 @@ class HHCPU:
                 )
             return run.part
 
-        outcome = run_workqueue_phase(pf, queue, execute, gpu_batch_rows=self.gpu_rows)
+        outcome = run_workqueue_phase(
+            pf, queue, execute,
+            gpu_batch_rows=self.gpu_rows, faults=inj, retry=self.retry,
+        )
         gpu_tuples += phase3_gpu_tuples
 
         # ---------------- Phase IV ----------------
@@ -208,6 +262,24 @@ class HHCPU:
         total = pf.barrier()
 
         trace = pf.trace
+        details = {
+            "partition": part.summary(),
+            "cpu_units": outcome.cpu_units,
+            "gpu_units": outcome.gpu_units,
+            "cpu_stolen": outcome.cpu_stolen,
+            "gpu_stolen": outcome.gpu_stolen,
+            "gpu_tuples": gpu_tuples,
+            "thresholds": (int(t_a), int(t_b)),
+        }
+        if inj is not None:
+            details["faults"] = {
+                "dead_devices": outcome.dead_devices or inj.dead_devices,
+                "retries": outcome.retries,
+                "timeouts": outcome.timeouts,
+                "requeues": outcome.requeues,
+                "failover_units": outcome.failover_units,
+                "failover_rows": outcome.failover_rows,
+            }
         return SpmmResult(
             algorithm=self.name,
             matrix=merged.matrix,
@@ -216,15 +288,7 @@ class HHCPU:
             device_busy={d: trace.busy_time(device=d) for d in trace.devices()},
             merge_stats=merged.stats,
             trace=trace,
-            details={
-                "partition": part.summary(),
-                "cpu_units": outcome.cpu_units,
-                "gpu_units": outcome.gpu_units,
-                "cpu_stolen": outcome.cpu_stolen,
-                "gpu_stolen": outcome.gpu_stolen,
-                "gpu_tuples": gpu_tuples,
-                "thresholds": (int(t_a), int(t_b)),
-            },
+            details=details,
         )
 
 

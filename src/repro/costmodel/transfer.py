@@ -15,6 +15,7 @@ from repro.formats.properties import csr_memory_bytes
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.faults.policy import RetryPolicy
     from repro.hardware.specs import LinkSpec
 #: PCIe wire format of one tuple: (int32 row, int32 col, float64 value)
 #: — the paper-era packing; host-side merge arrays stay 64-bit
@@ -40,3 +41,16 @@ def row_sizes_upload_time(nrows: int, link: LinkSpec) -> float:
 def tuples_download_time(ntuples: int, link: LinkSpec) -> float:
     """Seconds to return GPU-produced <r, c, v> tuples device→host."""
     return link.transfer_time(int(ntuples) * WIRE_TUPLE_BYTES)
+
+
+def retried_transfer_time(base_s: float, *, attempts: int, policy: RetryPolicy) -> float:
+    """Total wire seconds when a transfer needs ``attempts`` tries.
+
+    A failed PCIe copy is detected at its end and re-issued after the
+    policy's backoff, so each failed attempt costs the full copy plus
+    its wait; the last attempt succeeds.  ``attempts = 1`` is the clean
+    path and returns ``base_s`` unchanged.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    return attempts * base_s + policy.total_backoff_s(attempts - 1)

@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the simulated platform.
+
+The chaos half of the robustness story: :mod:`repro.faults.spec`
+declares *what* goes wrong (device crashes, stragglers, dequeue stalls,
+transient PCIe and work-unit errors), :mod:`repro.faults.policy` says
+how hard the platform fights back (capped exponential backoff, unit
+timeouts), and :mod:`repro.faults.injector` replays the schedule
+deterministically from one seed.  The scheduler, executor, and platform
+consume the injector; see DESIGN.md §3d.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.faults.spec import (
+    DEVICE_KINDS,
+    FAULT_KINDS,
+    DequeueStall,
+    DeviceCrash,
+    FaultSpec,
+    Straggler,
+    TransferError,
+    UnitError,
+    fault_from_dict,
+    load_fault_spec,
+)
+
+__all__ = [
+    "FaultInjector",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "FaultSpec",
+    "DeviceCrash",
+    "Straggler",
+    "DequeueStall",
+    "TransferError",
+    "UnitError",
+    "fault_from_dict",
+    "load_fault_spec",
+    "DEVICE_KINDS",
+    "FAULT_KINDS",
+]

@@ -1,0 +1,142 @@
+"""The deterministic fault injector: the spec's oracle at run time.
+
+One injector instance is attached to a platform
+(:meth:`~repro.hardware.platform.HeteroPlatform.inject_faults`) and
+queried at well-defined simulation boundaries:
+
+- the scheduler asks :meth:`crashed` / :meth:`crash_time` at dequeue
+  boundaries and after each work-unit attempt;
+- the devices ask :meth:`slowdown` when converting workload statistics
+  to modelled seconds (stragglers);
+- the scheduler asks :meth:`dequeue_stall` before each dequeue;
+- the platform asks :meth:`transfer_attempts` per PCIe transfer;
+- the scheduler asks :meth:`unit_attempt_fails` per work-unit attempt.
+
+All probabilistic draws come from one generator normalised through
+:func:`repro.util.rng.resolve_rng` from the spec's seed, and the query
+order is fully determined by the discrete-event simulation, so a
+(matrix, spec, seed) triple reproduces the exact same fault schedule,
+trace, and metrics bit-for-bit.  :meth:`reset` rewinds the generator
+and every one-shot flag; the platform calls it from
+:meth:`~repro.hardware.platform.HeteroPlatform.reset` so repeated runs
+replay identically.
+"""
+
+from __future__ import annotations
+
+from repro.faults.policy import RetryPolicy
+from repro.faults.spec import FaultSpec
+from repro.obs.metrics import METRICS
+from repro.util.rng import resolve_rng
+
+
+class FaultInjector:
+    """Stateful, replayable view of one :class:`FaultSpec`."""
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.retry: RetryPolicy = spec.retry
+        self.reset()
+
+    # -- lifecycle ---------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind to the pristine schedule (new run, identical replay)."""
+        self._rng = resolve_rng(self.spec.seed)
+        self._dead: dict[str, float] = {}
+        self._stalls_fired: set[int] = set()
+        self._transfer_errors = 0
+        self._unit_errors = 0
+
+    # -- device crashes ----------------------------------------------------
+    def crash_time(self, device: str) -> float | None:
+        """When ``device`` is scheduled to die (None = never)."""
+        return self.spec.crash_time(device)
+
+    def crashed(self, device: str, now: float) -> bool:
+        """Whether ``device`` is dead at simulated time ``now``."""
+        at = self.spec.crash_time(device)
+        return at is not None and now >= at
+
+    def mark_dead(self, device: str, at: float) -> None:
+        """Record (idempotently) that a crash was observed, for metrics
+        and the :attr:`dead_devices` summary."""
+        if device in self._dead:
+            return
+        self._dead[device] = at
+        if METRICS.enabled:
+            METRICS.inc("faults.crash.events")
+            METRICS.set_gauge(f"faults.device.{device}.crashed_at_s", at)
+
+    @property
+    def dead_devices(self) -> tuple[str, ...]:
+        """Devices whose crash has been observed, sorted by name."""
+        return tuple(sorted(self._dead))
+
+    # -- stragglers --------------------------------------------------------
+    def slowdown(self, device: str, now: float) -> float:
+        """Compound throughput-degradation factor active on ``device``
+        at ``now`` (1.0 = healthy)."""
+        factor = 1.0
+        for f in self.spec.of_kind("straggler"):
+            if f.device == device and now >= f.from_s:
+                factor *= f.factor
+        return factor
+
+    # -- dequeue stalls ----------------------------------------------------
+    def dequeue_stall(self, device: str, now: float) -> float:
+        """Simulated seconds this dequeue loses to one-shot stalls whose
+        trigger time has arrived; each stall fires at most once."""
+        total = 0.0
+        for i, f in enumerate(self.spec.faults):
+            if (
+                f.kind == "dequeue_stall"
+                and f.device == device
+                and now >= f.at_s
+                and i not in self._stalls_fired
+            ):
+                self._stalls_fired.add(i)
+                total += f.stall_s
+        if total > 0 and METRICS.enabled:
+            METRICS.inc("faults.stall.events")
+            METRICS.inc("faults.stall.seconds", total)
+        return total
+
+    # -- transient errors --------------------------------------------------
+    def _transient_fails(self, probability: float, budget: int, used: int) -> bool:
+        if probability <= 0.0:
+            return False
+        if budget and used >= budget:
+            return False
+        return bool(self._rng.random() < probability)
+
+    def transfer_attempts(self) -> int:
+        """How many tries this PCIe transfer needs (1 = clean).  Bounded
+        by the retry policy's attempt budget — the last permitted
+        attempt always succeeds (PCIe errors here are transient by
+        definition; a permanently dead link would be a crash)."""
+        attempts = 1
+        for f in self.spec.of_kind("transfer_error"):
+            while (
+                attempts < self.retry.max_attempts
+                and self._transient_fails(
+                    f.probability, f.max_errors, self._transfer_errors
+                )
+            ):
+                self._transfer_errors += 1
+                attempts += 1
+        if attempts > 1 and METRICS.enabled:
+            METRICS.inc("faults.transfer.errors", attempts - 1)
+        return attempts
+
+    def unit_attempt_fails(self, device: str) -> bool:
+        """Whether this work-unit attempt on ``device`` is hit by a
+        transient fault (the scheduler handles requeue + backoff)."""
+        for f in self.spec.of_kind("unit_error"):
+            if f.device == device and self._transient_fails(
+                f.probability, f.max_errors, self._unit_errors
+            ):
+                self._unit_errors += 1
+                if METRICS.enabled:
+                    METRICS.inc("faults.unit.errors")
+                return True
+        return False

@@ -1,0 +1,97 @@
+"""Retry policy: capped exponential backoff in *simulated* time.
+
+One policy governs every recovery mechanism of the degradation layer —
+work-unit re-execution after a transient fault or timeout, and PCIe
+transfer retries — so a single spec knob tunes how aggressively the
+platform fights back.  All delays are simulated seconds charged to the
+retrying timeline; nothing here touches host clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import FaultError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff over a bounded number of attempts.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per work item (first attempt included).  When the
+        budget is exhausted the scheduler stops abandoning attempts and
+        lets the item run to completion, so progress is guaranteed even
+        under a pathological fault schedule.
+    base_delay_s:
+        Simulated backoff before the second attempt.
+    multiplier:
+        Growth factor per further failed attempt.
+    max_delay_s:
+        Cap on any single backoff delay.
+    unit_timeout_s:
+        Abandon a Phase III work-unit attempt after this many simulated
+        seconds and requeue it; ``None`` disables timeouts.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 1e-4
+    multiplier: float = 2.0
+    max_delay_s: float = 1e-2
+    unit_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0:
+            raise FaultError(f"base_delay_s must be >= 0, got {self.base_delay_s}")
+        if self.multiplier < 1.0:
+            raise FaultError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay_s < self.base_delay_s:
+            raise FaultError(
+                f"max_delay_s ({self.max_delay_s}) must be >= base_delay_s "
+                f"({self.base_delay_s})"
+            )
+        if self.unit_timeout_s is not None and self.unit_timeout_s <= 0:
+            raise FaultError(
+                f"unit_timeout_s must be positive, got {self.unit_timeout_s}"
+            )
+
+    def backoff_s(self, failed_attempts: int) -> float:
+        """Simulated delay before the next try after ``failed_attempts``
+        failures (1 failure -> ``base_delay_s``, then x ``multiplier``)."""
+        if failed_attempts < 1:
+            return 0.0
+        return min(
+            self.base_delay_s * self.multiplier ** (failed_attempts - 1),
+            self.max_delay_s,
+        )
+
+    def total_backoff_s(self, failed_attempts: int) -> float:
+        """Sum of backoff delays a retry loop pays after that many failures."""
+        return sum(self.backoff_s(i) for i in range(1, failed_attempts + 1))
+
+    def as_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "multiplier": self.multiplier,
+            "max_delay_s": self.max_delay_s,
+            "unit_timeout_s": self.unit_timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        unknown = set(data) - {
+            "max_attempts", "base_delay_s", "multiplier", "max_delay_s",
+            "unit_timeout_s",
+        }
+        if unknown:
+            raise FaultError(f"unknown retry-policy fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+#: policy applied when a fault spec gives none
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -30,6 +30,9 @@ class SimDevice:
         self.trace = trace
         self.calibration = calibration
         self.clock = 0.0
+        #: optional :class:`~repro.faults.injector.FaultInjector` view;
+        #: set by :meth:`HeteroPlatform.inject_faults`
+        self.faults = None
 
     def busy(self, phase: str, label: str, duration: float, **meta) -> TraceEvent:
         """Occupy the device for ``duration`` seconds starting at its
@@ -47,6 +50,21 @@ class SimDevice:
         self.clock = event.end
         self.trace.add(event)
         return event
+
+    def curtail(self, at: float, *, reason: str) -> TraceEvent:
+        """Cut this device's in-flight activity short at ``at`` (a crash
+        or timeout landed inside it): the last logged event is truncated
+        and the clock rewound to the cut — the remainder never happened."""
+        event = self.trace.curtail_last(self.name, at, reason=reason)
+        self.clock = at
+        return event
+
+    def degraded(self, seconds: float) -> float:
+        """Modelled seconds adjusted for any straggler fault active on
+        this device at its current clock (identity when healthy)."""
+        if self.faults is None:
+            return seconds
+        return seconds * self.faults.slowdown(self.kind, self.clock)
 
     def wait_until(self, t: float) -> None:
         """Advance the clock to ``t`` if it is in this device's future
@@ -69,17 +87,17 @@ class CPUDevice(SimDevice):
 
     def spmm_time(self, stats: KernelStats, ctx: ProductContext) -> float:
         """Modelled seconds for a row-row spmm work item on this CPU."""
-        return cpu_spmm_time(stats, ctx, self.spec, self.calibration)
+        return self.degraded(cpu_spmm_time(stats, ctx, self.spec, self.calibration))
 
     def merge_time(self, tuples_in: int, *, needs_sort: bool = True) -> float:
         """Modelled seconds for a Phase IV merge of ``tuples_in`` tuples;
         row-disjoint block outputs skip the sort (``needs_sort=False``)."""
-        return cpu_merge_time(tuples_in, self.spec, self.calibration,
-                              needs_sort=needs_sort)
+        return self.degraded(cpu_merge_time(tuples_in, self.spec, self.calibration,
+                                            needs_sort=needs_sort))
 
     def phase1_time(self, nrows_total: int) -> float:
         """Modelled seconds for the host side of Phase I."""
-        return cpu_phase1_time(nrows_total, self.spec, self.calibration)
+        return self.degraded(cpu_phase1_time(nrows_total, self.spec, self.calibration))
 
 
 class GPUDevice(SimDevice):
@@ -93,8 +111,8 @@ class GPUDevice(SimDevice):
 
     def spmm_time(self, stats: KernelStats, ctx: ProductContext) -> float:
         """Modelled seconds for a row-row spmm kernel launch on this GPU."""
-        return gpu_spmm_time(stats, ctx, self.spec, self.calibration)
+        return self.degraded(gpu_spmm_time(stats, ctx, self.spec, self.calibration))
 
     def phase1_time(self, nrows_total: int) -> float:
         """Modelled seconds for the device side of Phase I."""
-        return gpu_phase1_time(nrows_total, self.spec, self.calibration)
+        return self.degraded(gpu_phase1_time(nrows_total, self.spec, self.calibration))

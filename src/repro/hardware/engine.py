@@ -16,11 +16,29 @@ from typing import Callable
 from repro.util.errors import SchedulingError
 
 
+class EventHandle:
+    """Cancellation token for one scheduled event.
+
+    Fault handling needs to retract events that will never happen — a
+    crashed device's pending wake-up must not fire.  Cancellation is
+    lazy: the heap entry stays put and is skipped (uncounted) when
+    popped, so cancelling costs O(1)."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Retract the event; a no-op if it already ran."""
+        self.cancelled = True
+
+
 class EventEngine:
     """Priority-queue discrete-event loop with a monotone clock."""
 
     def __init__(self) -> None:
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, Callable[[], None], EventHandle]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
@@ -30,8 +48,9 @@ class EventEngine:
         """Current simulated time (seconds)."""
         return self._now
 
-    def schedule(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute simulated ``time``.
+    def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``; returns
+        a cancellation handle.
 
         Scheduling in the past (relative to the engine clock) is a
         programming error and raises :class:`SchedulingError` — simulated
@@ -41,13 +60,18 @@ class EventEngine:
             raise SchedulingError(
                 f"cannot schedule at t={time} before current time {self._now}"
             )
-        heapq.heappush(self._queue, (max(time, self._now), next(self._counter), callback))
+        handle = EventHandle()
+        heapq.heappush(
+            self._queue,
+            (max(time, self._now), next(self._counter), callback, handle),
+        )
+        return handle
 
-    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` after a non-negative ``delay``."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay}")
-        self.schedule(self._now + delay, callback)
+        return self.schedule(self._now + delay, callback)
 
     def run(self, *, max_events: int = 10_000_000) -> float:
         """Process events until the queue drains; returns the final clock.
@@ -60,7 +84,9 @@ class EventEngine:
         try:
             processed = 0
             while self._queue:
-                time, _, callback = heapq.heappop(self._queue)
+                time, _, callback, handle = heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
                 self._now = time
                 callback()
                 processed += 1

@@ -12,9 +12,11 @@ from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.transfer import (
     boolean_array_upload_time,
     matrix_upload_time,
+    retried_transfer_time,
     row_sizes_upload_time,
     tuples_download_time,
 )
+from repro.obs.metrics import METRICS
 from repro.formats.csr import CSRMatrix
 from repro.hardware.device import CPUDevice, GPUDevice, SimDevice
 from repro.hardware.specs import CPUSpec, GPUSpec, I7_980, K20C, LinkSpec, PCIE2
@@ -48,14 +50,44 @@ class HeteroPlatform:
         #: overlap GPU compute; only the un-hidden tail surfaces as
         #: Phase IV wait time
         self.pcie = SimDevice(link.name, self.trace, calibration)
+        #: optional :class:`~repro.faults.injector.FaultInjector`; attach
+        #: with :meth:`inject_faults`
+        self.faults = None
 
     # -- lifecycle ----------------------------------------------------------
+    def inject_faults(self, injector) -> None:
+        """Attach a fault injector to the platform and its devices.
+
+        The devices consult it for straggler slowdowns; the transfer
+        primitives for transient PCIe errors; schedulers and algorithms
+        read it off ``platform.faults`` for crash and stall queries.
+        """
+        self.faults = injector
+        self.cpu.faults = injector
+        self.gpu.faults = injector
+
     def reset(self) -> None:
         """Rewind all clocks and clear the trace (new experiment)."""
         self.trace.clear()
         self.cpu.reset()
         self.gpu.reset()
         self.pcie.reset()
+        if self.faults is not None:
+            self.faults.reset()
+
+    def _transfer_time(self, base_s: float) -> float:
+        """Apply transient PCIe fault retries to a clean transfer time."""
+        if self.faults is None:
+            return base_s
+        attempts = self.faults.transfer_attempts()
+        if attempts == 1:
+            return base_s
+        total = retried_transfer_time(
+            base_s, attempts=attempts, policy=self.faults.retry
+        )
+        if METRICS.enabled:
+            METRICS.inc("faults.transfer.retry_s", total - base_s)
+        return total
 
     @property
     def elapsed(self) -> float:
@@ -77,21 +109,21 @@ class HeteroPlatform:
         issues it) and occupies the GPU timeline.
         """
         self.gpu.wait_until(self.cpu.clock)
-        t = matrix_upload_time(matrix, self.link)
+        t = self._transfer_time(matrix_upload_time(matrix, self.link))
         self.gpu.busy(phase, label, t, bytes=matrix.nnz, kind="transfer")
         return t
 
     def upload_row_sizes(self, phase: str, label: str, nrows: int) -> float:
         """Ship per-row size arrays host→device (Phase I input)."""
         self.gpu.wait_until(self.cpu.clock)
-        t = row_sizes_upload_time(nrows, self.link)
+        t = self._transfer_time(row_sizes_upload_time(nrows, self.link))
         self.gpu.busy(phase, label, t, rows=nrows, kind="transfer")
         return t
 
     def upload_boolean(self, phase: str, label: str, nrows: int) -> float:
         """Ship a row-classification boolean array host→device."""
         self.gpu.wait_until(self.cpu.clock)
-        t = boolean_array_upload_time(nrows, self.link)
+        t = self._transfer_time(boolean_array_upload_time(nrows, self.link))
         self.gpu.busy(phase, label, t, rows=nrows, kind="transfer")
         return t
 
@@ -111,7 +143,7 @@ class HeteroPlatform:
         """
         start_floor = self.gpu.clock if produced_from is None else produced_from
         self.pcie.wait_until(start_floor)
-        t = tuples_download_time(ntuples, self.link)
+        t = self._transfer_time(tuples_download_time(ntuples, self.link))
         event = self.pcie.busy(phase, label, t, tuples=ntuples, kind="transfer")
         # the last chunk cannot land before the kernel has produced it
         if event.end < self.gpu.clock:

@@ -52,6 +52,38 @@ class Trace:
     def clear(self) -> None:
         self.events.clear()
 
+    def curtail_last(
+        self, device: str, at: float, *, reason: str = "lost", **extra_meta
+    ) -> TraceEvent:
+        """Truncate the most recent event of ``device`` at ``at``.
+
+        Fault handling uses this when an in-flight activity was cut
+        short (a crash or timeout landed inside it): the already-logged
+        event is replaced in place by one ending at ``at``, its label
+        suffixed ``:<reason>`` and its meta marked ``fault=<reason>`` so
+        exports show the lost work explicitly.
+        """
+        for i in range(len(self.events) - 1, -1, -1):
+            e = self.events[i]
+            if e.device != device:
+                continue
+            if not (e.start <= at <= e.end):
+                raise SchedulingError(
+                    f"cannot curtail {e.label!r} at t={at}: outside "
+                    f"[{e.start}, {e.end}]"
+                )
+            curtailed = TraceEvent(
+                device=e.device,
+                phase=e.phase,
+                label=f"{e.label}:{reason}",
+                start=e.start,
+                end=at,
+                meta={**e.meta, "fault": reason, **extra_meta},
+            )
+            self.events[i] = curtailed
+            return curtailed
+        raise SchedulingError(f"no event recorded for device {device!r} to curtail")
+
     # -- queries -----------------------------------------------------------
     def devices(self) -> list[str]:
         """Device names in first-appearance order."""

@@ -16,7 +16,12 @@ from repro.hetero.workqueue import (
     WorkUnit,
     chunk_rows,
 )
-from repro.hetero.executor import ProductRun, resolve_kernel, run_product
+from repro.hetero.executor import (
+    ProductRun,
+    resolve_kernel,
+    run_product,
+    run_product_resilient,
+)
 from repro.hetero.scheduler import Phase3Outcome, run_workqueue_phase
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "ProductRun",
     "resolve_kernel",
     "run_product",
+    "run_product_resilient",
     "Phase3Outcome",
     "run_workqueue_phase",
 ]

@@ -126,3 +126,50 @@ def run_product(
         start=event.start,
         end=event.end,
     )
+
+
+def run_product_resilient(
+    device: SimDevice,
+    fallback: SimDevice,
+    injector,
+    phase: str,
+    label: str,
+    a: CSRMatrix,
+    b: CSRMatrix,
+    ctx: ProductContext,
+    fallback_ctx: ProductContext | None = None,
+    **kwargs,
+) -> tuple[ProductRun, str]:
+    """Run a (sub)product on ``device``, failing over to ``fallback``
+    when an injected crash kills it — dead before the launch, or
+    mid-product (the partial run is curtailed and the whole product
+    re-executed on the survivor, which is what a lost monolithic kernel
+    costs; Phase III units recover at finer grain via the workqueue).
+
+    Returns ``(run, executed_kind)``.  With no injector attached this is
+    exactly :func:`run_product` on ``device``.
+    """
+    if injector is None or not (
+        injector.crashed(device.kind, device.clock)
+        or injector.crash_time(device.kind) is not None
+    ):
+        return run_product(device, phase, label, a, b, ctx, **kwargs), device.kind
+
+    if injector.crashed(device.kind, device.clock):
+        injector.mark_dead(device.kind, injector.crash_time(device.kind))
+        run = run_product(
+            fallback, phase, f"{label}:failover", a, b, fallback_ctx or ctx, **kwargs
+        )
+        return run, fallback.kind
+
+    run = run_product(device, phase, label, a, b, ctx, **kwargs)
+    crash_t = injector.crash_time(device.kind)
+    if run.start <= crash_t < run.end:
+        device.curtail(crash_t, reason="crash")
+        injector.mark_dead(device.kind, crash_t)
+        fallback.wait_until(crash_t)
+        rerun = run_product(
+            fallback, phase, f"{label}:failover", a, b, fallback_ctx or ctx, **kwargs
+        )
+        return rerun, fallback.kind
+    return run, device.kind

@@ -5,6 +5,15 @@ from its end of the queue, pays its per-dequeue synchronisation
 overhead, executes the unit (real numerics, modelled time), and
 re-schedules itself.  The loop ends when the cursors meet, at which
 point conservation is checked (every unit executed exactly once).
+
+With a :class:`~repro.faults.injector.FaultInjector` attached the loop
+also survives injected faults: a crashed device stops dequeueing (its
+in-flight unit is curtailed and requeued, and the surviving device
+drains both ends of the queue), transient work-unit errors and timeouts
+retry with capped exponential backoff in simulated time, and dequeue
+stalls charge idle time before the pop.  Conservation still demands
+exactly one *completed* execution per unit; only when every device dies
+with work remaining does the phase raise :class:`FaultError`.
 """
 
 from __future__ import annotations
@@ -12,14 +21,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.faults.policy import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.formats.coo import COOMatrix
-from repro.hardware.engine import EventEngine
+from repro.hardware.engine import EventEngine, EventHandle
 from repro.hardware.platform import HeteroPlatform
 from repro.hetero.workqueue import DoubleEndedWorkQueue, WorkUnit
 from repro.obs.metrics import METRICS
+from repro.util.errors import FaultError
 
 #: executes a unit on a device kind ("cpu" / "gpu"); returns the tuple part
 UnitExecutor = Callable[[str, WorkUnit], COOMatrix]
+
+#: which queue end each device kind dequeues from
+QUEUE_ENDS = {"cpu": "front", "gpu": "back"}
 
 
 @dataclass
@@ -32,6 +46,14 @@ class Phase3Outcome:
     #: units each device took from the *other* product's end
     cpu_stolen: int = 0
     gpu_stolen: int = 0
+    #: fault bookkeeping (all zero / empty on a healthy run)
+    retries: int = 0
+    timeouts: int = 0
+    requeues: int = 0
+    #: dequeues and rows executed by a survivor after its peer died
+    failover_units: int = 0
+    failover_rows: int = 0
+    dead_devices: tuple = ()
 
 
 def run_workqueue_phase(
@@ -40,6 +62,8 @@ def run_workqueue_phase(
     execute: UnitExecutor,
     *,
     gpu_batch_rows: int | None = None,
+    faults=None,
+    retry: RetryPolicy | None = None,
 ) -> Phase3Outcome:
     """Drain ``queue`` with both devices running asynchronously.
 
@@ -47,58 +71,165 @@ def run_workqueue_phase(
     charge the modelled time (including dequeue overhead) to the
     matching device; this scheduler only decides *who* takes *which*
     unit *when*, using each device's private clock.
+
+    ``faults`` (default: ``platform.faults``) enables the degradation
+    path; ``retry`` overrides the injector's retry policy.
     """
+    injector = faults if faults is not None else platform.faults
+    policy = retry or (injector.retry if injector is not None else DEFAULT_RETRY_POLICY)
     outcome = Phase3Outcome()
     engine = EventEngine()
+    devices = {"cpu": platform.cpu, "gpu": platform.gpu}
+    dead: set[str] = set()
+    parked: set[str] = set()
+    pending: dict[str, EventHandle] = {}
+    #: failed attempts per queue-unit index (batched units share their
+    #: lead unit's budget — they requeue and retry as one launch)
+    attempts: dict[int, int] = {}
 
-    def cpu_step() -> None:
-        if not queue.has_work():
-            return
-        unit = queue.pop_front()
-        outcome.parts.append(execute("cpu", unit))
-        outcome.cpu_units += 1
-        stolen = unit.product == "AH_BL"
-        if stolen:
-            outcome.cpu_stolen += 1
+    def _schedule(kind: str, at: float) -> None:
+        pending[kind] = engine.schedule(at, steps[kind])
+
+    def _kill(kind: str, at: float) -> None:
+        dead.add(kind)
+        parked.discard(kind)
+        injector.mark_dead(kind, at)
+        handle = pending.pop(kind, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _kick_survivors() -> None:
+        """Work reappeared (a requeue): wake any parked, living peer."""
+        for kind in sorted(parked):
+            if kind in dead:
+                continue
+            parked.discard(kind)
+            _schedule(kind, max(engine.now, devices[kind].clock))
+
+    def _complete(kind: str, unit: WorkUnit, part: COOMatrix) -> None:
+        outcome.parts.append(part)
+        stolen_product = "AH_BL" if kind == "cpu" else "AL_BH"
+        stolen = unit.product == stolen_product
+        if kind == "cpu":
+            outcome.cpu_units += 1
+            outcome.cpu_stolen += int(stolen)
+        else:
+            outcome.gpu_units += 1
+            outcome.gpu_stolen += int(stolen)
+        failover = bool(dead)
+        if failover:
+            outcome.failover_units += 1
+            outcome.failover_rows += unit.nrows
         if METRICS.enabled:
-            METRICS.inc("phase3.workqueue.cpu.dequeues")
-            METRICS.inc("phase3.workqueue.cpu.rows", unit.nrows)
+            METRICS.inc(f"phase3.workqueue.{kind}.dequeues")
+            METRICS.inc(f"phase3.workqueue.{kind}.rows", unit.nrows)
             if stolen:
-                METRICS.inc("phase3.workqueue.cpu.steals")
-        engine.schedule(platform.cpu.clock, cpu_step)
+                METRICS.inc(f"phase3.workqueue.{kind}.steals")
+            if failover:
+                METRICS.inc("phase3.failover.units")
+                METRICS.inc("phase3.failover.rows", unit.nrows)
 
-    def gpu_step() -> None:
-        if not queue.has_work():
+    def step(kind: str) -> None:
+        device = devices[kind]
+        end = QUEUE_ENDS[kind]
+        pending.pop(kind, None)
+        device.wait_until(engine.now)
+        if injector is not None and injector.crashed(kind, device.clock):
+            _kill(kind, injector.crash_time(kind))
             return
+        if not queue.has_work():
+            parked.add(kind)
+            return
+        if injector is not None:
+            stall = injector.dequeue_stall(kind, device.clock)
+            if stall > 0:
+                device.busy("III", f"fault:stall:{kind}", stall, kind="fault")
+                if injector.crashed(kind, device.clock):
+                    _kill(kind, injector.crash_time(kind))
+                    return
         unit = (
             queue.pop_back_batch(gpu_batch_rows)
-            if gpu_batch_rows
-            else queue.pop_back()
+            if kind == "gpu" and gpu_batch_rows
+            else (queue.pop_front() if end == "front" else queue.pop_back())
         )
-        outcome.parts.append(execute("gpu", unit))
-        outcome.gpu_units += 1
-        stolen = unit.product == "AL_BH"
-        if stolen:
-            outcome.gpu_stolen += 1
-        if METRICS.enabled:
-            METRICS.inc("phase3.workqueue.gpu.dequeues")
-            METRICS.inc("phase3.workqueue.gpu.rows", unit.nrows)
-            if stolen:
-                METRICS.inc("phase3.workqueue.gpu.steals")
-        engine.schedule(platform.gpu.clock, gpu_step)
+        t0 = device.clock
+        part = execute(kind, unit)
+        if injector is not None:
+            crash_t = injector.crash_time(kind)
+            if crash_t is not None and t0 <= crash_t < device.clock:
+                # the crash landed inside this attempt: truncate the
+                # trace there, give the unit back, and stop this device
+                lost = device.clock - crash_t
+                device.curtail(crash_t, reason="crash")
+                queue.requeue(unit, end=end)
+                outcome.requeues += len(unit.members)
+                if METRICS.enabled:
+                    METRICS.inc("faults.unit.lost_s", lost)
+                _kill(kind, crash_t)
+                _kick_survivors()
+                return
+            duration = device.clock - t0
+            timed_out = (
+                policy.unit_timeout_s is not None
+                and duration > policy.unit_timeout_s
+            )
+            errored = injector.unit_attempt_fails(kind)
+            if (timed_out or errored) and attempts.get(unit.index, 0) < policy.max_attempts - 1:
+                attempts[unit.index] = attempts.get(unit.index, 0) + 1
+                if timed_out:
+                    # the watchdog abandons the attempt at the timeout;
+                    # the tail of the modelled run never happens
+                    cut = t0 + policy.unit_timeout_s
+                    reason = "timeout"
+                    outcome.timeouts += 1
+                else:
+                    cut = device.clock
+                    reason = "error"
+                lost = duration - (cut - t0)
+                device.curtail(cut, reason=reason)
+                queue.requeue(unit, end=end)
+                outcome.requeues += len(unit.members)
+                outcome.retries += 1
+                backoff = policy.backoff_s(attempts[unit.index])
+                if METRICS.enabled:
+                    METRICS.inc("faults.unit.retries")
+                    if timed_out:
+                        METRICS.inc("faults.unit.timeouts")
+                    METRICS.inc("faults.unit.lost_s", lost)
+                    METRICS.inc("faults.retry.backoff_s", backoff)
+                _kick_survivors()
+                _schedule(kind, device.clock + backoff)
+                return
+            # attempt budget exhausted: accept the run as completed —
+            # forced completion guarantees progress under any schedule
+        _complete(kind, unit, part)
+        _schedule(kind, device.clock)
 
-    engine.schedule(platform.cpu.clock, cpu_step)
-    engine.schedule(platform.gpu.clock, gpu_step)
+    steps = {kind: (lambda k=kind: step(k)) for kind in devices}
+    for kind, device in devices.items():
+        # a device that already died (e.g. during Phase II) never joins:
+        # registering the death up front makes the peer's work count as
+        # failover from its first dequeue
+        if injector is not None and injector.crashed(kind, device.clock):
+            _kill(kind, injector.crash_time(kind))
+        else:
+            _schedule(kind, device.clock)
     engine.run()
+    if queue.has_work():
+        raise FaultError(
+            f"all devices crashed ({sorted(dead)}) with "
+            f"{queue.remaining} work-unit(s) remaining"
+        )
     queue.check_conservation()
+    outcome.dead_devices = tuple(sorted(dead))
     if METRICS.enabled:
         # starvation: simulated idle a device accumulates at the phase
-        # barrier after its end of the queue drained first
+        # barrier after its end of the queue drained first; meaningless
+        # for a dead device (its clock froze at the crash)
         end = max(platform.cpu.clock, platform.gpu.clock)
-        METRICS.set_gauge(
-            "phase3.workqueue.cpu.starvation_s", end - platform.cpu.clock
-        )
-        METRICS.set_gauge(
-            "phase3.workqueue.gpu.starvation_s", end - platform.gpu.clock
-        )
+        for kind, device in devices.items():
+            if kind not in dead:
+                METRICS.set_gauge(
+                    f"phase3.workqueue.{kind}.starvation_s", end - device.clock
+                )
     return outcome

@@ -34,6 +34,10 @@ class WorkUnit:
     rows: np.ndarray
     #: position in the queue array (diagnostics)
     index: int
+    #: for a batched launch, the constituent queue units it merged
+    #: (empty for an ordinary unit); kept so a failed batch can be
+    #: requeued as its original units without losing any
+    parts: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.product:
@@ -42,6 +46,11 @@ class WorkUnit:
     @property
     def nrows(self) -> int:
         return int(self.rows.size)
+
+    @property
+    def members(self) -> tuple:
+        """The queue-level units this dequeue covered (itself if unbatched)."""
+        return self.parts or (self,)
 
 
 def chunk_rows(rows: np.ndarray, unit_rows: int, product: str, *, start_index: int = 0) -> list[WorkUnit]:
@@ -134,7 +143,7 @@ class DoubleEndedWorkQueue:
         if max_rows <= 0:
             raise ValueError(f"max_rows must be positive, got {max_rows}")
         first = self.pop_back()
-        rows = [first.rows]
+        popped = [first]
         n = first.nrows
         while (
             self.has_work()
@@ -142,16 +151,69 @@ class DoubleEndedWorkQueue:
             and n + self.units[self._back].nrows <= max_rows
         ):
             nxt = self.pop_back()
-            rows.append(nxt.rows)
+            popped.append(nxt)
             n += nxt.nrows
-        if len(rows) == 1:
+        if len(popped) == 1:
             return first
         if METRICS.enabled:
             METRICS.inc("phase3.workqueue.back.batched_launches")
-            METRICS.inc("phase3.workqueue.back.batched_units", len(rows))
+            METRICS.inc("phase3.workqueue.back.batched_units", len(popped))
+        # the merged unit keeps its constituents: a batch that crossed
+        # the front cursor and then fails mid-flight must requeue as the
+        # original units or conservation breaks (see ``requeue``)
         return WorkUnit(
-            product=first.product, rows=np.concatenate(rows), index=first.index
+            product=first.product,
+            rows=np.concatenate([u.rows for u in popped]),
+            index=first.index,
+            parts=tuple(popped),
         )
+
+    # -- failover ---------------------------------------------------------
+    def requeue(self, unit: WorkUnit, *, end: str) -> None:
+        """Put a dequeued-but-unfinished unit back at the end it came
+        from (crash, transient error, or timeout struck mid-attempt).
+
+        A batched unit is restored as its original constituent units in
+        their original slots, and each member's most recent log entry is
+        withdrawn — the failed attempt never counts toward conservation,
+        which still demands exactly one *completed* execution per unit.
+        """
+        if end not in ("front", "back"):
+            raise SchedulingError(f"unknown queue end {end!r}")
+        members = unit.members
+        if end == "front":
+            if self._front - len(members) < 0:
+                raise SchedulingError(
+                    f"cannot requeue {len(members)} unit(s) at the front: "
+                    f"only {self._front} slot(s) were popped there"
+                )
+        else:
+            if self._back + len(members) > len(self.units) - 1:
+                raise SchedulingError(
+                    f"cannot requeue {len(members)} unit(s) at the back: "
+                    f"only {len(self.units) - 1 - self._back} slot(s) were "
+                    "popped there"
+                )
+        for m in members:
+            for i in range(len(self.log) - 1, -1, -1):
+                if self.log[i][1] == m.index:
+                    del self.log[i]
+                    break
+            else:
+                raise SchedulingError(
+                    f"unit {m.index} was never dequeued; cannot requeue"
+                )
+        # members were popped in slot order high→low (back) or low→high
+        # (front); walking them reversed restores each to its own slot
+        for m in reversed(members):
+            if end == "front":
+                self._front -= 1
+                self.units[self._front] = m
+            else:
+                self._back += 1
+                self.units[self._back] = m
+        if METRICS.enabled:
+            METRICS.inc("phase3.workqueue.requeues", len(members))
 
     # -- invariants -------------------------------------------------------
     def check_conservation(self) -> None:

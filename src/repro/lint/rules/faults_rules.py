@@ -1,0 +1,63 @@
+"""FLT001 — fault-injection randomness hygiene.
+
+The chaos suite's guarantee is that one ``(spec, seed)`` pair replays
+the exact same fault schedule; that only holds if every probabilistic
+draw in :mod:`repro.faults` flows through the generator the injector
+derives from its spec's seed via :func:`repro.util.rng.resolve_rng`.
+A privately constructed numpy Generator — even a *seeded* one, which
+DET001 tolerates elsewhere — would split the fault schedule across two
+seed domains and silently break deterministic replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import import_map, qualified_call_name
+from repro.lint.base import ModuleContext, RawFinding, Rule, register
+
+#: the one module allowed to build Generators for everyone
+_SANCTIONED = "repro.util.rng"
+
+#: constructors that mint a numpy Generator directly
+_GENERATOR_FACTORIES = (
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+)
+
+
+@register
+class FLT001(Rule):
+    """Direct numpy Generator construction inside ``repro.faults``."""
+
+    id = "FLT001"
+    description = (
+        "no direct numpy Generator construction in repro.faults — even "
+        "seeded; derive the injector's generator through "
+        "repro.util.rng.resolve_rng so one seed replays the whole "
+        "fault schedule"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        if not ctx.in_package("repro.faults"):
+            return
+        imports = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_call_name(node, imports)
+            if qual is None:
+                continue
+            # resolve the np alias the way the import map records it
+            if qual.startswith("np.random."):
+                qual = "numpy." + qual.split(".", 1)[1]
+            if qual in _GENERATOR_FACTORIES:
+                yield RawFinding(
+                    node.lineno, node.col_offset,
+                    f"direct Generator construction `{qual}` in the faults "
+                    f"package; normalise the spec seed through "
+                    f"{_SANCTIONED}.resolve_rng so the fault schedule "
+                    "replays from one seed",
+                )

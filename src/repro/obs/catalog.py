@@ -94,6 +94,21 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("phase3.workqueue.{device}.rows", "rows", "A-rows a device processed in Phase III"),
     _c("phase3.workqueue.{device}.steals", "units", "cross-end (stolen) work-units"),
     _g("phase3.workqueue.{device}.starvation_s", "seconds", "simulated idle at the phase barrier"),
+    _c("phase3.workqueue.requeues", "units", "work-units put back after a failed attempt"),
+    _c("phase3.failover.units", "units", "dequeues executed by a survivor after its peer died"),
+    _c("phase3.failover.rows", "rows", "A-rows a survivor absorbed after its peer died"),
+    # -- fault injection & degradation -------------------------------------
+    _c("faults.crash.events", "crashes", "device crashes observed by the scheduler"),
+    _g("faults.device.{device}.crashed_at_s", "seconds", "simulated time a device died"),
+    _c("faults.stall.events", "stalls", "dequeue stalls fired"),
+    _c("faults.stall.seconds", "seconds", "simulated time lost to dequeue stalls"),
+    _c("faults.transfer.errors", "errors", "transient PCIe transfer failures injected"),
+    _c("faults.transfer.retry_s", "seconds", "extra wire time paid to transfer retries"),
+    _c("faults.unit.errors", "errors", "transient work-unit attempt failures injected"),
+    _c("faults.unit.timeouts", "timeouts", "work-unit attempts abandoned by the watchdog"),
+    _c("faults.unit.retries", "attempts", "work-unit attempts retried after a fault"),
+    _c("faults.unit.lost_s", "seconds", "simulated compute discarded by curtailed attempts"),
+    _c("faults.retry.backoff_s", "seconds", "simulated backoff delay paid before retries"),
     # -- kernels -----------------------------------------------------------
     _c("kernels.esc.launches", "launches", "ESC kernel launches"),
     _c("kernels.esc.flops", "flops", "ESC multiply-adds"),

@@ -152,6 +152,27 @@ class ProfileReport:
             title="Cross-product quadrants (tuples = locally-merged nnz)",
         )
 
+    def _faults_table(self) -> str | None:
+        counters = self.snapshot.get("counters", {})
+        gauges = self.snapshot.get("gauges", {})
+        fault_counters = {
+            k: v for k, v in counters.items()
+            if k.startswith(("faults.", "phase3.failover.", "phase3.workqueue.requeues"))
+        }
+        crashes = {
+            k: v for k, v in gauges.items()
+            if k.startswith("faults.device.") and k.endswith(".crashed_at_s")
+        }
+        if not fault_counters and not crashes:
+            return None
+        rows = [[k, v] for k, v in sorted(fault_counters.items())]
+        rows += [[k, v] for k, v in sorted(crashes.items())]
+        return format_table(
+            ["fault metric", "value"],
+            rows,
+            title="Fault injection & degradation",
+        )
+
     def _wall_table(self) -> str | None:
         if not self.wall_by_category:
             return None
@@ -184,6 +205,7 @@ class ProfileReport:
         for extra in (
             self._workqueue_table(),
             self._quadrant_table(),
+            self._faults_table(),
             self._wall_table(),
         ):
             if extra:
@@ -224,17 +246,26 @@ def _derive_trace_metrics(result: SpmmResult) -> None:
 
 
 def profile_setup(
-    setup: ExperimentSetup, *, algorithm: str = "hh-cpu"
+    setup: ExperimentSetup, *, algorithm: str = "hh-cpu", faults=None
 ) -> ProfileReport:
-    """Profile one prepared experiment setup."""
+    """Profile one prepared experiment setup.
+
+    ``faults`` (a :class:`~repro.faults.injector.FaultInjector`) enables
+    fault injection; only HH-CPU implements the degradation path.
+    """
     if algorithm not in PROFILE_ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {PROFILE_ALGORITHMS}"
         )
+    if faults is not None and algorithm != "hh-cpu":
+        raise ValueError(
+            f"fault injection is only supported for hh-cpu, not {algorithm!r}"
+        )
     with observed() as (metrics, spans):
         with metrics.timer("profile.run_wall_s"):
             if algorithm == "hh-cpu":
-                result = run_hhcpu(setup)
+                kwargs = {} if faults is None else {"faults": faults}
+                result = run_hhcpu(setup, **kwargs)
             else:
                 result = run_baseline(setup, algorithm)
         _derive_trace_metrics(result)
@@ -253,9 +284,10 @@ def profile_setup(
 
 
 def profile_run(
-    name: str, *, algorithm: str = "hh-cpu", scale: float | None = None
+    name: str, *, algorithm: str = "hh-cpu", scale: float | None = None,
+    faults=None,
 ) -> ProfileReport:
     """Load a Table I twin and profile ``algorithm`` on it (A x A)."""
     return profile_setup(
-        experiment_setup(name, scale=scale), algorithm=algorithm
+        experiment_setup(name, scale=scale), algorithm=algorithm, faults=faults
     )

@@ -31,6 +31,12 @@ class SchedulingError(ReproError, RuntimeError):
     moving backwards)."""
 
 
+class FaultError(ReproError, RuntimeError):
+    """The simulated platform could not survive an injected fault
+    schedule (e.g. every device crashed with work-units remaining), or a
+    fault specification is malformed."""
+
+
 class MetricError(ReproError, ValueError):
     """An observability metric was used inconsistently (empty name, or
     the same name registered as two different kinds, e.g. a counter

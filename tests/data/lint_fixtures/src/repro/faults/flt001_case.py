@@ -1,0 +1,10 @@
+"""Fixture: exactly one FLT001 violation (seeded Generator built
+directly inside the faults package — deterministic, so DET001 stays
+quiet, but it splits the fault schedule across two seed domains)."""
+
+import numpy as np
+
+
+def private_schedule():
+    rng = np.random.default_rng(7)  # seeded, but outside resolve_rng
+    return rng.random()

@@ -1,0 +1,213 @@
+"""Property-based chaos tests: correctness under arbitrary fault schedules.
+
+Hypothesis generates fault schedules (crashes, stragglers, stalls,
+transient transfer/work-unit errors) and the properties assert the two
+invariants the degradation layer promises, no matter the schedule:
+
+* the final HH-CPU product equals the scipy reference bit-for-bit in
+  structure and to float tolerance in values, and
+* the Phase III workqueue conserves work — every unit is completed
+  exactly once, even through requeues and failovers.
+
+Schedules are constrained to at most one crashed device (both devices
+dying with work remaining is *specified* to raise FaultError, and has
+its own test).  ``derandomize=True`` keeps the suite seed-deterministic
+in CI.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hhcpu import HHCPU
+from repro.faults import (
+    DequeueStall,
+    DeviceCrash,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    Straggler,
+    TransferError,
+    UnitError,
+)
+from repro.formats import COOMatrix
+from repro.hardware.platform import default_platform, platform_for_scale
+from repro.hetero.scheduler import run_workqueue_phase
+from repro.hetero.workqueue import DoubleEndedWorkQueue
+from repro.scalefree import powerlaw_matrix
+from repro.util.errors import FaultError
+
+from tests.conftest import assert_same_product
+
+# one matrix for every example: generation dominates the runtime otherwise
+MATRIX = powerlaw_matrix(400, alpha=2.5, target_nnz=2_000, hub_bias=0.5, rng=29)
+REFERENCE = MATRIX.to_scipy() @ MATRIX.to_scipy()
+
+# the e2e Phase III window at this scale is ~1e-5..5e-4 simulated seconds;
+# crash times sweep from "dead on arrival" to "past the end of the run"
+CRASH_TIMES = st.sampled_from(
+    [0.0, 1e-5, 5e-5, 1e-4, 2e-4, 3e-4, 5e-4, 1e-3, 1.0]
+)
+DEVICES = st.sampled_from(["cpu", "gpu"])
+
+
+def crashes(max_crashes=1):
+    """Up to ``max_crashes`` device crashes, never both devices."""
+    return st.lists(
+        st.builds(DeviceCrash, device=DEVICES, at_s=CRASH_TIMES),
+        max_size=max_crashes,
+        unique_by=lambda c: c.device,
+    )
+
+
+def degradations():
+    return st.lists(
+        st.one_of(
+            st.builds(
+                Straggler,
+                device=DEVICES,
+                factor=st.floats(1.1, 8.0),
+                from_s=st.sampled_from([0.0, 1e-4]),
+            ),
+            st.builds(
+                DequeueStall,
+                device=DEVICES,
+                at_s=st.sampled_from([0.0, 5e-5, 2e-4]),
+                stall_s=st.sampled_from([1e-5, 1e-4]),
+            ),
+            st.builds(
+                TransferError,
+                probability=st.floats(0.0, 0.6),
+                max_errors=st.sampled_from([0, 5]),
+            ),
+            st.builds(
+                UnitError,
+                device=DEVICES,
+                probability=st.floats(0.0, 0.5),
+                max_errors=st.sampled_from([0, 3]),
+            ),
+        ),
+        max_size=4,
+    )
+
+
+@st.composite
+def fault_specs(draw, max_crashes=1):
+    return FaultSpec(
+        faults=tuple(draw(crashes(max_crashes))) + tuple(draw(degradations())),
+        retry=RetryPolicy(
+            max_attempts=draw(st.sampled_from([2, 4])),
+            base_delay_s=1e-5,
+            unit_timeout_s=draw(st.sampled_from([None, 2e-4])),
+        ),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+class TestSchedulerConservation:
+    """Scheduler-level property on a dummy executor: whatever the fault
+    schedule, the queue conserves work and every unit completes once."""
+
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(spec=fault_specs(), cpu_cost=st.floats(0.5, 2.0),
+           gpu_cost=st.floats(0.5, 2.0),
+           gpu_batch=st.sampled_from([None, 25, 40]))
+    def test_conservation_under_chaos(self, spec, cpu_cost, gpu_cost, gpu_batch):
+        q = DoubleEndedWorkQueue.build(
+            np.arange(60), np.arange(60, 120), cpu_rows=10, gpu_rows=10
+        )
+        pf = default_platform()
+        inj = FaultInjector(spec)
+        pf.inject_faults(inj)
+        executed = []
+
+        def execute(kind, unit):
+            device = pf.cpu if kind == "cpu" else pf.gpu
+            device.busy(
+                "III", kind,
+                device.degraded(cpu_cost if kind == "cpu" else gpu_cost),
+            )
+            executed.append(unit)
+            return COOMatrix.empty((1, 1))
+
+        outcome = run_workqueue_phase(
+            pf, q, execute, gpu_batch_rows=gpu_batch, faults=inj
+        )
+        q.check_conservation()  # every unit exactly once, post-requeues
+        assert not q.has_work()
+        # the dequeue log covers each of the 12 original units exactly
+        # once (batched GPU launches log their constituents individually)
+        assert len(q.log) == 12
+        assert outcome.cpu_units + outcome.gpu_units >= 1
+        # attempts = completions + retried attempts + crash-curtailed
+        # attempts (at most one per dead device)
+        extra = len(executed) - (
+            outcome.cpu_units + outcome.gpu_units + outcome.retries
+        )
+        assert 0 <= extra <= len(outcome.dead_devices)
+        assert outcome.failover_rows == 0 or outcome.dead_devices
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(cpu_at=CRASH_TIMES.filter(lambda t: t <= 5e-4),
+           gpu_at=CRASH_TIMES.filter(lambda t: t <= 5e-4))
+    def test_both_devices_dead_raises(self, cpu_at, gpu_at):
+        """The one unsurvivable schedule: both devices die with work
+        left.  The phase must fail loudly, never hang or drop units."""
+        q = DoubleEndedWorkQueue.build(
+            np.arange(60), np.arange(60, 120), cpu_rows=10, gpu_rows=10
+        )
+        pf = default_platform()
+        inj = FaultInjector(FaultSpec(faults=(
+            DeviceCrash(device="cpu", at_s=cpu_at),
+            DeviceCrash(device="gpu", at_s=gpu_at),
+        )))
+        pf.inject_faults(inj)
+
+        def execute(kind, unit):
+            device = pf.cpu if kind == "cpu" else pf.gpu
+            device.busy("III", kind, 1.0)
+            return COOMatrix.empty((1, 1))
+
+        with pytest.raises(FaultError, match="all devices crashed"):
+            run_workqueue_phase(pf, q, execute, faults=inj)
+
+
+class TestEndToEndExactness:
+    """The headline property: HH-CPU's product never changes under any
+    survivable fault schedule — degradation costs time, not accuracy."""
+
+    def _run(self, spec):
+        pf = platform_for_scale(0.001)
+        algo = HHCPU(pf, cpu_rows=25, gpu_rows=120, faults=FaultInjector(spec))
+        return algo.multiply(MATRIX, MATRIX)
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(spec=fault_specs())
+    def test_product_equals_scipy_under_chaos(self, spec):
+        result = self._run(spec)
+        assert_same_product(result.matrix, REFERENCE)
+        faults = result.details["faults"]
+        crashed = {f.device for f in spec.faults if isinstance(f, DeviceCrash)}
+        assert set(faults["dead_devices"]) <= crashed
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(spec=fault_specs())
+    def test_replay_is_deterministic(self, spec):
+        """Same seed + spec => identical trace events and identical CSR,
+        run to run."""
+        r1 = self._run(spec)
+        events1 = [
+            (e.device, e.phase, e.label, e.start, e.end)
+            for e in r1.trace.events
+        ]
+        r2 = self._run(spec)
+        events2 = [
+            (e.device, e.phase, e.label, e.start, e.end)
+            for e in r2.trace.events
+        ]
+        assert events1 == events2
+        np.testing.assert_array_equal(r1.matrix.indptr, r2.matrix.indptr)
+        np.testing.assert_array_equal(r1.matrix.indices, r2.matrix.indices)
+        np.testing.assert_array_equal(r1.matrix.data, r2.matrix.data)
+        assert r1.details["faults"] == r2.details["faults"]

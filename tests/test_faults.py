@@ -1,0 +1,619 @@
+"""Tests for the fault-injection & graceful-degradation layer.
+
+Covers the spec/policy/injector triplet, the cancellable event engine,
+the workqueue requeue path (including the batched-unit fix for batches
+that crossed the front cursor), the fault-aware scheduler, platform
+transfer retries, end-to-end HH-CPU failover (the acceptance scenario:
+a GPU crash mid-Phase III completes on the CPU with a scipy-equal
+result), deterministic replay, and the ``repro profile --faults`` CLI.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.core.hhcpu import HHCPU
+from repro.faults import (
+    DEFAULT_RETRY_POLICY,
+    DequeueStall,
+    DeviceCrash,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    Straggler,
+    TransferError,
+    UnitError,
+    fault_from_dict,
+    load_fault_spec,
+)
+from repro.formats import COOMatrix
+from repro.hardware.engine import EventEngine
+from repro.hardware.platform import default_platform, platform_for_scale
+from repro.hetero.scheduler import run_workqueue_phase
+from repro.hetero.workqueue import DoubleEndedWorkQueue
+from repro.util.errors import FaultError, SchedulingError
+
+from tests.conftest import assert_same_product
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLE_SPEC = REPO_ROOT / "examples" / "faults_crash_gpu.json"
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        p = RetryPolicy(base_delay_s=1e-4, multiplier=2.0, max_delay_s=3e-4)
+        assert p.backoff_s(0) == 0.0
+        assert p.backoff_s(1) == pytest.approx(1e-4)
+        assert p.backoff_s(2) == pytest.approx(2e-4)
+        assert p.backoff_s(3) == pytest.approx(3e-4)  # capped
+        assert p.backoff_s(9) == pytest.approx(3e-4)
+
+    def test_total_backoff_sums_the_ladder(self):
+        p = RetryPolicy(base_delay_s=1e-4, multiplier=2.0, max_delay_s=1.0)
+        assert p.total_backoff_s(0) == 0.0
+        assert p.total_backoff_s(3) == pytest.approx(1e-4 + 2e-4 + 4e-4)
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(FaultError):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(FaultError):
+            RetryPolicy(unit_timeout_s=0.0)
+
+    def test_dict_round_trip(self):
+        p = RetryPolicy(max_attempts=3, unit_timeout_s=0.5)
+        assert RetryPolicy.from_dict(p.as_dict()) == p
+        with pytest.raises(FaultError, match="unknown"):
+            RetryPolicy.from_dict({"max_attempts": 3, "bogus": 1})
+
+
+class TestFaultSpec:
+    def test_fault_validation(self):
+        with pytest.raises(FaultError):
+            DeviceCrash(device="tpu", at_s=1.0)
+        with pytest.raises(FaultError):
+            DeviceCrash(device="gpu", at_s=-1.0)
+        with pytest.raises(FaultError):
+            Straggler(device="cpu", factor=0.5)
+        with pytest.raises(FaultError):
+            DequeueStall(device="cpu", at_s=0.0, stall_s=0.0)
+        with pytest.raises(FaultError):
+            TransferError(probability=1.0)
+        with pytest.raises(FaultError):
+            UnitError(device="gpu", probability=-0.1)
+
+    def test_duplicate_crash_rejected(self):
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultSpec(faults=(
+                DeviceCrash(device="gpu", at_s=1.0),
+                DeviceCrash(device="gpu", at_s=2.0),
+            ))
+
+    def test_crash_time_lookup(self):
+        spec = FaultSpec(faults=(DeviceCrash(device="gpu", at_s=0.25),))
+        assert spec.crash_time("gpu") == 0.25
+        assert spec.crash_time("cpu") is None
+
+    def test_json_round_trip(self):
+        spec = FaultSpec(
+            faults=(
+                DeviceCrash(device="gpu", at_s=0.5),
+                Straggler(device="cpu", factor=3.0, from_s=0.1),
+                DequeueStall(device="cpu", at_s=0.2, stall_s=0.05),
+                TransferError(probability=0.2, max_errors=10),
+                UnitError(device="gpu", probability=0.1, max_errors=5),
+            ),
+            retry=RetryPolicy(max_attempts=3),
+            seed=42,
+        )
+        again = FaultSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert again == spec
+
+    def test_from_dict_rejects_unknowns(self):
+        with pytest.raises(FaultError, match="unknown fault-spec"):
+            FaultSpec.from_dict({"faults": [], "surprise": 1})
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            fault_from_dict({"kind": "meteor_strike"})
+        with pytest.raises(FaultError, match="bad device_crash"):
+            fault_from_dict({"kind": "device_crash", "device": "gpu"})
+
+    def test_load_from_disk(self, tmp_path):
+        spec = FaultSpec(faults=(DeviceCrash(device="cpu", at_s=1.0),), seed=9)
+        p = tmp_path / "spec.json"
+        p.write_text(json.dumps(spec.as_dict()))
+        assert load_fault_spec(p) == spec
+        with pytest.raises(FaultError, match="not found"):
+            load_fault_spec(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultError, match="not valid JSON"):
+            load_fault_spec(bad)
+
+    def test_example_spec_loads(self):
+        spec = load_fault_spec(EXAMPLE_SPEC)
+        assert spec.crash_time("gpu") is not None
+
+
+class TestInjector:
+    def test_crash_queries(self):
+        inj = FaultInjector(FaultSpec(faults=(DeviceCrash(device="gpu", at_s=2.0),)))
+        assert not inj.crashed("gpu", 1.9)
+        assert inj.crashed("gpu", 2.0)
+        assert not inj.crashed("cpu", 10.0)
+        inj.mark_dead("gpu", 2.0)
+        inj.mark_dead("gpu", 2.0)  # idempotent
+        assert inj.dead_devices == ("gpu",)
+
+    def test_straggler_compounds(self):
+        inj = FaultInjector(FaultSpec(faults=(
+            Straggler(device="cpu", factor=2.0, from_s=1.0),
+            Straggler(device="cpu", factor=3.0, from_s=2.0),
+        )))
+        assert inj.slowdown("cpu", 0.5) == 1.0
+        assert inj.slowdown("cpu", 1.5) == 2.0
+        assert inj.slowdown("cpu", 2.5) == 6.0
+        assert inj.slowdown("gpu", 2.5) == 1.0
+
+    def test_stall_fires_once(self):
+        inj = FaultInjector(FaultSpec(faults=(
+            DequeueStall(device="cpu", at_s=1.0, stall_s=0.25),
+        )))
+        assert inj.dequeue_stall("cpu", 0.5) == 0.0
+        assert inj.dequeue_stall("cpu", 1.5) == 0.25
+        assert inj.dequeue_stall("cpu", 2.0) == 0.0  # one-shot
+
+    def test_transfer_attempts_bounded_by_policy(self):
+        inj = FaultInjector(FaultSpec(
+            faults=(TransferError(probability=0.999999),),
+            retry=RetryPolicy(max_attempts=3),
+            seed=1,
+        ))
+        for _ in range(5):
+            assert 1 <= inj.transfer_attempts() <= 3
+
+    def test_draws_replay_after_reset(self):
+        inj = FaultInjector(FaultSpec(
+            faults=(UnitError(device="cpu", probability=0.5),), seed=5
+        ))
+        first = [inj.unit_attempt_fails("cpu") for _ in range(32)]
+        inj.reset()
+        assert [inj.unit_attempt_fails("cpu") for _ in range(32)] == first
+
+    def test_max_errors_budget(self):
+        inj = FaultInjector(FaultSpec(
+            faults=(UnitError(device="cpu", probability=0.999999, max_errors=2),),
+            seed=3,
+        ))
+        fails = sum(inj.unit_attempt_fails("cpu") for _ in range(20))
+        assert fails == 2
+
+
+class TestEventHandle:
+    def test_cancelled_event_never_fires(self):
+        engine = EventEngine()
+        fired = []
+        h1 = engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        h1.cancel()
+        engine.run()
+        assert fired == ["b"]
+        assert engine.now == 2.0
+
+    def test_cancel_after_run_is_noop(self):
+        engine = EventEngine()
+        h = engine.schedule_after(0.0, lambda: None)
+        engine.run()
+        h.cancel()  # already ran; nothing to retract
+
+
+class TestWorkQueueRequeue:
+    def _queue(self):
+        return DoubleEndedWorkQueue.build(
+            np.arange(40), np.arange(40, 80), cpu_rows=10, gpu_rows=10
+        )
+
+    def test_front_requeue_restores_unit_and_log(self):
+        q = self._queue()
+        u = q.pop_front()
+        assert q.log == [("front", u.index)]
+        q.requeue(u, end="front")
+        assert q.log == []
+        assert q.units[q._front] is u
+        again = q.pop_front()
+        assert again is u
+
+    def test_back_requeue_restores_unit(self):
+        q = self._queue()
+        u = q.pop_back()
+        q.requeue(u, end="back")
+        assert q.pop_back() is u
+
+    def test_requeue_without_dequeue_rejected(self):
+        q = self._queue()
+        u = q.units[0]
+        with pytest.raises(SchedulingError):
+            q.requeue(u, end="front")
+
+    def test_batched_unit_keeps_parts(self):
+        q = self._queue()
+        batch = q.pop_back_batch(30)
+        assert len(batch.parts) == 3
+        assert batch.nrows == 30
+        # the merged rows are the members' rows in dequeue order
+        np.testing.assert_array_equal(
+            batch.rows, np.concatenate([m.rows for m in batch.parts])
+        )
+
+    def test_unbatched_unit_members_is_itself(self):
+        q = self._queue()
+        u = q.pop_front()
+        assert u.parts == () and u.members == (u,)
+
+    def test_batch_requeue_restores_original_slots(self):
+        q = self._queue()
+        before = list(q.units)
+        batch = q.pop_back_batch(30)
+        q.requeue(batch, end="back")
+        assert list(q.units) == before
+        assert q.log == []
+        # popping again yields the same batch
+        again = q.pop_back_batch(30)
+        assert [m.index for m in again.members] == [m.index for m in batch.members]
+
+    def test_batch_crossing_front_cursor_requeues_safely(self):
+        """The regression the ``parts`` field exists for: a GPU batch
+        that merged units from the CPU end (after the cursors ran past
+        each other's products) must requeue as its constituents, not as
+        one fused unit, or conservation breaks."""
+        q = DoubleEndedWorkQueue.build(np.arange(40), np.arange(0), cpu_rows=10)
+        # no AH_BL units at all: the GPU's batched pop crosses straight
+        # into the CPU end's AL_BH units
+        batch = q.pop_back_batch(20)
+        assert batch.product == "AL_BH" and len(batch.parts) == 2
+        q.requeue(batch, end="back")
+        # drain normally from the front; conservation must hold
+        drained = []
+        while q.has_work():
+            drained.append(q.pop_front())
+        q.check_conservation()
+        assert sorted(u.index for u in drained) == list(range(4))
+
+    def test_cursor_meet_then_requeue_reopens_queue(self):
+        q = DoubleEndedWorkQueue.build(np.arange(10), np.arange(10, 20),
+                                       cpu_rows=10, gpu_rows=10)
+        front = q.pop_front()
+        back = q.pop_back()
+        assert not q.has_work()  # cursors met
+        q.requeue(back, end="back")
+        assert q.has_work() and q.remaining == 1
+        assert q.pop_front() is back
+        q.check_conservation()
+        assert front.index != back.index
+
+    def test_conservation_rejects_missing_and_double(self):
+        q = self._queue()
+        while q.has_work():
+            q.pop_front()
+        q.log.append(("front", 0))  # duplicate
+        with pytest.raises(SchedulingError):
+            q.check_conservation()
+
+
+class _SchedulerHarness:
+    """Dummy-executor drain mirroring test_hetero.TestScheduler."""
+
+    def drain(self, q, *, cpu_cost=1.0, gpu_cost=1.0, gpu_batch=None,
+              spec=None, retry=None, platform=None):
+        pf = platform or default_platform()
+        inj = None
+        if spec is not None:
+            inj = FaultInjector(spec)
+            pf.inject_faults(inj)
+        taken = {"cpu": [], "gpu": []}
+
+        def execute(kind, unit):
+            device = pf.cpu if kind == "cpu" else pf.gpu
+            device.busy("III", kind, device.degraded(
+                cpu_cost if kind == "cpu" else gpu_cost))
+            taken[kind].append(unit)
+            return COOMatrix.empty((1, 1))
+
+        outcome = run_workqueue_phase(
+            pf, q, execute, gpu_batch_rows=gpu_batch, faults=inj, retry=retry
+        )
+        return pf, taken, outcome
+
+
+class TestFaultScheduler(_SchedulerHarness):
+    def _queue(self, n=100):
+        return DoubleEndedWorkQueue.build(
+            np.arange(n), np.arange(n, 2 * n), cpu_rows=10, gpu_rows=10
+        )
+
+    def test_healthy_run_unchanged(self):
+        q = self._queue()
+        _, _, outcome = self.drain(q, spec=FaultSpec())
+        assert outcome.cpu_units + outcome.gpu_units == 20
+        assert outcome.dead_devices == ()
+        assert outcome.retries == outcome.requeues == 0
+
+    def test_gpu_crash_mid_unit_fails_over_to_cpu(self):
+        q = self._queue()
+        spec = FaultSpec(faults=(DeviceCrash(device="gpu", at_s=2.5),))
+        pf, taken, outcome = self.drain(q, spec=spec)
+        q.check_conservation()
+        assert outcome.dead_devices == ("gpu",)
+        assert outcome.requeues >= 1
+        assert outcome.failover_units > 0
+        assert outcome.cpu_units + outcome.gpu_units == 20
+        # the GPU's trace ends at the crash, with the curtailed event marked
+        assert pf.gpu.clock == pytest.approx(2.5)
+        assert any(e.label.endswith(":crash") for e in pf.trace.events)
+
+    def test_cpu_crash_fails_over_to_gpu(self):
+        q = self._queue()
+        spec = FaultSpec(faults=(DeviceCrash(device="cpu", at_s=2.5),))
+        _, _, outcome = self.drain(q, spec=spec)
+        assert outcome.dead_devices == ("cpu",)
+        assert outcome.cpu_units + outcome.gpu_units == 20
+
+    def test_crash_at_zero_is_single_device_from_the_start(self):
+        q = self._queue()
+        spec = FaultSpec(faults=(DeviceCrash(device="gpu", at_s=0.0),))
+        _, _, outcome = self.drain(q, spec=spec)
+        assert outcome.gpu_units == 0
+        assert outcome.cpu_units == 20
+        assert outcome.failover_units == 20
+
+    def test_both_crash_raises_fault_error(self):
+        q = self._queue()
+        spec = FaultSpec(faults=(
+            DeviceCrash(device="cpu", at_s=2.5),
+            DeviceCrash(device="gpu", at_s=3.5),
+        ))
+        with pytest.raises(FaultError, match="all devices crashed"):
+            self.drain(q, spec=spec)
+
+    def test_transient_error_retries_and_converges(self):
+        q = self._queue(40)
+        spec = FaultSpec(
+            faults=(UnitError(device="cpu", probability=0.4),), seed=7
+        )
+        _, _, outcome = self.drain(q, spec=spec)
+        q.check_conservation()
+        assert outcome.retries > 0
+        assert outcome.retries == outcome.requeues
+        assert outcome.cpu_units + outcome.gpu_units == 8
+
+    def test_exhausted_attempts_force_completion(self):
+        q = self._queue(40)
+        spec = FaultSpec(
+            faults=(UnitError(device="cpu", probability=0.97),),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+            seed=13,
+        )
+        _, _, outcome = self.drain(q, spec=spec)  # must terminate
+        q.check_conservation()
+
+    def test_timeout_requeues_and_retries(self):
+        q = DoubleEndedWorkQueue.build(np.arange(20), np.arange(0), cpu_rows=10)
+        spec = FaultSpec(retry=RetryPolicy(unit_timeout_s=0.5, max_attempts=3))
+        # cpu units take 1.0 > timeout 0.5: each times out twice, then the
+        # third (last) attempt is forced to completion
+        pf, _, outcome = self.drain(q, cpu_cost=1.0, gpu_cost=10.0, spec=spec)
+        q.check_conservation()
+        assert outcome.timeouts > 0
+        assert any(e.label.endswith(":timeout") for e in pf.trace.events)
+
+    def test_stall_charges_idle_time(self):
+        q = self._queue(20)
+        spec = FaultSpec(faults=(
+            DequeueStall(device="cpu", at_s=0.0, stall_s=5.0),
+        ))
+        pf, _, outcome = self.drain(q, spec=spec)
+        stalls = [e for e in pf.trace.events if e.label == "fault:stall:cpu"]
+        assert len(stalls) == 1 and stalls[0].duration == 5.0
+
+    def test_straggler_shifts_work_to_healthy_device(self):
+        q1, q2 = self._queue(), self._queue()
+        _, _, healthy = self.drain(q1, spec=FaultSpec())
+        slow = FaultSpec(faults=(Straggler(device="cpu", factor=8.0),))
+        _, _, degraded = self.drain(q2, spec=slow)
+        assert degraded.cpu_units < healthy.cpu_units
+
+
+class TestPlatformTransferFaults:
+    def test_transfer_retries_charge_extra_time(self, small_scalefree):
+        clean = default_platform()
+        t_clean = clean.upload_matrix("II", "x", small_scalefree)
+
+        faulty = default_platform()
+        inj = FaultInjector(FaultSpec(
+            faults=(TransferError(probability=0.999999),),
+            retry=RetryPolicy(max_attempts=3, base_delay_s=1e-3),
+            seed=2,
+        ))
+        faulty.inject_faults(inj)
+        t_faulty = faulty.upload_matrix("II", "x", small_scalefree)
+        assert t_faulty == pytest.approx(
+            3 * t_clean + inj.retry.total_backoff_s(2)
+        )
+
+    def test_platform_reset_rewinds_injector(self, small_scalefree):
+        pf = default_platform()
+        inj = FaultInjector(FaultSpec(
+            faults=(TransferError(probability=0.5),), seed=4
+        ))
+        pf.inject_faults(inj)
+        first = [pf.upload_matrix("II", "x", small_scalefree) for _ in range(8)]
+        pf.reset()
+        again = [pf.upload_matrix("II", "x", small_scalefree) for _ in range(8)]
+        assert again == first
+
+
+class TestHHCPUDegradation:
+    """End-to-end: injected faults never change the numeric result."""
+
+    def _multiply(self, matrix, spec, **kwargs):
+        pf = platform_for_scale(0.001)
+        algo = HHCPU(pf, cpu_rows=40, gpu_rows=200,
+                     faults=FaultInjector(spec), **kwargs)
+        return algo.multiply(matrix, matrix)
+
+    def test_gpu_crash_mid_phase3_acceptance(self, small_scalefree):
+        """The issue's acceptance scenario: GPU dies mid-Phase III, the
+        CPU drains the dead end, the result equals scipy, conservation
+        holds, and the fault counters surface in the details."""
+        spec = FaultSpec(faults=(DeviceCrash(device="gpu", at_s=2.0e-4),))
+        result = self._multiply(small_scalefree, spec)
+        ref = small_scalefree.to_scipy() @ small_scalefree.to_scipy()
+        assert_same_product(result.matrix, ref)
+        faults = result.details["faults"]
+        assert faults["dead_devices"] == ("gpu",)
+        assert faults["failover_units"] > 0
+
+    def test_gpu_dead_on_arrival(self, small_scalefree):
+        spec = FaultSpec(faults=(DeviceCrash(device="gpu", at_s=0.0),))
+        pf = platform_for_scale(0.001)
+        algo = HHCPU(pf, cpu_rows=40, gpu_rows=200, faults=FaultInjector(spec))
+        result = algo.multiply(small_scalefree, small_scalefree)
+        ref = small_scalefree.to_scipy() @ small_scalefree.to_scipy()
+        assert_same_product(result.matrix, ref)
+        # single-device mode: the GPU never executes anything
+        assert not any(e.device == pf.gpu.name for e in result.trace.events)
+        assert result.details["faults"]["dead_devices"] == ("gpu",)
+
+    def test_cpu_crash_mid_phase3(self, small_scalefree):
+        spec = FaultSpec(faults=(DeviceCrash(device="cpu", at_s=8.0e-5),))
+        result = self._multiply(small_scalefree, spec)
+        ref = small_scalefree.to_scipy() @ small_scalefree.to_scipy()
+        assert_same_product(result.matrix, ref)
+        assert result.details["faults"]["dead_devices"] == ("cpu",)
+
+    def test_phase2_crash_fails_over(self, small_scalefree):
+        # crash early enough to land in Phase II's GPU product
+        spec = FaultSpec(faults=(DeviceCrash(device="gpu", at_s=2.0e-5),))
+        result = self._multiply(small_scalefree, spec)
+        ref = small_scalefree.to_scipy() @ small_scalefree.to_scipy()
+        assert_same_product(result.matrix, ref)
+
+    def test_mixed_chaos_schedule(self, small_scalefree):
+        spec = FaultSpec(
+            faults=(
+                DeviceCrash(device="gpu", at_s=2.5e-4),
+                Straggler(device="cpu", factor=2.0, from_s=1e-4),
+                DequeueStall(device="cpu", at_s=5e-5, stall_s=3e-5),
+                TransferError(probability=0.3),
+                UnitError(device="cpu", probability=0.2),
+            ),
+            seed=21,
+        )
+        result = self._multiply(small_scalefree, spec)
+        ref = small_scalefree.to_scipy() @ small_scalefree.to_scipy()
+        assert_same_product(result.matrix, ref)
+
+    def test_degraded_run_is_slower(self, small_scalefree):
+        healthy = self._multiply(small_scalefree, FaultSpec())
+        slowed = self._multiply(
+            small_scalefree,
+            FaultSpec(faults=(Straggler(device="cpu", factor=50.0),)),
+        )
+        assert slowed.total_time > healthy.total_time
+        assert_same_product(
+            slowed.matrix,
+            small_scalefree.to_scipy() @ small_scalefree.to_scipy(),
+        )
+
+    def test_spec_accepted_directly(self, small_scalefree):
+        pf = platform_for_scale(0.001)
+        algo = HHCPU(pf, cpu_rows=40, gpu_rows=200, faults=FaultSpec())
+        assert isinstance(algo.faults, FaultInjector)
+
+
+class TestDeterministicReplay:
+    """Same seed + fault spec => byte-identical trace, metrics snapshot,
+    and result CSR across two runs."""
+
+    SPEC = FaultSpec(
+        faults=(
+            DeviceCrash(device="gpu", at_s=2.0e-4),
+            TransferError(probability=0.3),
+            UnitError(device="cpu", probability=0.25),
+        ),
+        seed=33,
+    )
+
+    def _profiled_run(self, small_scalefree):
+        from repro.obs.spans import observed
+
+        pf = platform_for_scale(0.001)
+        algo = HHCPU(pf, cpu_rows=40, gpu_rows=200,
+                     faults=FaultInjector(self.SPEC))
+        with observed() as (metrics, _):
+            result = algo.multiply(small_scalefree, small_scalefree)
+            snapshot = metrics.snapshot()
+        events = [
+            (e.device, e.phase, e.label, e.start, e.end) for e in result.trace.events
+        ]
+        return events, snapshot, result.matrix
+
+    def test_two_runs_identical(self, small_scalefree):
+        ev1, snap1, csr1 = self._profiled_run(small_scalefree)
+        ev2, snap2, csr2 = self._profiled_run(small_scalefree)
+        assert ev1 == ev2
+        assert json.dumps(snap1, sort_keys=True) == json.dumps(snap2, sort_keys=True)
+        np.testing.assert_array_equal(csr1.indptr, csr2.indptr)
+        np.testing.assert_array_equal(csr1.indices, csr2.indices)
+        np.testing.assert_array_equal(csr1.data, csr2.data)
+
+    def test_same_algorithm_object_replays(self, small_scalefree):
+        """platform.reset() rewinds the injector, so re-running the same
+        HHCPU instance replays the identical fault schedule."""
+        pf = platform_for_scale(0.001)
+        algo = HHCPU(pf, cpu_rows=40, gpu_rows=200,
+                     faults=FaultInjector(self.SPEC))
+        r1 = algo.multiply(small_scalefree, small_scalefree)
+        ev1 = [(e.device, e.label, e.start, e.end) for e in r1.trace.events]
+        d1 = dict(r1.details["faults"])
+        r2 = algo.multiply(small_scalefree, small_scalefree)
+        ev2 = [(e.device, e.label, e.start, e.end) for e in r2.trace.events]
+        assert ev1 == ev2
+        assert dict(r2.details["faults"]) == d1
+
+
+class TestProfileCli:
+    def test_profile_with_faults_smoke(self, capsys, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.json"
+        rc = main([
+            "profile", "wiki-Vote", "--scale", "0.01",
+            "--faults", str(EXAMPLE_SPEC),
+            "--export-metrics", str(metrics_path),
+            "--export-trace", str(trace_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fault injection & degradation" in out
+        doc = json.loads(metrics_path.read_text())
+        assert doc["counters"]["faults.crash.events"] == 1
+        assert doc["counters"]["phase3.failover.units"] > 0
+        assert doc["gauges"]["faults.device.gpu.crashed_at_s"] == pytest.approx(5e-4)
+        assert trace_path.exists()
+
+    def test_faults_rejected_for_baselines(self):
+        from repro.obs.profile import profile_run
+
+        inj = FaultInjector(FaultSpec())
+        with pytest.raises(ValueError, match="only supported for hh-cpu"):
+            profile_run("wiki-Vote", algorithm="hipc2012", scale=0.05, faults=inj)
+
+    def test_missing_spec_file_raises_fault_error(self):
+        with pytest.raises(FaultError, match="not found"):
+            main(["profile", "wiki-Vote", "--scale", "0.01",
+                  "--faults", "no/such/spec.json"])

@@ -27,6 +27,23 @@ class TestCatalog:
         assert is_declared("trace.phase.III.time_s", "gauge")
         assert is_declared("phase1.partition.A_H_rows", "gauge")
 
+    def test_fault_metrics_declared(self):
+        assert is_declared("faults.crash.events", "counter")
+        assert is_declared("faults.stall.events", "counter")
+        assert is_declared("faults.stall.seconds", "counter")
+        assert is_declared("faults.transfer.errors", "counter")
+        assert is_declared("faults.transfer.retry_s", "counter")
+        assert is_declared("faults.unit.errors", "counter")
+        assert is_declared("faults.unit.timeouts", "counter")
+        assert is_declared("faults.unit.retries", "counter")
+        assert is_declared("faults.unit.lost_s", "counter")
+        assert is_declared("faults.retry.backoff_s", "counter")
+        assert is_declared("phase3.workqueue.requeues", "counter")
+        assert is_declared("phase3.failover.units", "counter")
+        assert is_declared("phase3.failover.rows", "counter")
+        assert is_declared("faults.device.gpu.crashed_at_s", "gauge")
+        assert is_declared("faults.device.cpu.crashed_at_s", "gauge")
+
     def test_placeholder_is_one_segment(self):
         # a placeholder must not swallow dots: an extra level is undeclared
         assert not is_declared("quadrant.AH.BH.tuples")
@@ -112,4 +129,41 @@ class TestProfiledRunIsDeclared:
             ("counters", "counter"), ("gauges", "gauge"), ("timers", "timer")
         ):
             for name in snapshot[section]:
+                assert is_declared(name, kind), name
+
+    def test_fault_injected_profile_mints_only_declared_names(self):
+        """The degradation path's counters and gauges are catalogued
+        too: a crash + transient-error run under a validating registry
+        must not raise, and every fault metric must resolve."""
+        from repro.faults import (
+            DeviceCrash,
+            FaultInjector,
+            FaultSpec,
+            TransferError,
+            UnitError,
+        )
+        from repro.obs.profile import profile_run
+
+        spec = FaultSpec(
+            faults=(
+                DeviceCrash(device="gpu", at_s=2e-4),
+                TransferError(probability=0.4),
+                UnitError(device="cpu", probability=0.3),
+            ),
+            seed=11,
+        )
+        METRICS.validate = True
+        try:
+            report = profile_run(
+                "wiki-Vote", scale=0.05, faults=FaultInjector(spec)
+            )
+        finally:
+            METRICS.validate = False
+        counters = report.snapshot["counters"]
+        assert counters.get("faults.crash.events") == 1
+        assert counters.get("phase3.failover.units", 0) > 0
+        for section, kind in (
+            ("counters", "counter"), ("gauges", "gauge"), ("timers", "timer")
+        ):
+            for name in report.snapshot[section]:
                 assert is_declared(name, kind), name
