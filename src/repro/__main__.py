@@ -8,6 +8,7 @@ Commands mirror the benchmark harness, for interactive use:
     python -m repro fig10
     python -m repro multiply webbase-1M [--algorithm hipc2012]
     python -m repro profile wiki-Vote [--export-trace t.json] [--export-metrics m.json]
+    python -m repro bench [--filter smoke] [--compare BENCH_old.json --fail-on-regress 25]
     python -m repro check [--format json] [--baseline]
     python -m repro datasets
 
@@ -96,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the Table I registry")
 
+    from repro.bench.cli import add_bench_arguments
+
+    pb = sub.add_parser(
+        "bench",
+        help="time the kernels and end-to-end runs on deterministic "
+             "workloads, verify results against scipy, write a "
+             "BENCH_<rev>.json report, and optionally gate on a "
+             "previous report; exit 0 clean, 1 regression, 2 usage",
+    )
+    add_bench_arguments(pb)
+
     from repro.lint.cli import add_check_arguments
 
     pc = sub.add_parser(
@@ -117,6 +129,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import run_check
 
         return run_check(args)
+    if args.command == "bench":
+        from repro.bench.cli import run_bench_command
+
+        return run_bench_command(args)
     names = getattr(args, "names", None) or DATASET_NAMES
     scale = getattr(args, "scale", None)
 

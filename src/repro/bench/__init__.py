@@ -1,0 +1,38 @@
+"""Performance harness: deterministic workloads, verified timing, CI gate.
+
+See :mod:`repro.bench.harness` for the timing protocol and report
+schema, :mod:`repro.bench.workloads` / :mod:`repro.bench.cases` for
+what gets timed, and :mod:`repro.bench.cli` for the ``python -m repro
+bench`` entry point.
+"""
+
+from repro.bench.cases import BenchCase, CaseOutput, get_case, iter_cases
+from repro.bench.harness import (
+    SCHEMA,
+    compare_reports,
+    git_rev,
+    load_report,
+    run_bench,
+    run_case,
+    validate_report,
+    write_report,
+)
+from repro.bench.workloads import Workload, get_workload, iter_workloads
+
+__all__ = [
+    "SCHEMA",
+    "BenchCase",
+    "CaseOutput",
+    "Workload",
+    "compare_reports",
+    "get_case",
+    "get_workload",
+    "git_rev",
+    "iter_cases",
+    "iter_workloads",
+    "load_report",
+    "run_bench",
+    "run_case",
+    "validate_report",
+    "write_report",
+]

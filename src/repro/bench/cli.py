@@ -1,0 +1,109 @@
+"""``python -m repro bench`` — run, report, and gate on benchmarks.
+
+    python -m repro bench                         # run everything
+    python -m repro bench --filter smoke          # the CI subset
+    python -m repro bench --list                  # show cases, run nothing
+    python -m repro bench --compare BENCH_old.json --fail-on-regress 25
+
+Exit codes: 0 clean, 1 regression (or verification failure), 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.cases import iter_cases
+from repro.bench.harness import (
+    DEFAULT_REPEATS,
+    DEFAULT_WARMUP,
+    compare_reports,
+    git_rev,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--filter", default=None, metavar="SUBSTR",
+        help="run only cases whose name/workload/tag contains SUBSTR "
+             "(e.g. 'smoke' for the CI subset, 'hash' for one kernel)")
+    parser.add_argument(
+        "--warmup", type=int, default=DEFAULT_WARMUP,
+        help=f"untimed warm-up executions per case (default {DEFAULT_WARMUP})")
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help=f"timed executions per case (default {DEFAULT_REPEATS})")
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="report path (default BENCH_<rev>.json in the current directory)")
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="previous BENCH_*.json to compare wall-time medians against")
+    parser.add_argument(
+        "--fail-on-regress", type=float, default=None, metavar="PCT",
+        help="with --compare: exit 1 if any case's median regresses "
+             "by more than PCT percent")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list matching cases and exit without running anything")
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    if args.fail_on_regress is not None and args.compare is None:
+        print("bench: --fail-on-regress requires --compare")
+        return 2
+    cases = iter_cases(args.filter)
+    if args.list:
+        if not cases:
+            print(f"no bench cases match filter {args.filter!r}")
+            return 2
+        for case in cases:
+            tags = f" [{', '.join(sorted(case.tags))}]" if case.tags else ""
+            print(f"{case.name:28s} {case.kind:10s} {case.workload:14s}"
+                  f"{tags}  {case.description}")
+        return 0
+    rev = git_rev()
+    try:
+        report = run_bench(
+            filter_substr=args.filter, warmup=args.warmup, repeats=args.repeats,
+            rev=rev,
+            progress=lambda c: print(f"  bench {c.name} ..."),
+        )
+    except AssertionError as exc:
+        print(f"bench: VERIFICATION FAILED — {exc}")
+        return 1
+    except ValueError as exc:
+        print(f"bench: {exc}")
+        return 2
+    out_path = args.out or f"BENCH_{report['rev']}.json"
+    write_report(report, out_path)
+    print(f"\n{'case':28s} {'kind':10s} {'median':>10s} {'iqr':>10s}  sim_time")
+    for row in report["results"]:
+        sim = f"{row['sim_time_s']:.4f}s" if row["sim_time_s"] is not None else "-"
+        print(f"{row['case']:28s} {row['kind']:10s} "
+              f"{row['wall_s']['median']*1e3:9.2f}ms {row['wall_s']['iqr']*1e3:9.2f}ms"
+              f"  {sim}")
+    print(f"\nreport written to {out_path} (rev {report['rev']}, "
+          f"{len(report['results'])} cases, all verified against scipy)")
+    if args.compare is None:
+        return 0
+    baseline = load_report(args.compare)
+    cmp = compare_reports(baseline, report, fail_pct=args.fail_on_regress)
+    print(f"\ncompared against {args.compare} (rev {baseline['rev']}):")
+    for entry in cmp["rows"]:
+        flag = "  REGRESSED" if entry["regressed"] else ""
+        sim = "  (sim time changed)" if entry["sim_changed"] else ""
+        print(f"  {entry['case']:28s} {entry['old_median_s']*1e3:9.2f}ms "
+              f"-> {entry['new_median_s']*1e3:9.2f}ms  {entry['pct']:+7.1f}%"
+              f"{flag}{sim}")
+    for name in cmp["missing"]:
+        print(f"  {name:28s} (no baseline entry; skipped)")
+    if cmp["regressions"]:
+        worst = max(cmp["regressions"], key=lambda e: e["pct"])
+        print(f"\nbench: {len(cmp['regressions'])} case(s) regressed beyond "
+              f"{args.fail_on_regress:.0f}% (worst: {worst['case']} "
+              f"{worst['pct']:+.1f}%)")
+        return 1
+    return 0

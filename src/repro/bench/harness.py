@@ -1,0 +1,204 @@
+"""Timing harness, report schema, and the regression comparator.
+
+This module is the library's **sanctioned host-timing boundary**: real
+wall-clock measurement happens here and nowhere else.  The CLK001 lint
+rule bans host clocks from the simulation tree (``repro.core``,
+``repro.kernels``, ``repro.costmodel``, ``repro.hetero``,
+``repro.hardware``) because simulated results must never depend on how
+fast the host runs; the bench harness *deliberately* measures the host,
+and reports host wall time and modelled simulated time as separate,
+clearly-labelled fields.
+
+Timing protocol: ``warmup`` untimed executions (allocator / cache
+warm-up), then ``repeats`` timed executions summarised as median + IQR
+(robust to scheduler noise; means are not reported on purpose).
+
+Reports serialise to the ``repro-bench/1`` JSON schema — deterministic
+key order, results sorted by case name — so two reports diff cleanly
+and :func:`compare_reports` can gate CI on a regression threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from time import perf_counter  # repro: noqa[DET001,CLK001] — the bench harness is the one sanctioned host-timing site: it measures real kernel wall time, reported separately from (never mixed into) simulated time
+
+import numpy as np
+
+from repro.bench.cases import BenchCase, iter_cases, verify_against_scipy
+from repro.obs.metrics import METRICS
+
+#: report schema identifier; bump on any structural change
+SCHEMA = "repro-bench/1"
+
+#: default timing protocol
+DEFAULT_WARMUP = 1
+DEFAULT_REPEATS = 5
+
+
+def git_rev(cwd: str | None = None) -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def _wall_summary(samples: list[float]) -> dict:
+    arr = np.asarray(samples, dtype=float)
+    q25, med, q75 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return {
+        "median": float(med),
+        "iqr": float(q75 - q25),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "repeats": int(arr.size),
+    }
+
+
+def run_case(case: BenchCase, *, warmup: int, repeats: int) -> dict:
+    """Time one case and verify its result; return one schema row."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    a, b = case.load_workload().build()
+    run = case.make(a, b)
+    for _ in range(warmup):
+        run()
+    samples: list[float] = []
+    out = None
+    for _ in range(repeats):
+        t0 = perf_counter()
+        out = run()
+        samples.append(perf_counter() - t0)
+        if METRICS.enabled:
+            METRICS.inc("bench.repeats")
+            METRICS.observe(f"bench.case.{case.name}.wall_s", samples[-1])
+    mask = case.b_row_mask(a, b) if case.b_row_mask is not None else None
+    exact = case.kind == "kernel"
+    verify_against_scipy(a, b, out, mask=mask, exact=exact)
+    if METRICS.enabled:
+        METRICS.inc("bench.cases")
+        METRICS.inc("bench.verifications")
+        if out.sim_time_s is not None:
+            METRICS.set_gauge(f"bench.case.{case.name}.sim_time_s", out.sim_time_s)
+    return {
+        "case": case.name,
+        "kind": case.kind,
+        "workload": case.workload,
+        "tags": sorted(case.tags),
+        "wall_s": _wall_summary(samples),
+        "sim_time_s": out.sim_time_s,
+        "verified": True,
+        "verification": "bit_identical" if exact else "allclose",
+        "result_nnz": int(out.matrix.nnz),
+    }
+
+
+def run_bench(
+    *,
+    filter_substr: str | None = None,
+    warmup: int = DEFAULT_WARMUP,
+    repeats: int = DEFAULT_REPEATS,
+    rev: str | None = None,
+    progress=None,
+) -> dict:
+    """Run every matching case and assemble a ``repro-bench/1`` report."""
+    cases = iter_cases(filter_substr)
+    if not cases:
+        raise ValueError(f"no bench cases match filter {filter_substr!r}")
+    results = []
+    for case in cases:
+        if progress is not None:
+            progress(case)
+        results.append(run_case(case, warmup=warmup, repeats=repeats))
+    return {
+        "schema": SCHEMA,
+        "rev": rev if rev is not None else git_rev(),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": {
+            "warmup": warmup,
+            "repeats": repeats,
+            "filter": filter_substr,
+        },
+        "results": results,
+    }
+
+
+def validate_report(report: dict) -> None:
+    """Structural check of a report; raise ``ValueError`` on mismatch."""
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {report.get('schema')!r}; expected {SCHEMA!r}"
+        )
+    for key in ("rev", "host", "config", "results"):
+        if key not in report:
+            raise ValueError(f"bench report missing {key!r}")
+    for row in report["results"]:
+        for key in ("case", "kind", "workload", "wall_s", "sim_time_s", "verified"):
+            if key not in row:
+                raise ValueError(f"bench row missing {key!r}: {row.get('case')}")
+        for key in ("median", "iqr", "min", "max", "repeats"):
+            if key not in row["wall_s"]:
+                raise ValueError(f"bench row wall_s missing {key!r}: {row['case']}")
+
+
+def write_report(report: dict, path: str) -> None:
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    validate_report(report)
+    return report
+
+
+def compare_reports(old: dict, new: dict, *, fail_pct: float | None = None) -> dict:
+    """Case-by-case wall-time comparison of two reports.
+
+    Returns ``{"rows": [...], "regressions": [...], "missing": [...]}``:
+    one row per case present in both reports with the percent change of
+    the wall-time median (positive = new is slower); cases exceeding
+    ``fail_pct`` land in ``regressions``.  Simulated-time drift is
+    reported per row (``sim_changed``) but never gates — a modelled-time
+    change is a semantic change to review, not host noise.
+    """
+    old_rows = {row["case"]: row for row in old["results"]}
+    rows, regressions, missing = [], [], []
+    for row in new["results"]:
+        base = old_rows.get(row["case"])
+        if base is None:
+            missing.append(row["case"])
+            continue
+        old_med = base["wall_s"]["median"]
+        new_med = row["wall_s"]["median"]
+        pct = ((new_med - old_med) / old_med * 100.0) if old_med > 0 else 0.0
+        entry = {
+            "case": row["case"],
+            "old_median_s": old_med,
+            "new_median_s": new_med,
+            "pct": pct,
+            "sim_changed": base["sim_time_s"] != row["sim_time_s"],
+            "regressed": fail_pct is not None and pct > fail_pct,
+        }
+        rows.append(entry)
+        if entry["regressed"]:
+            regressions.append(entry)
+    return {"rows": rows, "regressions": regressions, "missing": missing}

@@ -1,0 +1,115 @@
+"""Deterministic benchmark workloads, shaped like the paper's inputs.
+
+Every workload is a named, seeded recipe producing the ``(A, B)`` pair
+a case multiplies.  Construction is fully deterministic (fixed RNG
+seeds through :func:`repro.util.rng.resolve_rng`) so two bench runs on
+different machines time the *same* numeric problem and the regression
+gate compares like with like.
+
+The registry mirrors the paper's input classes (§V-D): GTgraph-style
+power-law matrices at the measured alpha range, R-MAT (Graph500
+parameters), a near-uniform control, and a hub-heavy stress shape whose
+expansion blow-up exercises the kernels' worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.formats.csr import CSRMatrix
+from repro.scalefree.generators import powerlaw_matrix, rmat_matrix, uniform_matrix
+
+#: tag marking the cheap subset CI times on every push
+SMOKE = "smoke"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, seeded recipe for one benchmark input pair."""
+
+    name: str
+    description: str
+    #: classification tags; ``smoke`` selects the CI subset
+    tags: tuple = ()
+    #: builds the (A, B) operand pair; must be deterministic
+    build: Callable[[], tuple[CSRMatrix, CSRMatrix]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if "." in self.name:
+            # workload (and case) slugs become one metric-name segment
+            # in ``bench.case.{case}.wall_s``; a dot would split it
+            raise ValueError(f"workload name must not contain dots: {self.name!r}")
+
+
+def _square(make: Callable[[], CSRMatrix]) -> Callable[[], tuple[CSRMatrix, CSRMatrix]]:
+    """The paper's experiments square one matrix: ``B`` is ``A``."""
+
+    def build() -> tuple[CSRMatrix, CSRMatrix]:
+        a = make()
+        return a, a
+
+    return build
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def _register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload name {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+_register(Workload(
+    name="powerlaw-sm",
+    description="power-law A@A, 1500 rows / ~15k nnz, alpha 2.5 (paper's typical exponent)",
+    tags=(SMOKE,),
+    build=_square(lambda: powerlaw_matrix(
+        1500, alpha=2.5, target_nnz=15_000, hub_bias=0.3, rng=7)),
+))
+_register(Workload(
+    name="powerlaw-md",
+    description="power-law A@A, 6000 rows / ~60k nnz, alpha 2.5",
+    build=_square(lambda: powerlaw_matrix(
+        6000, alpha=2.5, target_nnz=60_000, hub_bias=0.3, rng=7)),
+))
+_register(Workload(
+    name="powerlaw-hub",
+    description="hub-heavy power-law A@A, alpha 2.1 / hub_bias 0.5 — expansion worst case",
+    build=_square(lambda: powerlaw_matrix(
+        2000, alpha=2.1, target_nnz=20_000, hub_bias=0.5, rng=101)),
+))
+_register(Workload(
+    name="rmat-sm",
+    description="R-MAT A@A, scale 10 (1024 vertices), Graph500 parameters",
+    tags=(SMOKE,),
+    build=_square(lambda: rmat_matrix(10, edge_factor=8, rng=11)),
+))
+_register(Workload(
+    name="rmat-md",
+    description="R-MAT A@A, scale 12 (4096 vertices), Graph500 parameters",
+    build=_square(lambda: rmat_matrix(12, edge_factor=8, rng=11)),
+))
+_register(Workload(
+    name="uniform-sm",
+    description="near-uniform A@A control (roadNet-like, not scale-free)",
+    tags=(SMOKE,),
+    build=_square(lambda: uniform_matrix(2000, mean_nnz=8.0, rng=23)),
+))
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one workload by name; raise ``KeyError`` with the list."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def iter_workloads() -> list[Workload]:
+    """All registered workloads in deterministic (name) order."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

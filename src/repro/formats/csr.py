@@ -37,15 +37,39 @@ class CSRMatrix(SparseMatrix):
     reports the current state.
     """
 
-    __slots__ = ("indptr", "indices", "data")
+    __slots__ = ("indptr", "indices", "data", "_derived")
 
     def __init__(self, shape: Tuple[int, int], indptr, indices, data, *, validate: bool = True):
         super().__init__(shape)
         self.indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
         self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
         self.data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+        #: per-instance memo for derived arrays (row sizes, expanded row
+        #: ids, symbolic flop counts); see :meth:`_cached`
+        self._derived: dict = {}
         if validate:
             self.validate()
+
+    def _cached(self, key: str, source, compute) -> np.ndarray:
+        """Invalidation-safe memo for an array derived from ``source``
+        (one structural array or a tuple of them).
+
+        The cache entry remembers the *identity* of the structural
+        array(s) it was computed from; rebinding ``self.indptr`` /
+        ``self.indices`` (the only mutation the containers see in
+        practice) makes the entry miss and recompute.  Cached arrays are
+        returned read-only so an accidental in-place edit by a caller
+        fails loudly instead of corrupting every later reader.
+        """
+        sources = source if isinstance(source, tuple) else (source,)
+        hit = self._derived.get(key)
+        if hit is not None and all(s is h for s, h in zip(sources, hit[0])) \
+                and len(hit[0]) == len(sources):
+            return hit[1]
+        value = compute()
+        value.setflags(write=False)
+        self._derived[key] = (sources, value)
+        return value
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -134,10 +158,8 @@ class CSRMatrix(SparseMatrix):
     def tocoo(self) -> "repro.formats.coo.COOMatrix":  # noqa: F821
         from repro.formats.coo import COOMatrix
 
-        row = np.repeat(
-            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
-        )
-        return COOMatrix(self.shape, row, self.indices.copy(), self.data.copy(),
+        return COOMatrix(self.shape, self.expanded_rows().copy(),
+                         self.indices.copy(), self.data.copy(),
                          validate=False)
 
     def copy(self) -> "CSRMatrix":
@@ -148,8 +170,48 @@ class CSRMatrix(SparseMatrix):
 
     # -- row access -------------------------------------------------------------
     def row_nnz(self) -> np.ndarray:
-        """Per-row stored-entry counts (the paper's "row sizes")."""
-        return np.diff(self.indptr)
+        """Per-row stored-entry counts (the paper's "row sizes").
+
+        Memoized (read-only view): every kernel launch and cost-model
+        call asks for the operand's row sizes, so the O(nrows) diff is
+        paid once per matrix instead of once per call.
+        """
+        return self._cached("row_nnz", self.indptr, lambda: np.diff(self.indptr))
+
+    def expanded_rows(self) -> np.ndarray:
+        """Owning row id of every stored entry (length ``nnz``), memoized.
+
+        The COO-style row column that several kernels and conversions
+        rebuild via ``np.repeat(arange(nrows), row_nnz)``.
+        """
+        return self._cached(
+            "expanded_rows",
+            self.indptr,
+            lambda: np.repeat(
+                np.arange(self.nrows, dtype=INDEX_DTYPE), self.row_nnz()
+            ),
+        )
+
+    def squared_row_work(self) -> np.ndarray:
+        """Symbolic per-row multiply-add counts of ``self @ self``, memoized.
+
+        ``work[i] = sum_{k in A(i,:)} nnz(A(k,:))`` — the paper's
+        "intermediate products" measure for the A x A products every
+        experiment runs; Phase I thresholding and the cost models read
+        it repeatedly for the same operand.
+        """
+
+        def compute() -> np.ndarray:
+            sizes = self.row_nnz()
+            if self.nnz == 0:
+                return np.zeros(self.nrows, dtype=INDEX_DTYPE)
+            gathered = sizes[self.indices]
+            work = np.add.reduceat(
+                np.concatenate([gathered, [0]]), self.indptr[:-1]
+            )[: self.nrows]
+            return np.where(sizes == 0, 0, work).astype(INDEX_DTYPE)
+
+        return self._cached("squared_row_work", (self.indptr, self.indices), compute)
 
     def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
         """Views (no copy) of row ``i``'s column indices and values."""
@@ -211,8 +273,7 @@ class CSRMatrix(SparseMatrix):
         """Drop stored entries whose value is exactly zero."""
         keep = self.data != 0.0
         counts = np.zeros(self.nrows, dtype=INDEX_DTYPE)
-        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
-        np.add.at(counts, row_of[keep], 1)
+        np.add.at(counts, self.expanded_rows()[keep], 1)
         indptr = np.zeros(self.nrows + 1, dtype=INDEX_DTYPE)
         np.cumsum(counts, out=indptr[1:])
         return CSRMatrix(self.shape, indptr, self.indices[keep], self.data[keep],
@@ -251,8 +312,7 @@ class CSRMatrix(SparseMatrix):
         prod = self.data * x[self.indices]
         out = np.zeros(self.nrows, dtype=VALUE_DTYPE)
         # segment-sum per row
-        row_of = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
-        np.add.at(out, row_of, prod)
+        np.add.at(out, self.expanded_rows(), prod)
         return out
 
     def scaled(self, factor: float) -> "CSRMatrix":

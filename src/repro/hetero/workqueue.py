@@ -79,6 +79,17 @@ class DoubleEndedWorkQueue:
 
     def __post_init__(self) -> None:
         self._back = len(self.units) - 1
+        # per-slot sizes and product codes, used by the batched dequeue;
+        # ``requeue`` restores identical units to identical slots, so
+        # these stay valid for the queue's whole life
+        n = len(self.units)
+        self._slot_rows = np.fromiter(
+            (u.nrows for u in self.units), dtype=INDEX_DTYPE, count=n
+        )
+        codes = {p: i for i, p in enumerate(dict.fromkeys(u.product for u in self.units))}
+        self._slot_prod = np.fromiter(
+            (codes[u.product] for u in self.units), dtype=INDEX_DTYPE, count=n
+        )
 
     @classmethod
     def build(
@@ -143,19 +154,25 @@ class DoubleEndedWorkQueue:
         if max_rows <= 0:
             raise ValueError(f"max_rows must be positive, got {max_rows}")
         first = self.pop_back()
-        popped = [first]
-        n = first.nrows
-        while (
-            self.has_work()
-            and self.units[self._back].product == first.product
-            and n + self.units[self._back].nrows <= max_rows
-        ):
-            nxt = self.pop_back()
-            popped.append(nxt)
-            n += nxt.nrows
-        if len(popped) == 1:
+        # candidate slots walk back→front; each holds >= 1 row, so at
+        # most ``max_rows`` of them can ever fit — the scan is O(batch),
+        # not O(remaining)
+        span = min(self._back - self._front + 1, max_rows)
+        take = 0
+        if span > 0:
+            slots = np.arange(self._back, self._back - span, -1)
+            same = self._slot_prod[slots] == self._slot_prod[self._back + 1]
+            run = int(same.argmin()) if not same.all() else span
+            if run:
+                budget = np.cumsum(self._slot_rows[slots[:run]]) + first.nrows
+                take = int(np.searchsorted(budget, max_rows, side="right"))
+        if take == 0:
             return first
+        popped = [first] + [self.units[self._back - i] for i in range(take)]
+        self.log.extend(("back", u.index) for u in popped[1:])
+        self._back -= take
         if METRICS.enabled:
+            METRICS.inc("phase3.workqueue.back.units", take)
             METRICS.inc("phase3.workqueue.back.batched_launches")
             METRICS.inc("phase3.workqueue.back.batched_units", len(popped))
         # the merged unit keeps its constituents: a batch that crossed
@@ -194,15 +211,25 @@ class DoubleEndedWorkQueue:
                     f"only {len(self.units) - 1 - self._back} slot(s) were "
                     "popped there"
                 )
-        for m in members:
-            for i in range(len(self.log) - 1, -1, -1):
-                if self.log[i][1] == m.index:
-                    del self.log[i]
-                    break
-            else:
-                raise SchedulingError(
-                    f"unit {m.index} was never dequeued; cannot requeue"
-                )
+        # withdraw each member's most recent log entry: one vectorised
+        # last-occurrence lookup instead of a reverse scan per member
+        member_ids = np.fromiter(
+            (m.index for m in members), dtype=INDEX_DTYPE, count=len(members)
+        )
+        log_ids = np.fromiter(
+            (idx for _, idx in self.log), dtype=INDEX_DTYPE, count=len(self.log)
+        )
+        order = np.argsort(log_ids, kind="stable")
+        pos = np.searchsorted(log_ids[order], member_ids, side="right") - 1
+        missing = (pos < 0) | (log_ids[order[np.maximum(pos, 0)]] != member_ids)
+        if missing.any():
+            bad = int(member_ids[np.flatnonzero(missing)[0]])
+            raise SchedulingError(
+                f"unit {bad} was never dequeued; cannot requeue"
+            )
+        keep = np.ones(len(self.log), dtype=bool)
+        keep[order[pos]] = False
+        self.log = [entry for entry, k in zip(self.log, keep.tolist()) if k]
         # members were popped in slot order high→low (back) or low→high
         # (front); walking them reversed restores each to its own slot
         for m in reversed(members):
@@ -220,9 +247,12 @@ class DoubleEndedWorkQueue:
         """After a drained run: every unit dequeued exactly once."""
         if self.has_work():
             raise SchedulingError(f"{self.remaining} units were never dequeued")
-        seen = [idx for _, idx in self.log]
-        if len(seen) != len(self.units) or len(set(seen)) != len(self.units):
+        seen = np.fromiter(
+            (idx for _, idx in self.log), dtype=INDEX_DTYPE, count=len(self.log)
+        )
+        covered = int(np.unique(seen).size)
+        if seen.size != len(self.units) or covered != len(self.units):
             raise SchedulingError(
-                f"dequeue log covers {len(set(seen))}/{len(self.units)} units "
-                f"in {len(seen)} dequeues"
+                f"dequeue log covers {covered}/{len(self.units)} units "
+                f"in {seen.size} dequeues"
             )

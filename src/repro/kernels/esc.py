@@ -117,6 +117,36 @@ def expand(
                         b_row_refs)
 
 
+def ordered_segment_sum(
+    keys: np.ndarray, vals: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum ``vals`` per distinct key, accumulating in **stream order**.
+
+    Returns ``(unique_keys_sorted, sums)``.  Each group's sum is built
+    with an unbuffered in-order scatter (``np.add.at``) seeded at +0.0,
+    i.e. exactly the ``acc[key] = acc.get(key, 0.0) + v`` walk a scalar
+    accumulator performs — so every vectorised kernel built on this
+    helper is bit-identical to the scalar SPA/hash references *and* to
+    scipy's sequential per-row accumulation.  (``np.add.reduceat`` is
+    not usable here: its summation order is SIMD/blocking dependent.)
+    """
+    if keys.size == 0:
+        return keys, vals
+    order = np.argsort(keys, kind="stable")
+    skeys = keys[order]
+    head = np.empty(skeys.size, dtype=bool)
+    head[0] = True
+    np.not_equal(skeys[1:], skeys[:-1], out=head[1:])
+    group_sorted = np.cumsum(head) - 1
+    # group id of each *stream* element, so the scatter below visits
+    # duplicates in their original (k-major) order
+    group = np.empty(keys.size, dtype=INDEX_DTYPE)
+    group[order] = group_sorted
+    sums = np.zeros(int(group_sorted[-1]) + 1, dtype=VALUE_DTYPE)
+    np.add.at(sums, group, vals)
+    return skeys[head], sums
+
+
 def sort_and_compress(
     shape: tuple[int, int],
     rows: np.ndarray,
@@ -129,21 +159,15 @@ def sort_and_compress(
 
     Sorts tuples by (row, col) linear key, marks segment heads, and
     segment-reduces — the same mark/scan/master-index procedure as the
-    Phase IV merge (Fig 4 of the paper).
+    Phase IV merge (Fig 4 of the paper).  Reduction goes through
+    :func:`ordered_segment_sum`, so duplicate tuples accumulate in
+    stream order and the result is bit-identical to the scalar kernels.
     """
     if rows.size == 0:
         return COOMatrix.empty(shape)
     ncols = max(int(shape[1]), 1)
     keys = rows.astype(INDEX_DTYPE) * INDEX_DTYPE(ncols) + cols
-    order = np.argsort(keys, kind="stable")
-    keys = keys[order]
-    vals = vals[order]
-    head = np.empty(keys.size, dtype=bool)
-    head[0] = True
-    np.not_equal(keys[1:], keys[:-1], out=head[1:])
-    masters = np.flatnonzero(head)
-    summed = np.add.reduceat(vals, masters)
-    ukeys = keys[masters]
+    ukeys, summed = ordered_segment_sum(keys, vals)
     if drop_zeros:
         keep = summed != 0.0
         ukeys, summed = ukeys[keep], summed[keep]

@@ -134,6 +134,12 @@ CATALOG: tuple[MetricSpec, ...] = (
     _g("result.total_time_s", "seconds", "modelled total time reported by the algorithm"),
     _g("result.nnz", "nnz", "nnz of the result matrix"),
     _t("profile.run_wall_s", "seconds", "host wall clock of the profiled run"),
+    # -- benchmark harness -------------------------------------------------
+    _c("bench.cases", "cases", "benchmark cases executed and verified"),
+    _c("bench.repeats", "runs", "timed repeats across all bench cases"),
+    _c("bench.verifications", "checks", "bit-identity verifications against the scipy oracle"),
+    _t("bench.case.{case}.wall_s", "seconds", "host wall clock per timed repeat of one case"),
+    _g("bench.case.{case}.sim_time_s", "seconds", "modelled platform time of an end-to-end case"),
 )
 
 _COMPILED: tuple[tuple[re.Pattern, MetricSpec], ...] = tuple(
