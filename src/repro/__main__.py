@@ -10,6 +10,7 @@ Commands mirror the benchmark harness, for interactive use:
     python -m repro profile wiki-Vote [--export-trace t.json] [--export-metrics m.json]
     python -m repro bench [--filter smoke] [--compare BENCH_old.json --fail-on-regress 25]
     python -m repro check [--format json] [--baseline]
+    python -m repro run wiki-Vote --checkpoint-dir ckpts [--resume] [--deadline 0.5]
     python -m repro datasets
 
 With no (or an unknown) command the CLI prints usage listing the
@@ -97,6 +98,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the Table I registry")
 
+    from repro.jobs.cli import add_run_arguments
+
+    pr = sub.add_parser(
+        "run",
+        help="durable job runner: checkpointed HH-CPU run with resume "
+             "(--resume), memory budget (--mem-budget) and simulated "
+             "deadline (--deadline); exit 0 done, 1 budget exhausted "
+             "(resumable), 2 invalid input/corrupt checkpoint",
+    )
+    add_run_arguments(pr)
+
     from repro.bench.cli import add_bench_arguments
 
     pb = sub.add_parser(
@@ -133,6 +145,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cli import run_bench_command
 
         return run_bench_command(args)
+    if args.command == "run":
+        from repro.jobs.cli import run_job_command
+
+        return run_job_command(args)
     names = getattr(args, "names", None) or DATASET_NAMES
     scale = getattr(args, "scale", None)
 

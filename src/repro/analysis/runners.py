@@ -25,6 +25,7 @@ from repro.core import HHCPU
 from repro.core.result import SpmmResult
 from repro.costmodel import Calibration, DEFAULT_CALIBRATION
 from repro.formats.csr import CSRMatrix
+from repro.formats.validation import ensure_canonical
 from repro.hardware.platform import HeteroPlatform, platform_for_scale
 from repro.scalefree.datasets import TABLE_I, dataset_scale, load_dataset
 
@@ -87,7 +88,12 @@ def run_baseline(setup: ExperimentSetup, which: str, **kwargs) -> SpmmResult:
     """Run one named baseline on ``A x A``.
 
     ``which``: hipc2012 | unsorted | sorted | cpu | gpu | mkl | cusparse.
+
+    The operand passes the same validation gate as HH-CPU: malformed
+    matrices raise :class:`~repro.util.errors.InvalidInputError` here
+    instead of producing a silently wrong baseline figure.
     """
+    setup.matrix = ensure_canonical(setup.matrix, name=setup.name or "matrix")
     pf = setup.platform()
     if which == "hipc2012":
         algo = HiPC2012(pf, **kwargs)

@@ -29,6 +29,7 @@ from time import perf_counter  # repro: noqa[DET001,CLK001] — the bench harnes
 import numpy as np
 
 from repro.bench.cases import BenchCase, iter_cases, verify_against_scipy
+from repro.formats.validation import ensure_canonical
 from repro.obs.metrics import METRICS
 
 #: report schema identifier; bump on any structural change
@@ -71,6 +72,11 @@ def run_case(case: BenchCase, *, warmup: int, repeats: int) -> dict:
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
     a, b = case.load_workload().build()
+    # same validation gate as the algorithms: a malformed workload fails
+    # loudly here instead of skewing timings or the scipy verification
+    same = b is a
+    a = ensure_canonical(a, name=f"{case.workload}.a")
+    b = a if same else ensure_canonical(b, name=f"{case.workload}.b")
     run = case.make(a, b)
     for _ in range(warmup):
         run()

@@ -47,6 +47,37 @@ class FaultInjector:
         self._transfer_errors = 0
         self._unit_errors = 0
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the injector's mutable state.
+
+        Captures the RNG position (``bit_generator.state``, plain Python
+        ints/strings), observed crashes, fired one-shot stalls, and the
+        transient-error budgets — everything :meth:`reset` rewinds — so
+        a resumed job replays the *remainder* of the fault schedule
+        exactly where the interrupted run left off.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "dead": dict(self._dead),
+            "stalls_fired": sorted(self._stalls_fired),
+            "transfer_errors": self._transfer_errors,
+            "unit_errors": self._unit_errors,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse of it).
+
+        The RNG is rewound by assigning ``bit_generator.state`` on the
+        existing generator — no new Generator is constructed, so the
+        single-seed-domain discipline (FLT001) is preserved.
+        """
+        self.reset()
+        self._rng.bit_generator.state = state["rng"]
+        self._dead = {str(k): float(v) for k, v in state["dead"].items()}
+        self._stalls_fired = set(int(i) for i in state["stalls_fired"])
+        self._transfer_errors = int(state["transfer_errors"])
+        self._unit_errors = int(state["unit_errors"])
+
     # -- device crashes ----------------------------------------------------
     def crash_time(self, device: str) -> float | None:
         """When ``device`` is scheduled to die (None = never)."""

@@ -5,18 +5,27 @@ only an oracle in the test suite.  The three containers share the
 :class:`repro.formats.base.SparseMatrix` interface.
 """
 
-from repro.formats.base import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix, check_multiply_compatible
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    SparseMatrix,
+    check_multiply_compatible,
+    coerce_index_array,
+)
 from repro.formats.coo import COOMatrix, concatenate_triplets
 from repro.formats.csr import CSRMatrix
 from repro.formats.csc import CSCMatrix
 from repro.formats.io import read_matrix_market, write_matrix_market
 from repro.formats.properties import RowStats, csr_memory_bytes, gini_coefficient, row_stats
+from repro.formats.validation import ensure_canonical
 
 __all__ = [
     "INDEX_DTYPE",
     "VALUE_DTYPE",
     "SparseMatrix",
     "check_multiply_compatible",
+    "coerce_index_array",
+    "ensure_canonical",
     "COOMatrix",
     "concatenate_triplets",
     "CSRMatrix",

@@ -13,12 +13,40 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.util.errors import FormatError, ShapeError
+from repro.util.errors import FormatError, InvalidInputError, ShapeError
 
 #: dtype used for all index arrays.
 INDEX_DTYPE = np.int64
 #: dtype used for all value arrays.
 VALUE_DTYPE = np.float64
+
+
+def coerce_index_array(field: str, values) -> np.ndarray:
+    """Convert ``values`` to a contiguous :data:`INDEX_DTYPE` array,
+    rejecting anything that would silently lose information.
+
+    Floating-point index arrays (the classic symptom of a garbage file or
+    an accidental ``data``/``indices`` swap), object arrays, and values
+    that overflow int64 all raise :class:`InvalidInputError` naming the
+    offending ``field`` instead of truncating.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == INDEX_DTYPE:
+        return np.ascontiguousarray(arr)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise InvalidInputError(
+            f"{field} must be an integer array, got dtype {arr.dtype}",
+            field=field, dtype=str(arr.dtype),
+        )
+    try:
+        out = arr.astype(INDEX_DTYPE, casting="safe")
+    except TypeError as exc:
+        raise InvalidInputError(
+            f"{field} dtype {arr.dtype} cannot be safely converted to "
+            f"{np.dtype(INDEX_DTYPE)} (index overflow)",
+            field=field, dtype=str(arr.dtype),
+        ) from exc
+    return np.ascontiguousarray(out)
 
 
 def check_shape(shape: Tuple[int, int]) -> Tuple[int, int]:
@@ -136,5 +164,6 @@ def validate_indices_in_range(name: str, indices: np.ndarray, bound: int) -> Non
     hi = int(indices.max())
     if lo < 0 or hi >= bound:
         raise FormatError(
-            f"{name} indices out of range: min={lo}, max={hi}, allowed [0, {bound})"
+            f"{name} indices out of range: min={lo}, max={hi}, allowed [0, {bound})",
+            field=name, min=lo, max=hi, bound=bound,
         )

@@ -18,7 +18,7 @@ from repro.formats.base import (
     check_shape,
     validate_indices_in_range,
 )
-from repro.util.errors import FormatError
+from repro.util.errors import FormatError, InvalidInputError
 
 
 class COOMatrix(SparseMatrix):
@@ -71,12 +71,17 @@ class COOMatrix(SparseMatrix):
         if not (self.row.size == self.col.size == self.data.size):
             raise FormatError(
                 f"triplet arrays disagree in length: row={self.row.size}, "
-                f"col={self.col.size}, data={self.data.size}"
+                f"col={self.col.size}, data={self.data.size}",
+                field="data",
             )
         validate_indices_in_range("row", self.row, self.nrows)
         validate_indices_in_range("col", self.col, self.ncols)
         if not np.all(np.isfinite(self.data)):
-            raise FormatError("data contains non-finite values")
+            bad = int(np.flatnonzero(~np.isfinite(self.data))[0])
+            raise InvalidInputError(
+                f"data contains non-finite values (first at entry {bad})",
+                field="data", entry=bad,
+            )
 
     # -- SparseMatrix API ---------------------------------------------------
     @property

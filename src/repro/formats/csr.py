@@ -19,7 +19,7 @@ from repro.formats.base import (
     SparseMatrix,
     validate_indices_in_range,
 )
-from repro.util.errors import FormatError
+from repro.util.errors import FormatError, InvalidInputError
 
 
 class CSRMatrix(SparseMatrix):
@@ -30,11 +30,15 @@ class CSRMatrix(SparseMatrix):
     - ``indptr`` has length ``nrows + 1``, starts at 0, is non-decreasing,
       and ends at ``len(indices)``;
     - ``indices`` lie in ``[0, ncols)``;
-    - ``data`` is finite and the same length as ``indices``.
+    - ``data`` is finite and the same length as ``indices``;
+    - with ``strict=True`` (the default), column indices within each row
+      are sorted and duplicate-free.
 
-    Column indices within a row are *not* required to be sorted (kernels
-    that need sorted rows call :meth:`sort_indices`); ``has_sorted_indices``
-    reports the current state.
+    The constructor validates with ``strict=False``: intermediate
+    matrices (kernel outputs mid-pipeline, test fixtures) may legally
+    carry unsorted rows, and kernels that need sorted rows call
+    :meth:`sort_indices` / :meth:`canonicalize`.  Public entry points
+    run the strict check via :func:`repro.formats.validation.ensure_canonical`.
     """
 
     __slots__ = ("indptr", "indices", "data", "_derived")
@@ -48,7 +52,7 @@ class CSRMatrix(SparseMatrix):
         #: ids, symbolic flop counts); see :meth:`_cached`
         self._derived: dict = {}
         if validate:
-            self.validate()
+            self.validate(strict=False)
 
     def _cached(self, key: str, source, compute) -> np.ndarray:
         """Invalidation-safe memo for an array derived from ``source``
@@ -128,27 +132,78 @@ class CSRMatrix(SparseMatrix):
         return cls(m.shape, m.indptr, m.indices, m.data, validate=False)
 
     # -- invariants ----------------------------------------------------------
-    def validate(self) -> None:
-        """Check all structural invariants; raise :class:`FormatError` on failure."""
+    def validate(self, *, strict: bool = True) -> None:
+        """Check structural invariants; raise :class:`FormatError` on failure.
+
+        With ``strict=True`` (the default) additionally require canonical
+        rows — sorted, duplicate-free column indices — raising
+        :class:`InvalidInputError` (a :class:`FormatError`) that names
+        the first offending row in ``exc.context``.
+        """
         if self.indptr.size != self.nrows + 1:
             raise FormatError(
-                f"indptr length {self.indptr.size} != nrows + 1 = {self.nrows + 1}"
+                f"indptr length {self.indptr.size} != nrows + 1 = {self.nrows + 1}",
+                field="indptr",
             )
         if self.indptr.size and self.indptr[0] != 0:
-            raise FormatError(f"indptr must start at 0, got {self.indptr[0]}")
+            raise FormatError(
+                f"indptr must start at 0, got {self.indptr[0]}", field="indptr"
+            )
         if np.any(np.diff(self.indptr) < 0):
-            raise FormatError("indptr must be non-decreasing")
+            raise FormatError("indptr must be non-decreasing", field="indptr")
         if self.indptr.size and self.indptr[-1] != self.indices.size:
             raise FormatError(
-                f"indptr[-1]={self.indptr[-1]} != len(indices)={self.indices.size}"
+                f"indptr[-1]={self.indptr[-1]} != len(indices)={self.indices.size}",
+                field="indptr",
             )
         if self.indices.size != self.data.size:
             raise FormatError(
-                f"indices ({self.indices.size}) and data ({self.data.size}) lengths differ"
+                f"indices ({self.indices.size}) and data ({self.data.size}) lengths differ",
+                field="data",
             )
         validate_indices_in_range("column", self.indices, self.ncols)
         if not np.all(np.isfinite(self.data)):
-            raise FormatError("data contains non-finite values")
+            bad = int(np.flatnonzero(~np.isfinite(self.data))[0])
+            raise InvalidInputError(
+                f"data contains non-finite values (first at entry {bad})",
+                field="data", entry=bad,
+            )
+        if strict:
+            self._validate_canonical_rows()
+
+    def _validate_canonical_rows(self) -> None:
+        """Raise unless every row's column indices are strictly increasing,
+        distinguishing out-of-order rows from duplicate columns."""
+        if self.nnz <= 1:
+            return
+        diffs = np.diff(self.indices)
+        within = self._within_row_mask()
+        order_breaks = within & (diffs < 0)
+        if np.any(order_breaks):
+            pos = int(np.flatnonzero(order_breaks)[0])
+            row = int(np.searchsorted(self.indptr, pos, side="right") - 1)
+            raise InvalidInputError(
+                f"column indices are not sorted within row {row} "
+                f"(entry {pos}: {self.indices[pos]} > {self.indices[pos + 1]})",
+                field="indices", row=row, entry=pos,
+            )
+        dup_breaks = within & (diffs == 0)
+        if np.any(dup_breaks):
+            pos = int(np.flatnonzero(dup_breaks)[0])
+            row = int(np.searchsorted(self.indptr, pos, side="right") - 1)
+            raise InvalidInputError(
+                f"duplicate column index {self.indices[pos]} in row {row}",
+                field="indices", row=row, column=int(self.indices[pos]),
+            )
+
+    def _within_row_mask(self) -> np.ndarray:
+        """Boolean mask over ``diff(indices)`` marking pairs that belong
+        to the same row (row-boundary pairs are excluded)."""
+        mask = np.ones(self.indices.size - 1, dtype=bool)
+        row_end = self.indptr[1:-1] - 1  # last entry index of each non-final row
+        valid = row_end[(row_end >= 0) & (row_end < self.indices.size - 1)]
+        mask[valid] = False
+        return mask
 
     # -- SparseMatrix API ------------------------------------------------------
     @property
@@ -258,16 +313,24 @@ class CSRMatrix(SparseMatrix):
         if self.nnz <= 1:
             return True
         diffs = np.diff(self.indices)
-        # positions where a new row starts must be excluded from the check
-        row_end = self.indptr[1:-1] - 1  # last entry index of each non-final row
-        mask = np.ones(self.indices.size - 1, dtype=bool)
-        valid = row_end[(row_end >= 0) & (row_end < self.indices.size - 1)]
-        mask[valid] = False
-        return bool(np.all(diffs[mask] > 0))
+        return bool(np.all(diffs[self._within_row_mask()] > 0))
 
     def sort_indices(self) -> "CSRMatrix":
         """Return an equivalent CSR with sorted (and deduplicated) rows."""
         return self.tocoo().tocsr()
+
+    def canonicalize(self) -> "CSRMatrix":
+        """Return a canonical equivalent: sorted, duplicate-free rows.
+
+        Duplicate ``(row, col)`` entries are merged by summation in a
+        deterministic order (stable sort over linear keys, so duplicates
+        accumulate in their original storage order).  Returns ``self``
+        unchanged when the matrix is already canonical, so repeated
+        gating at entry points is free after the first pass.
+        """
+        if self.has_sorted_indices:
+            return self
+        return self.sort_indices()
 
     def prune_zeros(self) -> "CSRMatrix":
         """Drop stored entries whose value is exactly zero."""

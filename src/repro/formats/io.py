@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.formats.base import INDEX_DTYPE, VALUE_DTYPE
 from repro.formats.coo import COOMatrix
-from repro.util.errors import FormatError
+from repro.util.errors import FormatError, InvalidInputError
 
 _HEADER_PREFIX = "%%MatrixMarket"
 
@@ -40,17 +40,29 @@ def read_matrix_market(source: Union[str, Path, TextIO]) -> COOMatrix:
     try:
         header = fh.readline()
         if not header.startswith(_HEADER_PREFIX):
-            raise FormatError(f"not a MatrixMarket file: header {header!r}")
+            raise InvalidInputError(
+                f"not a MatrixMarket file: header {header!r}",
+                field="header",
+            )
         tokens = header.strip().split()
         if len(tokens) < 5:
-            raise FormatError(f"malformed MatrixMarket header: {header!r}")
+            raise InvalidInputError(
+                f"malformed MatrixMarket header: {header!r}", field="header"
+            )
         _, obj, fmt, field, symmetry = [t.lower() for t in tokens[:5]]
         if obj != "matrix" or fmt != "coordinate":
-            raise FormatError(f"only 'matrix coordinate' is supported, got {obj} {fmt}")
+            raise InvalidInputError(
+                f"only 'matrix coordinate' is supported, got {obj} {fmt}",
+                field="header",
+            )
         if field not in ("real", "integer", "pattern"):
-            raise FormatError(f"unsupported field type {field!r}")
+            raise InvalidInputError(
+                f"unsupported field type {field!r}", field="header"
+            )
         if symmetry not in ("general", "symmetric"):
-            raise FormatError(f"unsupported symmetry {symmetry!r}")
+            raise InvalidInputError(
+                f"unsupported symmetry {symmetry!r}", field="header"
+            )
 
         # skip comments
         line = fh.readline()
@@ -58,31 +70,76 @@ def read_matrix_market(source: Union[str, Path, TextIO]) -> COOMatrix:
             line = fh.readline()
         dims = line.split()
         if len(dims) != 3:
-            raise FormatError(f"malformed size line: {line!r}")
-        nrows, ncols, nnz = (int(x) for x in dims)
+            raise InvalidInputError(
+                f"malformed size line (expected 'nrows ncols nnz'): {line!r}"
+                + ("; file truncated before the size line" if not line else ""),
+                field="size_line",
+            )
+        try:
+            nrows, ncols, nnz = (int(x) for x in dims)
+        except ValueError as exc:
+            raise InvalidInputError(
+                f"size line holds non-integer tokens: {line!r}",
+                field="size_line",
+            ) from exc
+        if nrows < 0 or ncols < 0 or nnz < 0:
+            raise InvalidInputError(
+                f"size line holds negative counts: {line!r}", field="size_line"
+            )
 
         body = fh.read()
-        table = np.loadtxt(
-            _io.StringIO(body), ndmin=2, dtype=np.float64,
-        ) if body.strip() else np.empty((0, 3 if field != "pattern" else 2))
+        try:
+            table = np.loadtxt(
+                _io.StringIO(body), ndmin=2, dtype=np.float64,
+            ) if body.strip() else np.empty((0, 3 if field != "pattern" else 2))
+        except ValueError as exc:
+            raise InvalidInputError(
+                f"entry table is not numeric: {exc}", field="entries"
+            ) from exc
         if table.shape[0] != nnz:
-            raise FormatError(f"expected {nnz} entries, found {table.shape[0]}")
+            raise InvalidInputError(
+                f"expected {nnz} entries, found {table.shape[0]} "
+                "(file truncated or size line wrong)",
+                field="entries", expected=nnz, found=int(table.shape[0]),
+            )
         if nnz == 0:
             return COOMatrix.empty((nrows, ncols))
-        rows = table[:, 0].astype(INDEX_DTYPE) - 1  # 1-based on disk
-        cols = table[:, 1].astype(INDEX_DTYPE) - 1
+        if table.shape[1] < 2:
+            raise InvalidInputError(
+                f"entry rows need at least 'row col', got {table.shape[1]} column(s)",
+                field="entries",
+            )
+        raw_rows = table[:, 0]
+        raw_cols = table[:, 1]
+        if not (np.all(raw_rows == np.floor(raw_rows))
+                and np.all(raw_cols == np.floor(raw_cols))):
+            raise InvalidInputError(
+                "row/column coordinates must be integers", field="entries"
+            )
+        rows = raw_rows.astype(INDEX_DTYPE) - 1  # 1-based on disk
+        cols = raw_cols.astype(INDEX_DTYPE) - 1
         if field == "pattern":
             vals = np.ones(nnz, dtype=VALUE_DTYPE)
         else:
             if table.shape[1] < 3:
-                raise FormatError("real/integer file missing value column")
+                raise InvalidInputError(
+                    "real/integer file missing value column", field="entries"
+                )
             vals = table[:, 2].astype(VALUE_DTYPE)
         if symmetry == "symmetric":
             off = rows != cols
             rows = np.concatenate([rows, cols[off]])
             cols = np.concatenate([cols, table[:, 0].astype(INDEX_DTYPE)[off] - 1])
             vals = np.concatenate([vals, vals[off]])
-        return COOMatrix((nrows, ncols), rows, cols, vals)
+        try:
+            return COOMatrix((nrows, ncols), rows, cols, vals)
+        except InvalidInputError:
+            raise
+        except FormatError as exc:
+            raise InvalidInputError(
+                f"entries inconsistent with the size line: {exc}",
+                **{**exc.context, "field": "entries"},
+            ) from exc
     finally:
         if should_close:
             fh.close()

@@ -1,0 +1,75 @@
+"""Input-validation gate applied at every public entry point.
+
+Core kernels and the Phase I–IV pipeline assume canonical CSR operands
+(sorted, duplicate-free rows, finite values, int64 indices).  Rather
+than sprinkle defensive checks through the hot paths, public entry
+points (``HHCPU.multiply``, the baselines, ``repro bench`` workloads,
+the ``profile``/``run`` CLIs, and the jobs runner) funnel operands
+through :func:`ensure_canonical`:
+
+- structurally broken inputs (bad indptr, out-of-range columns,
+  non-finite values, float/overflowing index dtypes) raise
+  :class:`repro.util.errors.InvalidInputError` with machine-readable
+  context — never a silent wrong answer;
+- valid-but-non-canonical inputs (unsorted rows, duplicate columns) are
+  **repaired** deterministically via :meth:`CSRMatrix.canonicalize`
+  (stable sort + duplicate merge) and counted in the
+  ``formats.validate.repaired`` metric;
+- already-canonical inputs pass through untouched (no copy).
+"""
+
+from __future__ import annotations
+
+from repro.formats.base import coerce_index_array
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.obs.metrics import METRICS
+from repro.util.errors import FormatError, InvalidInputError
+
+
+def ensure_canonical(matrix, *, name: str = "matrix") -> CSRMatrix:
+    """Validate ``matrix`` and return a canonical :class:`CSRMatrix`.
+
+    Accepts :class:`CSRMatrix` or :class:`COOMatrix` (COO inputs are
+    converted, which canonicalizes as a side effect).  ``name`` labels
+    the operand (``"a"``/``"b"``) in error context.
+
+    Raises :class:`InvalidInputError` for anything structurally invalid;
+    repairs (sorts + merges duplicates) anything merely non-canonical.
+    """
+    if isinstance(matrix, COOMatrix):
+        _check(matrix, name)
+        if METRICS.enabled:
+            METRICS.inc("formats.validate.gated")
+        return matrix.tocsr()
+    if not isinstance(matrix, CSRMatrix):
+        raise InvalidInputError(
+            f"{name} must be a CSRMatrix or COOMatrix, got {type(matrix).__name__}",
+            field=name, type=type(matrix).__name__,
+        )
+    # dtype hardening: reject float/object/overflowing index arrays that
+    # slipped in through validate=False construction paths
+    matrix.indptr = coerce_index_array(f"{name}.indptr", matrix.indptr)
+    matrix.indices = coerce_index_array(f"{name}.indices", matrix.indices)
+    _check(matrix, name, strict=False)
+    if METRICS.enabled:
+        METRICS.inc("formats.validate.gated")
+    if matrix.has_sorted_indices:
+        return matrix
+    if METRICS.enabled:
+        METRICS.inc("formats.validate.repaired")
+    return matrix.canonicalize()
+
+
+def _check(matrix, name: str, **kwargs) -> None:
+    """Run ``matrix.validate``; re-raise failures as InvalidInputError
+    tagged with the operand name."""
+    try:
+        matrix.validate(**kwargs)
+    except InvalidInputError as exc:
+        exc.context.setdefault("operand", name)
+        raise
+    except FormatError as exc:
+        raise InvalidInputError(
+            f"{name}: {exc}", **{"operand": name, **exc.context}
+        ) from exc

@@ -37,6 +37,22 @@ QUEUE_ENDS = {"cpu": "front", "gpu": "back"}
 
 
 @dataclass
+class Phase3Carry:
+    """Scheduler state that must survive a sliced (paused) drain.
+
+    ``attempts`` is the per-unit failed-attempt tally (retry budgets
+    continue across the pause); ``ready_at`` records, per living device,
+    the simulated time of its cancelled next-dequeue event — a device
+    sitting out a retry backoff must not forget the remainder of it.
+    Both are plain JSON-able scalars so the jobs layer can checkpoint a
+    carry verbatim.
+    """
+
+    attempts: dict = field(default_factory=dict)
+    ready_at: dict = field(default_factory=dict)
+
+
+@dataclass
 class Phase3Outcome:
     """Results of a drained Phase III queue."""
 
@@ -54,6 +70,37 @@ class Phase3Outcome:
     failover_units: int = 0
     failover_rows: int = 0
     dead_devices: tuple = ()
+    #: units completed by *this call* (== len(parts) for a fresh outcome)
+    completed: int = 0
+    #: units curtailed + requeued because they crossed the deadline
+    deadline_curtailed: int = 0
+    #: why the drain stopped early: "max_units" | "deadline" | None (drained)
+    stopped: str | None = None
+    #: resume state when ``stopped`` is set
+    carry: Phase3Carry | None = None
+
+    def accumulate(self, other: "Phase3Outcome") -> None:
+        """Fold a later slice's outcome into this accumulated one.
+
+        Parts are appended in completion order — Phase IV's stable merge
+        sums duplicates in parts order, so this ordering is what makes a
+        resumed run bit-identical to an uninterrupted one.
+        """
+        self.parts.extend(other.parts)
+        self.cpu_units += other.cpu_units
+        self.gpu_units += other.gpu_units
+        self.cpu_stolen += other.cpu_stolen
+        self.gpu_stolen += other.gpu_stolen
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.requeues += other.requeues
+        self.failover_units += other.failover_units
+        self.failover_rows += other.failover_rows
+        self.completed += other.completed
+        self.deadline_curtailed += other.deadline_curtailed
+        self.dead_devices = tuple(sorted(set(self.dead_devices) | set(other.dead_devices)))
+        self.stopped = other.stopped
+        self.carry = other.carry
 
 
 def run_workqueue_phase(
@@ -64,6 +111,9 @@ def run_workqueue_phase(
     gpu_batch_rows: int | None = None,
     faults=None,
     retry: RetryPolicy | None = None,
+    max_units: int | None = None,
+    deadline_s: float | None = None,
+    carry: Phase3Carry | None = None,
 ) -> Phase3Outcome:
     """Drain ``queue`` with both devices running asynchronously.
 
@@ -74,6 +124,17 @@ def run_workqueue_phase(
 
     ``faults`` (default: ``platform.faults``) enables the degradation
     path; ``retry`` overrides the injector's retry policy.
+
+    The jobs layer drains in *slices*: ``max_units`` stops the drain
+    after that many completed units (pending dequeues are cancelled and
+    recorded in the returned :class:`Phase3Carry`); ``deadline_s`` is a
+    simulated-time budget — a unit whose execution crosses it is
+    curtailed at the deadline and requeued, and devices park instead of
+    dequeueing past it.  A stopped drain sets ``outcome.stopped`` and
+    ``outcome.carry``; pass the carry back (with the queue in its
+    checkpointed state) to continue exactly where the drain paused —
+    unit completion order, and therefore the Phase IV merge, is
+    preserved bit-for-bit.
     """
     injector = faults if faults is not None else platform.faults
     policy = retry or (injector.retry if injector is not None else DEFAULT_RETRY_POLICY)
@@ -82,7 +143,9 @@ def run_workqueue_phase(
     devices = {"cpu": platform.cpu, "gpu": platform.gpu}
     dead: set[str] = set()
     parked: set[str] = set()
+    deadline_parked: set[str] = set()
     pending: dict[str, EventHandle] = {}
+    scheduled_at: dict[str, float] = {}
     tallies = {kind: {"dequeues": 0, "rows": 0, "steals": 0} for kind in devices}
 
     def _flush_metrics() -> None:
@@ -98,19 +161,38 @@ def run_workqueue_phase(
             METRICS.inc("phase3.failover.units", outcome.failover_units)
             METRICS.inc("phase3.failover.rows", outcome.failover_rows)
     #: failed attempts per queue-unit index (batched units share their
-    #: lead unit's budget — they requeue and retry as one launch)
-    attempts: dict[int, int] = {}
+    #: lead unit's budget — they requeue and retry as one launch);
+    #: seeded from a carry so retry budgets span sliced drains
+    attempts: dict[int, int] = (
+        {int(k): int(v) for k, v in carry.attempts.items()} if carry else {}
+    )
 
     def _schedule(kind: str, at: float) -> None:
+        scheduled_at[kind] = at
         pending[kind] = engine.schedule(at, steps[kind])
 
     def _kill(kind: str, at: float) -> None:
         dead.add(kind)
         parked.discard(kind)
+        deadline_parked.discard(kind)
         injector.mark_dead(kind, at)
         handle = pending.pop(kind, None)
         if handle is not None:
             handle.cancel()
+
+    def _stop(reason: str) -> None:
+        """Pause the drain: cancel pending dequeues, remember when each
+        living device would have taken its next unit."""
+        outcome.stopped = reason
+        ready = {}
+        for kind, handle in pending.items():
+            handle.cancel()
+            ready[kind] = scheduled_at[kind]
+        pending.clear()
+        for kind in deadline_parked | parked:
+            if kind not in dead:
+                ready.setdefault(kind, devices[kind].clock)
+        outcome.carry = Phase3Carry(attempts=dict(attempts), ready_at=ready)
 
     def _kick_survivors() -> None:
         """Work reappeared (a requeue): wake any parked, living peer."""
@@ -122,6 +204,7 @@ def run_workqueue_phase(
 
     def _complete(kind: str, unit: WorkUnit, part: COOMatrix) -> None:
         outcome.parts.append(part)
+        outcome.completed += 1
         stolen_product = "AH_BL" if kind == "cpu" else "AL_BH"
         stolen = unit.product == stolen_product
         if kind == "cpu":
@@ -149,6 +232,10 @@ def run_workqueue_phase(
         if injector is not None and injector.crashed(kind, device.clock):
             _kill(kind, injector.crash_time(kind))
             return
+        if deadline_s is not None and device.clock >= deadline_s:
+            # past the budget: no new work starts on this device
+            deadline_parked.add(kind)
+            return
         if not queue.has_work():
             parked.add(kind)
             return
@@ -158,6 +245,10 @@ def run_workqueue_phase(
                 device.busy("III", f"fault:stall:{kind}", stall, kind="fault")
                 if injector.crashed(kind, device.clock):
                     _kill(kind, injector.crash_time(kind))
+                    return
+                if deadline_s is not None and device.clock >= deadline_s:
+                    # the stall consumed the rest of the budget
+                    deadline_parked.add(kind)
                     return
         unit = (
             queue.pop_back_batch(gpu_batch_rows)
@@ -180,6 +271,22 @@ def run_workqueue_phase(
                 _kill(kind, crash_t)
                 _kick_survivors()
                 return
+        if deadline_s is not None and device.clock > deadline_s:
+            # the unit crossed the simulated-time budget: graceful
+            # curtailment — the attempt is cut at the deadline, the unit
+            # goes back whole, and the device parks.  A faster living
+            # peer still under budget may pick it up; otherwise the
+            # caller checkpoints and reports ResourceExhausted.
+            device.curtail(deadline_s, reason="deadline")
+            queue.requeue(unit, end=end)
+            outcome.requeues += len(unit.members)
+            outcome.deadline_curtailed += len(unit.members)
+            deadline_parked.add(kind)
+            if METRICS.enabled:
+                METRICS.inc("phase3.deadline.curtailed_units", len(unit.members))
+            _kick_survivors()
+            return
+        if injector is not None:
             duration = device.clock - t0
             timed_out = (
                 policy.unit_timeout_s is not None
@@ -216,6 +323,12 @@ def run_workqueue_phase(
             # forced completion guarantees progress under any schedule
         _complete(kind, unit, part)
         _schedule(kind, device.clock)
+        if (
+            max_units is not None
+            and outcome.completed >= max_units
+            and queue.has_work()
+        ):
+            _stop("max_units")
 
     steps = {kind: (lambda k=kind: step(k)) for kind in devices}
     for kind, device in devices.items():
@@ -225,16 +338,28 @@ def run_workqueue_phase(
         if injector is not None and injector.crashed(kind, device.clock):
             _kill(kind, injector.crash_time(kind))
         else:
-            _schedule(kind, device.clock)
+            at = device.clock
+            if carry is not None and kind in carry.ready_at:
+                # a paused retry backoff resumes where it left off
+                at = max(at, float(carry.ready_at[kind]))
+            _schedule(kind, at)
     engine.run()
     _flush_metrics()
+    if outcome.stopped is None and queue.has_work() and deadline_parked - dead:
+        # every living device parked at the deadline with work remaining
+        _stop("deadline")
+    outcome.dead_devices = tuple(sorted(dead))
+    if outcome.stopped is not None:
+        # a paused drain: conservation holds by construction (requeues
+        # withdrew their log entries) and is re-checked when the final
+        # slice drains the queue
+        return outcome
     if queue.has_work():
         raise FaultError(
             f"all devices crashed ({sorted(dead)}) with "
             f"{queue.remaining} work-unit(s) remaining"
         )
     queue.check_conservation()
-    outcome.dead_devices = tuple(sorted(dead))
     if METRICS.enabled:
         # starvation: simulated idle a device accumulates at the phase
         # barrier after its end of the queue drained first; meaningless

@@ -242,6 +242,36 @@ class DoubleEndedWorkQueue:
         if METRICS.enabled:
             METRICS.inc("phase3.workqueue.requeues", len(members))
 
+    # -- checkpoint state -------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the queue's mutable state.
+
+        The unit array itself is *not* serialised: :meth:`build` is
+        deterministic given the partition and unit sizes, and
+        :meth:`requeue` restores original units to their original slots,
+        so the units list always equals the freshly built one — only the
+        two cursors and the dequeue log move.
+        """
+        return {
+            "front": int(self._front),
+            "back": int(self._back),
+            "log": [[end, int(idx)] for end, idx in self.log],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a freshly built
+        (identical) queue."""
+        front = int(state["front"])
+        back = int(state["back"])
+        if not (0 <= front <= len(self.units) and -1 <= back < len(self.units)):
+            raise SchedulingError(
+                f"checkpointed cursors ({front}, {back}) out of range for "
+                f"{len(self.units)} unit(s)"
+            )
+        self._front = front
+        self._back = back
+        self.log = [(str(end), int(idx)) for end, idx in state["log"]]
+
     # -- invariants -------------------------------------------------------
     def check_conservation(self) -> None:
         """After a drained run: every unit dequeued exactly once."""

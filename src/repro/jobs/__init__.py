@@ -1,0 +1,36 @@
+"""Durable job execution: checkpoint/resume, budgets, graceful curtailment.
+
+Public surface:
+
+- :class:`~repro.jobs.runner.JobRunner` — run ``C = A @ B`` with
+  phase-granular checkpoints; killed jobs resume bit-identically;
+- :mod:`repro.jobs.snapshot` — the versioned, integrity-checked
+  checkpoint format (the only module allowed to serialise, rule CKP001);
+- :mod:`repro.jobs.budget` — symbolic memory estimates and size parsing.
+"""
+
+from repro.jobs.budget import (
+    estimate_intermediate_bytes,
+    estimate_intermediate_tuples,
+    parse_size,
+)
+from repro.jobs.runner import JobRunner
+from repro.jobs.snapshot import (
+    SCHEMA,
+    find_resumable,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = [
+    "JobRunner",
+    "SCHEMA",
+    "estimate_intermediate_bytes",
+    "estimate_intermediate_tuples",
+    "find_resumable",
+    "list_checkpoints",
+    "parse_size",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,52 @@
+"""Resource-budget helpers for the durable job runner.
+
+The memory guardrail is *symbolic*: before any tuple is materialised,
+the intermediate-product volume of ``A @ B`` is computed from the row
+structure alone (``work[i] = sum_{k in A(i,:)} nnz(B(k,:))``, the same
+quantity the paper's threshold estimator integrates over).  The runner
+uses it to pick chunked execution up front rather than discovering an
+allocation failure mid-run.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.core.hhcpu import TUPLE_BYTES, masked_row_work
+from repro.formats.csr import CSRMatrix
+from repro.util.errors import InvalidInputError
+
+_SIZE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([kKmMgG]?)[bB]?\s*$")
+
+_SIZE_FACTOR = {"": 1, "k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human byte size (``"64M"``, ``"1.5G"``, ``"4096"``)."""
+    m = _SIZE.match(text or "")
+    if not m:
+        raise InvalidInputError(
+            f"unparseable byte size {text!r} (expected e.g. 64M, 1.5G, 4096)",
+            field="mem_budget", value=text,
+        )
+    value = float(m.group(1)) * _SIZE_FACTOR[m.group(2).lower()]
+    if value < 1:
+        raise InvalidInputError(
+            f"byte size must be at least 1, got {text!r}",
+            field="mem_budget", value=text,
+        )
+    return int(value)
+
+
+def estimate_intermediate_tuples(a: CSRMatrix, b: CSRMatrix) -> int:
+    """Total ``<r, c, v>`` intermediate tuples of ``A @ B`` (symbolic)."""
+    rows = np.arange(a.nrows, dtype=np.int64)
+    mask = np.ones(b.nrows, dtype=bool)
+    return int(masked_row_work(a, b, rows, mask).sum())
+
+
+def estimate_intermediate_bytes(a: CSRMatrix, b: CSRMatrix) -> int:
+    """Peak tuple-buffer bytes an unbudgeted ``A @ B`` materialises."""
+    return estimate_intermediate_tuples(a, b) * TUPLE_BYTES

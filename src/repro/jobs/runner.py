@@ -1,0 +1,387 @@
+"""The durable job runner: checkpointed, budgeted HH-CPU runs.
+
+Drives the same :class:`~repro.core.hhcpu.HHCPU` stage methods as
+``HHCPU.multiply`` but persists a versioned snapshot
+(:mod:`repro.jobs.snapshot`) after Phase I, after Phase II, every
+``checkpoint_every`` completed Phase III work-units, and at the drained
+queue — so a job killed at any point (including SIGKILL mid-Phase-III)
+resumes from the newest valid checkpoint and produces a result
+**bit-identical** to the uninterrupted run.
+
+What makes bit-identity possible (and what the checkpoint captures):
+
+- discrete-event steps are atomic — a slice boundary always falls on a
+  completed work-unit, never inside one;
+- Phase IV's stable merge sums duplicate ``(r, c)`` keys in parts
+  order, so preserving part *completion order* across the pause
+  preserves every floating-point summation order;
+- the snapshot holds the device/PCIe clocks, the full trace, the
+  thresholds, the per-part triplet buffers in completion order, the
+  workqueue cursors + dequeue log, the scheduler carry (retry budgets
+  and backoff deadlines), and the fault injector's RNG state — the
+  partition, contexts, and queue *contents* are deterministically
+  recomputed instead of stored.
+
+Resource guardrails: ``mem_budget_bytes`` flows to the algorithm's
+chunked Phase II / grouped Phase IV fallbacks, and ``deadline_s`` is a
+simulated-time budget — the run curtails gracefully at the deadline,
+checkpoints, and raises :class:`~repro.util.errors.ResourceExhausted`
+(the job is resumable with a larger budget; the deadline is deliberately
+left out of the config fingerprint for exactly that reason).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.hhcpu import HHCPU, HHCPURunState
+from repro.core.result import SpmmResult
+from repro.faults.spec import FaultSpec
+from repro.formats.coo import COOMatrix
+from repro.formats.validation import ensure_canonical
+from repro.hardware.platform import HeteroPlatform, default_platform
+from repro.hardware.trace import TraceEvent
+from repro.hetero.partition import partition_rows
+from repro.hetero.scheduler import Phase3Carry, Phase3Outcome
+from repro.hetero.workqueue import DEFAULT_CPU_ROWS, DEFAULT_GPU_ROWS
+from repro.jobs.snapshot import find_resumable, write_checkpoint
+from repro.obs.metrics import METRICS
+from repro.util.errors import ResourceExhausted
+
+#: fingerprint domain tag; bump when the fingerprinted config changes
+_FINGERPRINT_DOMAIN = "repro-job/1"
+
+#: outcome counters round-tripped through the checkpoint
+_OUTCOME_FIELDS = (
+    "cpu_units", "gpu_units", "cpu_stolen", "gpu_stolen",
+    "retries", "timeouts", "requeues",
+    "failover_units", "failover_rows", "completed", "deadline_curtailed",
+)
+
+
+def _jsonable(value):
+    """Coerce trace metadata to JSON-able primitives (numpy scalars
+    become Python scalars; anything exotic degrades to ``str``)."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class JobRunner:
+    """One durable ``C = A @ B`` job over a checkpoint directory.
+
+    Parameters mirror :class:`~repro.core.hhcpu.HHCPU` (kernel, unit
+    sizes, thresholds, fault spec, memory budget) plus the durability
+    knobs: ``checkpoint_dir``, ``checkpoint_every`` (Phase III units per
+    snapshot; None disables mid-phase snapshots), ``deadline_s`` (a
+    simulated-time budget), and ``sigkill_after_checkpoints`` (a
+    determinism hook for kill-and-resume tests: the process SIGKILLs
+    itself immediately after writing the N-th checkpoint).
+
+    A configuration **fingerprint** (operand bytes + name/scale/kernel/
+    unit sizes/thresholds/fault spec/memory budget) is stamped into
+    every checkpoint; resuming under a different configuration is
+    refused rather than silently computing something else.  The
+    deadline and checkpoint cadence are excluded, so an exhausted job
+    can be resumed with a larger budget.
+    """
+
+    def __init__(
+        self,
+        a,
+        b,
+        *,
+        checkpoint_dir: str | Path,
+        platform_factory: Callable[[], HeteroPlatform] = default_platform,
+        kernel: str = "esc",
+        cpu_rows: int = DEFAULT_CPU_ROWS,
+        gpu_rows: int = DEFAULT_GPU_ROWS,
+        threshold_a: int | None = None,
+        threshold_b: int | None = None,
+        faults: FaultSpec | None = None,
+        mem_budget_bytes: int | None = None,
+        deadline_s: float | None = None,
+        checkpoint_every: int | None = 25,
+        matrix_name: str = "",
+        scale: float = 1.0,
+        sigkill_after_checkpoints: int | None = None,
+    ):
+        self.a = ensure_canonical(a, name="a")
+        self.b = ensure_canonical(b, name="b")
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.platform_factory = platform_factory
+        self.kernel = kernel
+        self.cpu_rows = int(cpu_rows)
+        self.gpu_rows = int(gpu_rows)
+        self.threshold_a = threshold_a
+        self.threshold_b = threshold_b
+        self.fault_spec = faults
+        self.mem_budget_bytes = mem_budget_bytes
+        self.deadline_s = deadline_s
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive or None")
+        self.checkpoint_every = checkpoint_every
+        self.matrix_name = matrix_name
+        self.scale = float(scale)
+        self.sigkill_after_checkpoints = sigkill_after_checkpoints
+        self.fingerprint = self._fingerprint()
+        self._seq = 0
+        self._written = 0
+        self._algo: HHCPU | None = None
+
+    # -- configuration identity --------------------------------------------
+    def _fingerprint(self) -> str:
+        h = hashlib.sha256()
+        h.update(_FINGERPRINT_DOMAIN.encode())
+        for arr in (
+            self.a.indptr, self.a.indices, self.a.data,
+            self.b.indptr, self.b.indices, self.b.data,
+        ):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        config = {
+            "matrix_name": self.matrix_name,
+            "scale": repr(self.scale),
+            "kernel": str(self.kernel),
+            "cpu_rows": self.cpu_rows,
+            "gpu_rows": self.gpu_rows,
+            "threshold_a": self.threshold_a,
+            "threshold_b": self.threshold_b,
+            "faults": self.fault_spec.as_dict() if self.fault_spec else None,
+            "mem_budget_bytes": self.mem_budget_bytes,
+        }
+        h.update(json.dumps(config, sort_keys=True).encode())
+        return h.hexdigest()
+
+    # -- the job ------------------------------------------------------------
+    def run(self, *, resume: bool = False) -> SpmmResult:
+        """Run (or resume) the job to completion.
+
+        Raises :class:`ResourceExhausted` when the simulated deadline is
+        spent — the job has been checkpointed and can be resumed with a
+        larger ``deadline_s``.
+        """
+        algo = HHCPU(
+            self.platform_factory(),
+            kernel=self.kernel,
+            cpu_rows=self.cpu_rows,
+            gpu_rows=self.gpu_rows,
+            threshold_a=self.threshold_a,
+            threshold_b=self.threshold_b,
+            faults=self.fault_spec,
+            mem_budget_bytes=self.mem_budget_bytes,
+        )
+        self._algo = algo
+        found = (
+            find_resumable(self.checkpoint_dir, self.fingerprint)
+            if resume
+            else None
+        )
+        if found is None:
+            st = algo.begin(self.a, self.b)
+            self._seq = 0
+            algo.run_phase1(st)
+            self._checkpoint("phase1", st)
+            self._check_deadline("phase1")
+            algo.stage_operands(st)
+            algo.make_contexts(st)
+            algo.run_phase2(st)
+            algo.build_queue(st)
+            self._checkpoint("phase2", st)
+            self._check_deadline("phase2")
+            carry = None
+        else:
+            st, carry, stage = self._restore(algo, found)
+            self._check_deadline(stage)
+            if stage == "phase1":
+                algo.stage_operands(st)
+                algo.run_phase2(st)
+                algo.build_queue(st)
+                self._checkpoint("phase2", st)
+                self._check_deadline("phase2")
+        self._drain_phase3(st, carry)
+        result = algo.run_phase4(st)
+        if METRICS.enabled:
+            METRICS.inc("jobs.run.completed")
+        return result
+
+    def _drain_phase3(self, st: HHCPURunState, carry: Phase3Carry | None) -> None:
+        algo = self._algo
+        while True:
+            slice_out = algo.run_phase3(
+                st,
+                max_units=self.checkpoint_every,
+                deadline_s=self.deadline_s,
+                carry=carry,
+            )
+            if slice_out.stopped == "max_units":
+                carry = slice_out.carry
+                self._checkpoint("phase3", st)
+                continue
+            if slice_out.stopped == "deadline":
+                self._checkpoint("phase3", st)
+                if METRICS.enabled:
+                    METRICS.inc("jobs.deadline.exhausted")
+                raise ResourceExhausted(
+                    f"simulated deadline of {self.deadline_s}s spent with "
+                    f"{st.queue.remaining} Phase III work-unit(s) remaining; "
+                    "job checkpointed — resume with a larger --deadline",
+                    deadline_s=self.deadline_s,
+                    elapsed_s=algo.platform.elapsed,
+                    remaining_units=st.queue.remaining,
+                    stage="phase3",
+                    resumable=True,
+                )
+            break  # drained
+        self._checkpoint("phase3", st)
+
+    def _check_deadline(self, stage: str) -> None:
+        if self.deadline_s is None:
+            return
+        elapsed = self._algo.platform.elapsed
+        if elapsed >= self.deadline_s:
+            if METRICS.enabled:
+                METRICS.inc("jobs.deadline.exhausted")
+            raise ResourceExhausted(
+                f"simulated deadline of {self.deadline_s}s already spent "
+                f"after {stage} (elapsed {elapsed:.6g}s); job checkpointed — "
+                "resume with a larger --deadline",
+                deadline_s=self.deadline_s,
+                elapsed_s=elapsed,
+                stage=stage,
+                resumable=True,
+            )
+
+    # -- checkpointing -------------------------------------------------------
+    def _checkpoint(self, stage: str, st: HHCPURunState) -> Path:
+        pf = self._algo.platform
+        injector = self._algo.faults
+        state = {
+            "clocks": {
+                "cpu": pf.cpu.clock, "gpu": pf.gpu.clock, "pcie": pf.pcie.clock,
+            },
+            "trace": [
+                {
+                    "device": e.device, "phase": e.phase, "label": e.label,
+                    "start": e.start, "end": e.end, "meta": _jsonable(e.meta),
+                }
+                for e in pf.trace.events
+            ],
+            "t_a": st.t_a,
+            "t_b": st.t_b,
+            "injector": injector.state_dict() if injector is not None else None,
+        }
+        arrays: dict[str, np.ndarray] = {}
+        if stage != "phase1":
+            carry = st.outcome.carry
+            state.update(
+                gpu_tuples=int(st.gpu_tuples),
+                phase3_gpu_tuples=int(st.phase3_gpu_tuples),
+                queue=st.queue.state_dict(),
+                outcome={
+                    **{f: int(getattr(st.outcome, f)) for f in _OUTCOME_FIELDS},
+                    "dead_devices": list(st.outcome.dead_devices),
+                },
+                carry=(
+                    {"attempts": carry.attempts, "ready_at": carry.ready_at}
+                    if carry is not None
+                    else None
+                ),
+                n_phase2_parts=len(st.phase2_parts),
+                n_phase3_parts=len(st.outcome.parts),
+            )
+            for prefix, parts in (("p2", st.phase2_parts), ("p3", st.outcome.parts)):
+                for i, part in enumerate(parts):
+                    arrays[f"{prefix}_{i}_row"] = part.row
+                    arrays[f"{prefix}_{i}_col"] = part.col
+                    arrays[f"{prefix}_{i}_data"] = part.data
+        path = write_checkpoint(
+            self.checkpoint_dir,
+            seq=self._seq,
+            stage=stage,
+            fingerprint=self.fingerprint,
+            state=state,
+            arrays=arrays,
+        )
+        self._seq += 1
+        self._written += 1
+        if (
+            self.sigkill_after_checkpoints is not None
+            and self._written >= self.sigkill_after_checkpoints
+        ):
+            # determinism hook for kill-and-resume tests: die the hard
+            # way (no atexit, no cleanup), exactly after the N-th write
+            os.kill(os.getpid(), signal.SIGKILL)
+        return path
+
+    # -- resume --------------------------------------------------------------
+    def _restore(
+        self, algo: HHCPU, found: tuple[dict, dict[str, np.ndarray]]
+    ) -> tuple[HHCPURunState, Phase3Carry | None, str]:
+        meta, arrays = found
+        state = meta["state"]
+        stage = meta["stage"]
+        st = algo.begin(self.a, self.b)
+        pf = algo.platform
+        pf.cpu.clock = float(state["clocks"]["cpu"])
+        pf.gpu.clock = float(state["clocks"]["gpu"])
+        pf.pcie.clock = float(state["clocks"]["pcie"])
+        for e in state["trace"]:
+            pf.trace.add(TraceEvent(
+                device=e["device"], phase=e["phase"], label=e["label"],
+                start=e["start"], end=e["end"], meta=dict(e["meta"]),
+            ))
+        if state["injector"] is not None and algo.faults is not None:
+            algo.faults.load_state(state["injector"])
+        st.t_a, st.t_b = int(state["t_a"]), int(state["t_b"])
+        st.part = partition_rows(st.a, st.b, st.t_a, st.t_b)
+        algo.make_contexts(st)
+        carry: Phase3Carry | None = None
+        if stage != "phase1":
+            shape = (st.a.nrows, st.b.ncols)
+
+            def parts_of(prefix: str, count: int) -> list[COOMatrix]:
+                return [
+                    COOMatrix(
+                        shape,
+                        arrays[f"{prefix}_{i}_row"],
+                        arrays[f"{prefix}_{i}_col"],
+                        arrays[f"{prefix}_{i}_data"],
+                        validate=False,
+                    )
+                    for i in range(count)
+                ]
+
+            st.gpu_tuples = int(state["gpu_tuples"])
+            st.phase3_gpu_tuples = int(state["phase3_gpu_tuples"])
+            st.phase2_parts = parts_of("p2", int(state["n_phase2_parts"]))
+            algo.build_queue(st)
+            st.queue.load_state(state["queue"])
+            o = state["outcome"]
+            st.outcome = Phase3Outcome(
+                parts=parts_of("p3", int(state["n_phase3_parts"])),
+                dead_devices=tuple(o["dead_devices"]),
+                **{f: int(o[f]) for f in _OUTCOME_FIELDS},
+            )
+            if state["carry"] is not None:
+                carry = Phase3Carry(
+                    attempts=dict(state["carry"]["attempts"]),
+                    ready_at=dict(state["carry"]["ready_at"]),
+                )
+        self._seq = int(meta["seq"]) + 1
+        if METRICS.enabled:
+            METRICS.inc("jobs.resume.count")
+            METRICS.set_gauge("jobs.resume.from_seq", int(meta["seq"]))
+        return st, carry, stage

@@ -1,0 +1,190 @@
+"""Versioned, integrity-checked checkpoint files for the job runner.
+
+One checkpoint is one ``.npz`` file named ``ckpt-NNNNNN-<stage>.npz``:
+a ``__meta__`` JSON document (schema tag, sequence number, stage,
+config fingerprint, the JSON-able run state, and a sha256 digest per
+array) plus the numeric arrays themselves (the per-part triplet
+buffers).  Properties the durability layer depends on:
+
+- **versioned** — every file carries :data:`SCHEMA`; a reader that sees
+  an unknown schema refuses with
+  :class:`~repro.util.errors.CheckpointCorrupt` instead of guessing;
+- **integrity-checked** — array digests are verified on read, so a
+  truncated or bit-flipped file is *detected*, never silently resumed;
+- **atomic** — files are written to a temporary name and
+  :func:`os.replace`'d into place, so a crash mid-write leaves either
+  the previous checkpoint or a ``.tmp`` file the discovery scan ignores;
+- **pickle-free** — written via :func:`numpy.savez` with plain arrays
+  and read with ``allow_pickle=False``; a checkpoint can never execute
+  code on load.  This module is the *only* place in :mod:`repro.jobs`
+  allowed to touch serialisation primitives (lint rule CKP001).
+
+JSON round-trips floats through ``repr`` (shortest-round-trip), so the
+simulated clocks and trace timestamps restore bit-exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.obs.spans import SPANS
+from repro.util.errors import CheckpointCorrupt, InvalidInputError
+
+#: current checkpoint schema; bump on any layout change
+SCHEMA = "repro-ckpt/1"
+
+#: checkpoint file name: ``ckpt-NNNNNN-<stage>.npz``
+_CKPT_NAME = re.compile(r"^ckpt-(\d{6})-([a-z0-9_]+)\.npz$")
+
+
+def checkpoint_path(directory: str | Path, seq: int, stage: str) -> Path:
+    """The canonical path of checkpoint ``seq`` at ``stage``."""
+    return Path(directory) / f"ckpt-{int(seq):06d}-{stage}.npz"
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def write_checkpoint(
+    directory: str | Path,
+    *,
+    seq: int,
+    stage: str,
+    fingerprint: str,
+    state: dict,
+    arrays: dict[str, np.ndarray],
+) -> Path:
+    """Atomically write one checkpoint; returns its final path.
+
+    ``state`` must be JSON-able (the runner keeps it that way);
+    ``arrays`` maps names to plain numeric ndarrays.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = checkpoint_path(directory, seq, stage)
+    if "__meta__" in arrays:
+        raise ValueError("'__meta__' is a reserved checkpoint array name")
+    meta = {
+        "schema": SCHEMA,
+        "seq": int(seq),
+        "stage": stage,
+        "fingerprint": fingerprint,
+        "state": state,
+        "array_digests": {name: _digest(arr) for name, arr in arrays.items()},
+    }
+    meta_blob = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    with SPANS.span("jobs:checkpoint-write", category="jobs.checkpoint",
+                    seq=int(seq), stage=stage):
+        with open(tmp, "wb") as fh:
+            np.savez(fh, __meta__=meta_blob, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    if METRICS.enabled:
+        METRICS.inc("jobs.checkpoint.writes")
+        METRICS.inc("jobs.checkpoint.bytes", path.stat().st_size)
+    return path
+
+
+def read_checkpoint(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
+    """Load and verify one checkpoint; returns ``(meta, arrays)``.
+
+    Raises :class:`CheckpointCorrupt` (with ``path`` and ``reason``
+    context) on any unreadable, mis-schemaed, or digest-failing file.
+    """
+    path = Path(path)
+
+    def corrupt(reason: str) -> CheckpointCorrupt:
+        return CheckpointCorrupt(
+            f"checkpoint {path} is unusable: {reason}",
+            path=str(path), reason=reason,
+        )
+
+    with SPANS.span("jobs:checkpoint-read", category="jobs.checkpoint"):
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                payload = {name: npz[name] for name in npz.files}
+        except FileNotFoundError:
+            raise corrupt("file not found") from None
+        except Exception as exc:  # zipfile/npy format damage
+            raise corrupt(f"unreadable npz ({exc})") from exc
+        blob = payload.pop("__meta__", None)
+        if blob is None:
+            raise corrupt("missing __meta__ document")
+        try:
+            meta = json.loads(bytes(blob).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise corrupt(f"undecodable __meta__ ({exc})") from exc
+        if not isinstance(meta, dict) or meta.get("schema") != SCHEMA:
+            raise corrupt(
+                f"schema {meta.get('schema') if isinstance(meta, dict) else meta!r} "
+                f"is not {SCHEMA}"
+            )
+        digests = meta.get("array_digests")
+        if not isinstance(digests, dict) or set(digests) != set(payload):
+            raise corrupt("array set disagrees with the digest manifest")
+        for name, arr in payload.items():
+            if _digest(arr) != digests[name]:
+                raise corrupt(f"sha256 mismatch on array {name!r}")
+    return meta, payload
+
+
+def list_checkpoints(directory: str | Path) -> list[Path]:
+    """Checkpoint files in ``directory``, newest (highest seq) first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        m = _CKPT_NAME.match(entry.name)
+        if m:
+            found.append((int(m.group(1)), entry))
+    return [p for _, p in sorted(found, reverse=True)]
+
+
+def find_resumable(
+    directory: str | Path, fingerprint: str
+) -> tuple[dict, dict[str, np.ndarray]] | None:
+    """The newest valid checkpoint in ``directory``, or None if empty.
+
+    Corrupt files are skipped (newest-valid-wins) and counted in
+    ``jobs.checkpoint.corrupt``; if checkpoints exist but *none* is
+    readable the last failure is re-raised.  A valid checkpoint written
+    by a different job configuration raises
+    :class:`~repro.util.errors.InvalidInputError` — resuming it would
+    silently compute a different product.
+    """
+    candidates = list_checkpoints(directory)
+    if not candidates:
+        return None
+    last_error: CheckpointCorrupt | None = None
+    for path in candidates:
+        try:
+            meta, arrays = read_checkpoint(path)
+        except CheckpointCorrupt as exc:
+            if METRICS.enabled:
+                METRICS.inc("jobs.checkpoint.corrupt")
+            last_error = exc
+            continue
+        if meta.get("fingerprint") != fingerprint:
+            raise InvalidInputError(
+                f"checkpoint {path} was written by a different job "
+                "configuration (operands, kernel, unit sizes, thresholds, "
+                "fault spec, or memory budget differ); refusing to resume",
+                field="checkpoint_dir", path=str(path),
+                expected=fingerprint, found=meta.get("fingerprint"),
+            )
+        return meta, arrays
+    assert last_error is not None
+    raise last_error

@@ -142,3 +142,57 @@ def merge_tuples(
         METRICS.inc("kernels.merge.reduce_ops", stats.reduce_ops)
         METRICS.inc("kernels.merge.sort_ops", stats.sort_ops)
     return MergeResult(matrix=matrix, stats=stats)
+
+
+def merge_tuples_grouped(
+    shape: tuple[int, int],
+    parts: Sequence[COOMatrix],
+    *,
+    max_group_tuples: int,
+    drop_zeros: bool = False,
+) -> MergeResult:
+    """Memory-bounded Phase IV: merge ``parts`` hierarchically so no
+    single sort ever materialises more than ~``max_group_tuples`` tuples.
+
+    Parts are grouped greedily in order (each group at least one part,
+    closed once it reaches the budget), each group merged to a canonical
+    intermediate, and the deduplicated group outputs merged once more.
+    Grouping is a deterministic function of the parts and the budget, so
+    a given configuration always produces the same result — but because
+    cross-group duplicates are summed at the second level, the
+    floating-point summation *order* differs from the flat
+    :func:`merge_tuples`; results are mathematically equal (scipy-equal
+    in tests), not bit-identical to the unbudgeted path.
+
+    The reported stats count the original ``tuples_in`` so cost models
+    and metrics see the true tuple volume.
+    """
+    if max_group_tuples <= 0:
+        raise ValueError(f"max_group_tuples must be positive, got {max_group_tuples}")
+    parts = list(parts)
+    total_in = sum(p.nnz for p in parts)
+    if total_in <= max_group_tuples or len(parts) <= 1:
+        return merge_tuples(shape, parts, drop_zeros=drop_zeros)
+
+    groups: list[list[COOMatrix]] = [[]]
+    acc = 0
+    for p in parts:
+        if groups[-1] and acc + p.nnz > max_group_tuples:
+            groups.append([])
+            acc = 0
+        groups[-1].append(p)
+        acc += p.nnz
+
+    reduced = [merge_tuples(shape, g).matrix.tocoo() for g in groups]
+    final = merge_tuples(shape, reduced, drop_zeros=drop_zeros)
+    stats = MergeStats(
+        tuples_in=total_in,
+        masters=final.stats.masters,
+        max_run=final.stats.max_run,
+        sort_ops=int(total_in * max(1.0, np.log2(total_in))),
+        reduce_ops=int(total_in - final.stats.masters),
+    )
+    if METRICS.enabled:
+        METRICS.inc("kernels.merge.grouped_calls")
+        METRICS.inc("kernels.merge.groups", len(groups))
+    return MergeResult(matrix=final.matrix, stats=stats)

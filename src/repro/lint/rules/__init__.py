@@ -10,13 +10,29 @@ Importing this package populates :data:`repro.lint.base.REGISTRY`:
 - **UNIT001** (:mod:`~repro.lint.rules.units_rules`) — unit conversions
   at reporting boundaries only;
 - **FLT001** (:mod:`~repro.lint.rules.faults_rules`) — fault-injection
-  randomness must flow through ``repro.util.rng``.
+  randomness must flow through ``repro.util.rng``;
+- **CKP001** (:mod:`~repro.lint.rules.checkpoint_rules`) — checkpoint
+  serialisation only via the versioned ``repro.jobs.snapshot`` format.
 
 To add a rule: subclass :class:`repro.lint.base.Rule` in a module here,
 decorate it with :func:`repro.lint.base.register`, import the module
 below, and add a fixture with one violation to ``tests/data/lint_fixtures``.
 """
 
-from repro.lint.rules import clock, determinism, faults_rules, metrics_rules, units_rules
+from repro.lint.rules import (
+    checkpoint_rules,
+    clock,
+    determinism,
+    faults_rules,
+    metrics_rules,
+    units_rules,
+)
 
-__all__ = ["clock", "determinism", "faults_rules", "metrics_rules", "units_rules"]
+__all__ = [
+    "checkpoint_rules",
+    "clock",
+    "determinism",
+    "faults_rules",
+    "metrics_rules",
+    "units_rules",
+]

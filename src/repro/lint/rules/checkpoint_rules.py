@@ -1,0 +1,89 @@
+"""CKP001 — checkpoint serialisation hygiene.
+
+The durability layer's resume guarantee rests on every checkpoint being
+a versioned, digest-verified, atomically-replaced
+:mod:`repro.jobs.snapshot` file.  An ad-hoc ``pickle.dump`` or bare
+``numpy.save`` inside :mod:`repro.jobs` would create state files with no
+schema tag, no integrity check, and (for pickle) arbitrary
+code-execution on load — a corrupt or stale file would then resume
+*silently wrong* instead of raising
+:class:`~repro.util.errors.CheckpointCorrupt`.  So serialisation
+primitives are confined to the one sanctioned module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import import_map, qualified_call_name
+from repro.lint.base import ModuleContext, RawFinding, Rule, register
+
+#: the one module allowed to touch serialisation primitives
+_SANCTIONED = "repro.jobs.snapshot"
+
+#: object-serialisation modules banned outright in repro.jobs (they can
+#: execute code on load and have no schema/integrity story)
+_BANNED_MODULES = ("pickle", "cPickle", "dill", "marshal", "shelve")
+
+#: array persistence calls that bypass the versioned snapshot format
+_BANNED_CALLS = (
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.load",
+    "numpy.ndarray.tofile",
+    "numpy.fromfile",
+)
+
+
+@register
+class CKP001(Rule):
+    """Ad-hoc state serialisation inside ``repro.jobs``."""
+
+    id = "CKP001"
+    description = (
+        "checkpoint state in repro.jobs must be serialised only through "
+        "the versioned repro.jobs.snapshot format (schema tag, sha256 "
+        "digests, atomic replace) — no pickle/marshal/shelve and no "
+        "direct numpy save/load elsewhere in the package"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        if not ctx.in_package("repro.jobs") or ctx.in_package(_SANCTIONED):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_MODULES:
+                        yield RawFinding(
+                            node.lineno, node.col_offset,
+                            f"import of object-serialisation module "
+                            f"`{alias.name}` in repro.jobs; checkpoint I/O "
+                            f"must go through {_SANCTIONED}",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _BANNED_MODULES:
+                    yield RawFinding(
+                        node.lineno, node.col_offset,
+                        f"import from `{node.module}` in repro.jobs; "
+                        f"checkpoint I/O must go through {_SANCTIONED}",
+                    )
+        imports = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_call_name(node, imports)
+            if qual is None:
+                continue
+            if qual.startswith("np."):
+                qual = "numpy." + qual.split(".", 1)[1]
+            if qual in _BANNED_CALLS:
+                yield RawFinding(
+                    node.lineno, node.col_offset,
+                    f"direct array persistence `{qual}` in repro.jobs "
+                    f"bypasses the versioned checkpoint format; write and "
+                    f"read checkpoints only via {_SANCTIONED}",
+                )

@@ -85,6 +85,9 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("phase4.tuples_merged", "tuples", "tuples entering the Phase IV global merge"),
     _c("phase4.masters", "indices", "master (unique) indices out of the global merge"),
     _g("phase4.duplication_ratio", "ratio", "tuples_in / masters for the global merge"),
+    # -- input validation gate ---------------------------------------------
+    _c("formats.validate.gated", "operands", "operands passed through the validation gate"),
+    _c("formats.validate.repaired", "operands", "non-canonical operands repaired by the gate"),
     # -- Phase III workqueue -----------------------------------------------
     _c("phase3.workqueue.front.units", "units", "work-units enqueued at the CPU end"),
     _c("phase3.workqueue.back.units", "units", "work-units enqueued at the GPU end"),
@@ -97,6 +100,7 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("phase3.workqueue.requeues", "units", "work-units put back after a failed attempt"),
     _c("phase3.failover.units", "units", "dequeues executed by a survivor after its peer died"),
     _c("phase3.failover.rows", "rows", "A-rows a survivor absorbed after its peer died"),
+    _c("phase3.deadline.curtailed_units", "units", "work-units curtailed + requeued at the deadline"),
     # -- fault injection & degradation -------------------------------------
     _c("faults.crash.events", "crashes", "device crashes observed by the scheduler"),
     _g("faults.device.{device}.crashed_at_s", "seconds", "simulated time a device died"),
@@ -122,6 +126,8 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("kernels.merge.tuples_in", "tuples", "tuples entering merges"),
     _c("kernels.merge.reduce_ops", "ops", "duplicate reductions performed"),
     _c("kernels.merge.sort_ops", "ops", "comparison work attributed to merge sorting"),
+    _c("kernels.merge.grouped_calls", "calls", "memory-bounded hierarchical merge invocations"),
+    _c("kernels.merge.groups", "groups", "part groups formed by bounded merges"),
     _c("kernels.hash.launches", "launches", "hash-accumulator launches"),
     _c("kernels.hash.probes", "probes", "hash table probes"),
     _c("kernels.hash.collisions", "probes", "probes that hit an occupied slot"),
@@ -140,6 +146,15 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("bench.verifications", "checks", "bit-identity verifications against the scipy oracle"),
     _t("bench.case.{case}.wall_s", "seconds", "host wall clock per timed repeat of one case"),
     _g("bench.case.{case}.sim_time_s", "seconds", "modelled platform time of an end-to-end case"),
+    # -- durable job runner ------------------------------------------------
+    _c("jobs.budget.phase2_chunks", "chunks", "budgeted Phase II row-chunk launches"),
+    _c("jobs.checkpoint.writes", "checkpoints", "checkpoints written by the job runner"),
+    _c("jobs.checkpoint.bytes", "bytes", "bytes written to checkpoint files"),
+    _c("jobs.checkpoint.corrupt", "checkpoints", "checkpoints rejected as corrupt during discovery"),
+    _c("jobs.resume.count", "resumes", "runs resumed from a checkpoint"),
+    _g("jobs.resume.from_seq", "seq", "sequence number of the checkpoint a run resumed from"),
+    _c("jobs.run.completed", "runs", "durable jobs that ran to completion"),
+    _c("jobs.deadline.exhausted", "events", "jobs stopped (checkpointed) at the deadline budget"),
 )
 
 _COMPILED: tuple[tuple[re.Pattern, MetricSpec], ...] = tuple(

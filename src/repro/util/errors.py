@@ -3,11 +3,30 @@
 All library-specific failures derive from :class:`ReproError` so callers
 can catch one base class at an API boundary while tests can assert on
 precise subclasses.
+
+Every error can carry **machine-readable context**: keyword arguments
+passed to the constructor land in :attr:`ReproError.context`, a plain
+dict that job runners, CLIs, and tests can inspect without parsing the
+message string (``exc.context["field"]``, ``exc.context["path"]`` …).
 """
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description (the usual exception argument).
+    **context:
+        Machine-readable key/value pairs describing the failure
+        (offending field, file path, budget numbers, …), stored on
+        :attr:`context`.
+    """
+
+    def __init__(self, message: str = "", **context):
+        super().__init__(message)
+        self.context: dict = context
 
 
 class ShapeError(ReproError, ValueError):
@@ -18,6 +37,28 @@ class ShapeError(ReproError, ValueError):
 class FormatError(ReproError, ValueError):
     """A sparse-matrix container violates its structural invariants
     (non-monotone indptr, out-of-range column index, NaN policy, ...)."""
+
+
+class InvalidInputError(FormatError):
+    """An input rejected at a public entry point's validation gate:
+    malformed/truncated files, non-canonical CSR the caller asked to be
+    strict about, non-integer index dtypes, indptr overflow, NaN/Inf
+    values.  Subclasses :class:`FormatError` so existing handlers keep
+    working; :attr:`context` names the offending field
+    (``context["field"]``) and, where known, the location."""
+
+
+class ResourceExhausted(ReproError, RuntimeError):
+    """A job exceeded one of its declared resource budgets (memory or
+    simulated deadline) and was curtailed instead of overrunning.
+    :attr:`context` carries the budget arithmetic (``budget``,
+    ``required``/``elapsed_s``, and what remains to be done)."""
+
+
+class CheckpointCorrupt(ReproError, RuntimeError):
+    """A checkpoint directory or snapshot failed its integrity checks
+    (missing files, digest mismatch, unknown schema version) and cannot
+    be resumed from.  :attr:`context` carries ``path`` and ``reason``."""
 
 
 class CalibrationError(ReproError, ValueError):

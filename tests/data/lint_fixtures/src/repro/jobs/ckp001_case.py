@@ -1,0 +1,11 @@
+"""Fixture: ad-hoc checkpoint serialisation inside repro.jobs (CKP001)."""
+
+import pickle  # CKP001: object serialisation banned in repro.jobs
+
+import numpy as np
+
+
+def save_state_badly(path, state, arrays):
+    with open(path, "wb") as fh:
+        pickle.dump(state, fh)  # (flagged via the import above)
+    np.savez(path + ".npz", **arrays)  # CKP001: bypasses repro.jobs.snapshot

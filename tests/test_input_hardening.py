@@ -1,0 +1,335 @@
+"""Hypothesis suite for the hardened input-validation gate.
+
+Property: for *any* malformed CSR/COO operand — unsorted rows,
+duplicate columns, non-finite values, inconsistent indptr, out-of-range
+indices, float/overflowing index dtypes — every public entry point
+raises a typed :class:`InvalidInputError` naming the offending field,
+or deterministically repairs the operand; it never computes a silently
+wrong product.  Each validator branch has a targeted generator, plus
+randomized corruption properties and the io-taxonomy checks.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hhcpu import HHCPU
+from repro.formats import COOMatrix, CSRMatrix
+from repro.formats.base import coerce_index_array
+from repro.formats.io import read_matrix_market
+from repro.formats.validation import ensure_canonical
+from repro.hardware.platform import platform_for_scale
+from repro.obs.metrics import METRICS
+from repro.obs.spans import observed
+from repro.util.errors import FormatError, InvalidInputError
+
+from tests.conftest import random_scipy
+
+
+def raw_csr(shape, indptr, indices, data):
+    """A CSRMatrix built with validation off — how malformed operands
+    actually arrive (binary loaders, ``from_scipy``, ``validate=False``
+    construction paths)."""
+    m = CSRMatrix.empty(shape)
+    m.indptr = np.asarray(indptr)
+    m.indices = np.asarray(indices)
+    m.data = np.asarray(data, dtype=np.float64)
+    return m
+
+
+def well_formed(seed, shape=(12, 10), density=0.3):
+    return CSRMatrix.from_scipy(random_scipy(*shape, density, seed))
+
+
+class TestEveryValidatorBranch:
+    """One deterministic case per branch of CSRMatrix.validate /
+    COOMatrix.validate / coerce_index_array, asserted through the
+    public ``ensure_canonical`` gate."""
+
+    def expect(self, matrix, *context_items, match=None):
+        with pytest.raises(InvalidInputError, match=match) as exc:
+            ensure_canonical(matrix, name="a")
+        ctx = exc.value.context
+        assert ctx.get("operand") == "a" or ctx["field"].startswith("a.")
+        for key, value in context_items:
+            assert ctx[key] == value
+        return ctx
+
+    def test_wrong_container_type(self):
+        with pytest.raises(InvalidInputError) as exc:
+            ensure_canonical(np.eye(3), name="b")
+        assert exc.value.context["field"] == "b"
+        assert exc.value.context["type"] == "ndarray"
+
+    def test_indptr_wrong_length(self):
+        m = well_formed(1)
+        bad = raw_csr(m.shape, m.indptr[:-1], m.indices, m.data)
+        self.expect(bad, ("field", "indptr"), match="nrows")
+
+    def test_indptr_not_starting_at_zero(self):
+        m = well_formed(2)
+        indptr = m.indptr.copy()
+        indptr[0] = 1
+        self.expect(raw_csr(m.shape, indptr, m.indices, m.data),
+                    ("field", "indptr"), match="start at 0")
+
+    def test_indptr_decreasing(self):
+        m = well_formed(3)
+        indptr = m.indptr.copy()
+        indptr[1] = indptr[-1]  # forces a later decrease
+        self.expect(raw_csr(m.shape, indptr, m.indices, m.data),
+                    ("field", "indptr"), match="non-decreasing")
+
+    def test_indptr_tail_mismatch(self):
+        m = well_formed(4)
+        indptr = m.indptr.copy()
+        indptr[-1] += 1
+        self.expect(raw_csr(m.shape, indptr, m.indices, m.data),
+                    ("field", "indptr"), match="len\\(indices\\)")
+
+    def test_indices_data_length_mismatch(self):
+        m = well_formed(5)
+        self.expect(raw_csr(m.shape, m.indptr, m.indices, m.data[:-1]),
+                    ("field", "data"), match="lengths differ")
+
+    def test_column_out_of_range(self):
+        m = well_formed(6)
+        indices = m.indices.copy()
+        indices[0] = m.ncols  # one past the end
+        self.expect(raw_csr(m.shape, m.indptr, indices, m.data),
+                    match="out of range")
+
+    def test_negative_column(self):
+        m = well_formed(7)
+        indices = m.indices.copy()
+        indices[0] = -1
+        self.expect(raw_csr(m.shape, m.indptr, indices, m.data),
+                    match="out of range")
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_data(self, bad):
+        m = well_formed(8)
+        data = m.data.copy()
+        data[3] = bad
+        ctx = self.expect(raw_csr(m.shape, m.indptr, m.indices, data),
+                          ("field", "data"), match="non-finite")
+        assert ctx["entry"] == 3
+
+    def test_float_index_dtype(self):
+        m = well_formed(9)
+        bad = raw_csr(m.shape, m.indptr, m.indices.astype(np.float64), m.data)
+        self.expect(bad, ("field", "a.indices"), match="integer array")
+
+    def test_overflowing_index_dtype(self):
+        values = np.array([0, 2**63 - 1], dtype=np.uint64)
+        with pytest.raises(InvalidInputError) as exc:
+            coerce_index_array("a.indices", values)
+        assert exc.value.context["field"] == "a.indices"
+        assert "overflow" in str(exc.value)
+
+    def test_safe_integer_dtypes_coerced(self):
+        out = coerce_index_array("x", np.array([1, 2], dtype=np.int32))
+        assert out.dtype == np.int64
+
+    def test_coo_length_mismatch(self):
+        m = COOMatrix((3, 3), np.array([0, 1]), np.array([0, 1]),
+                      np.array([1.0]), validate=False)
+        self.expect(m, ("field", "data"), match="disagree in length")
+
+    def test_coo_row_out_of_range(self):
+        m = COOMatrix((3, 3), np.array([3]), np.array([0]),
+                      np.array([1.0]), validate=False)
+        self.expect(m, match="row indices out of range")
+
+    def test_coo_non_finite(self):
+        m = COOMatrix((3, 3), np.array([0]), np.array([0]),
+                      np.array([np.nan]), validate=False)
+        self.expect(m, ("field", "data"), match="non-finite")
+
+
+class TestRepair:
+    """Merely non-canonical operands are deterministically repaired,
+    not rejected."""
+
+    def test_unsorted_rows_repaired(self):
+        m = raw_csr((2, 5), [0, 3, 4],
+                    np.array([4, 0, 2, 1], dtype=np.int64),
+                    [1.0, 2.0, 3.0, 4.0])
+        assert not m.has_sorted_indices
+        fixed = ensure_canonical(m)
+        assert fixed.has_sorted_indices
+        np.testing.assert_array_equal(fixed.todense(), m.todense())
+
+    def test_duplicate_columns_merged_in_storage_order(self):
+        # 0.1 + 0.2 != 0.2 + 0.1 + 0.0... — summation must follow
+        # storage order so the repair is deterministic
+        m = raw_csr((1, 4), [0, 3],
+                    np.array([2, 2, 0], dtype=np.int64),
+                    [0.1, 0.2, 5.0])
+        fixed = ensure_canonical(m)
+        np.testing.assert_array_equal(fixed.indices, [0, 2])
+        assert fixed.data[1] == 0.1 + 0.2
+
+    def test_canonical_input_passes_through_unchanged(self):
+        m = well_formed(10)
+        assert ensure_canonical(m) is m
+
+    def test_repair_metric(self):
+        m = raw_csr((1, 3), [0, 2], np.array([1, 0], dtype=np.int64), [1.0, 2.0])
+        with observed():
+            ensure_canonical(m)
+            assert METRICS.counter("formats.validate.gated") == 1
+            assert METRICS.counter("formats.validate.repaired") == 1
+
+    def test_validate_strict_flags_what_the_gate_repairs(self):
+        m = raw_csr((1, 3), [0, 2], np.array([1, 0], dtype=np.int64), [1.0, 2.0])
+        with pytest.raises(InvalidInputError) as exc:
+            m.validate(strict=True)
+        assert exc.value.context["row"] == 0
+        m.validate(strict=False)  # structurally fine
+
+    def test_validate_reports_duplicate_column(self):
+        m = raw_csr((2, 3), [0, 1, 3],
+                    np.array([0, 1, 1], dtype=np.int64), [1.0, 2.0, 3.0])
+        with pytest.raises(InvalidInputError) as exc:
+            m.validate(strict=True)
+        assert exc.value.context["row"] == 1
+        assert exc.value.context["column"] == 1
+
+
+# -- randomized properties ---------------------------------------------------
+
+@st.composite
+def csr_matrices(draw):
+    nrows = draw(st.integers(min_value=1, max_value=8))
+    ncols = draw(st.integers(min_value=1, max_value=8))
+    density = draw(st.floats(min_value=0.1, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return CSRMatrix.from_scipy(random_scipy(nrows, ncols, density, seed))
+
+
+@st.composite
+def shuffled_rows(draw):
+    """A valid matrix whose row contents are permuted (possibly with a
+    duplicated column) — always repairable, never rejectable."""
+    m = draw(csr_matrices())
+    indices, data = m.indices.copy(), m.data.copy()
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**16)))
+    for r in range(m.nrows):
+        lo, hi = int(m.indptr[r]), int(m.indptr[r + 1])
+        perm = rng.permutation(hi - lo)
+        indices[lo:hi] = indices[lo:hi][perm]
+        data[lo:hi] = data[lo:hi][perm]
+    return CSRMatrix(m.shape, m.indptr, indices, data, validate=False)
+
+
+CORRUPTIONS = ("nan_data", "neg_index", "big_index", "indptr_tail", "float_index")
+
+
+def corrupt(m: CSRMatrix, how: str) -> CSRMatrix:
+    indptr, indices, data = m.indptr.copy(), m.indices.copy(), m.data.copy()
+    if how == "nan_data":
+        data[0] = np.nan
+    elif how == "neg_index":
+        indices[0] = -1
+    elif how == "big_index":
+        indices[-1] = m.ncols + 3
+    elif how == "indptr_tail":
+        indptr[-1] += 2
+    elif how == "float_index":
+        indices = indices.astype(np.float32)
+    return raw_csr(m.shape, indptr, indices, data)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(m=csr_matrices(), how=st.sampled_from(CORRUPTIONS))
+    def test_any_corruption_raises_typed_error(self, m, how):
+        if m.nnz == 0:
+            return  # nothing to corrupt
+        with pytest.raises(InvalidInputError) as exc:
+            ensure_canonical(corrupt(m, how), name="a")
+        assert "field" in exc.value.context
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=shuffled_rows())
+    def test_any_shuffle_is_repaired_exactly(self, m):
+        fixed = ensure_canonical(m)
+        assert fixed.has_sorted_indices
+        fixed.validate(strict=True)
+        np.testing.assert_array_equal(fixed.todense(), m.todense())
+
+    @settings(max_examples=10, deadline=None)
+    @given(m=shuffled_rows())
+    def test_algorithms_accept_repaired_operands(self, m):
+        """The end-to-end guarantee: a non-canonical square operand fed
+        straight to HHCPU.multiply is repaired at the gate and produces
+        the scipy product — never a silently wrong answer."""
+        if m.nrows != m.ncols:
+            return
+        algo = HHCPU(platform_for_scale(0.001), cpu_rows=4, gpu_rows=8)
+        result = algo.multiply(m, m)
+        want = m.to_scipy() @ m.to_scipy()
+        np.testing.assert_allclose(
+            result.matrix.todense(), np.asarray(want.todense()),
+            rtol=1e-9, atol=1e-12,
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=csr_matrices(), how=st.sampled_from(CORRUPTIONS))
+    def test_multiply_rejects_corrupt_operands(self, m, how):
+        if m.nnz == 0 or m.nrows != m.ncols:
+            return
+        algo = HHCPU(platform_for_scale(0.001), cpu_rows=4, gpu_rows=8)
+        with pytest.raises(InvalidInputError):
+            algo.multiply(corrupt(m, how), m)
+
+
+class TestIoTaxonomy:
+    """read_matrix_market failures carry the structured taxonomy: a
+    typed error naming the offending field."""
+
+    GOOD = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n"
+
+    def field_of(self, text):
+        with pytest.raises(InvalidInputError) as exc:
+            read_matrix_market(io.StringIO(text))
+        return exc.value.context["field"]
+
+    def test_good_file_parses(self):
+        m = read_matrix_market(io.StringIO(self.GOOD))
+        assert m.shape == (2, 2) and m.nnz == 1
+
+    def test_not_matrix_market(self):
+        assert self.field_of("hello\n1 1 0\n") == "header"
+
+    def test_unsupported_field_type(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        assert self.field_of(text) == "header"
+
+    def test_truncated_before_size_line(self):
+        assert self.field_of("%%MatrixMarket matrix coordinate real general\n") == "size_line"
+
+    def test_non_integer_size_line(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 x\n"
+        assert self.field_of(text) == "size_line"
+
+    def test_truncated_entries(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        assert self.field_of(text) == "entries"
+
+    def test_non_numeric_entries(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 a 1.0\n"
+        assert self.field_of(text) == "entries"
+
+    def test_out_of_range_entry(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
+        assert self.field_of(text) == "entries"
+
+    def test_non_finite_value_rejected_at_parse(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n"
+        with pytest.raises((InvalidInputError, FormatError)):
+            read_matrix_market(io.StringIO(text))

@@ -23,7 +23,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "data" / "lint_fixtures"
 GOLDEN = REPO_ROOT / "tests" / "data" / "lint_golden.json"
 
-ALL_RULE_IDS = {"DET001", "DET002", "CLK001", "FLT001", "MET001", "MET002", "UNIT001"}
+ALL_RULE_IDS = {"DET001", "DET002", "CLK001", "CKP001", "FLT001", "MET001", "MET002", "UNIT001"}
 
 
 def lint_fixtures(**kwargs):
@@ -67,7 +67,7 @@ class TestFixtures:
     def test_every_rule_fires(self):
         result = lint_fixtures()
         assert {f.rule for f in result.findings} == ALL_RULE_IDS
-        assert result.errors == len(result.findings) == 8  # CLK001 imports + call
+        assert result.errors == len(result.findings) == 10  # CLK001 + CKP001 fire twice
         assert not result.ok
 
     def test_cli_exits_nonzero_on_fixture_tree(self, capsys):
@@ -81,7 +81,7 @@ class TestFixtures:
     def test_json_document_shape(self):
         doc = json_document(lint_fixtures())
         assert doc["schema"] == "repro-lint/1"
-        assert doc["summary"]["errors"] == 8
+        assert doc["summary"]["errors"] == 10
         for finding in doc["findings"]:
             assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
 
@@ -322,4 +322,4 @@ class TestCheckCli:
         assert main(["check", str(FIXTURES), "--baseline", str(path),
                      "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["summary"]["baselined"] == 8 and doc["findings"] == []
+        assert doc["summary"]["baselined"] == 10 and doc["findings"] == []
