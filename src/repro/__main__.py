@@ -11,10 +11,12 @@ Commands mirror the benchmark harness, for interactive use:
     python -m repro bench [--filter smoke] [--compare BENCH_old.json --fail-on-regress 25]
     python -m repro check [--format json] [--baseline]
     python -m repro run wiki-Vote --checkpoint-dir ckpts [--resume] [--deadline 0.5]
+    python -m repro report artifacts/ [--compare cfgA cfgB]
     python -m repro datasets
 
-With no (or an unknown) command the CLI prints usage listing the
-subcommands and exits 2 instead of raising.
+With no (or an unknown) command the CLI prints usage plus the full
+subcommand list (generated from the registered subparsers, so it can
+never drift) and exits 2 instead of raising.
 """
 
 from __future__ import annotations
@@ -90,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "or chrome://tracing)")
     pp.add_argument("--export-metrics", metavar="PATH", default=None,
                     help="write the metrics snapshot as flat JSON")
+    pp.add_argument("--export-events", metavar="PATH", default=None,
+                    help="record a repro-events/1 JSONL event log of the "
+                         "profiled run (feed the directory to "
+                         "`python -m repro report`)")
+    pp.add_argument("--run-label", metavar="LABEL", default=None,
+                    help="configuration label stamped into the event log "
+                         "(default: <matrix>/<algorithm>@<scale>); rows "
+                         "sharing a label form one group for "
+                         "`repro report --compare`")
     pp.add_argument("--faults", metavar="SPEC", default=None,
                     help="fault-spec JSON file (device crashes, stragglers, "
                          "stalls, transient PCIe/work-unit errors); the run "
@@ -128,15 +139,46 @@ def build_parser() -> argparse.ArgumentParser:
              "exit 0 clean, 1 findings, 2 usage error",
     )
     add_check_arguments(pc)
+
+    from repro.obs.report_cli import add_report_arguments
+
+    pt = sub.add_parser(
+        "report",
+        help="aggregate run artifacts (event logs, bench reports, metrics "
+             "snapshots) into a repro-runtable/1 run_table.csv — one row "
+             "per (run, repetition) — with a statistical configuration "
+             "comparator; exit 0 clean, 1 significant difference, 2 usage",
+    )
+    add_report_arguments(pt)
     return parser
+
+
+def command_summaries(parser: argparse.ArgumentParser) -> list[tuple[str, str]]:
+    """Every registered subcommand with its one-line help, in
+    registration order — read from the parser itself so the no-command
+    usage listing can never drift from the real command set."""
+    sub = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return [(ca.dest, " ".join((ca.help or "").split()))
+            for ca in sub._choices_actions]
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
-        parser.print_help()
+        print(parser.format_usage(), end="")
+        print("commands:")
+        for name, help_text in command_summaries(parser):
+            line = f"  {name:10s} {help_text}"
+            print(line if len(line) <= 100 else line[:97] + "...")
+        print("\nrun `python -m repro <command> --help` for details")
         return 2
+    if args.command == "report":
+        from repro.obs.report_cli import run_report_command
+
+        return run_report_command(args)
     if args.command == "check":
         from repro.lint.cli import run_check
 
@@ -181,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
         for key, value in result.details.items():
             print(f"  {key}: {value}")
     elif args.command == "profile":
+        from contextlib import nullcontext
+
         from repro.obs.profile import profile_run
 
         injector = None
@@ -188,11 +232,36 @@ def main(argv: list[str] | None = None) -> int:
             from repro.faults import FaultInjector, load_fault_spec
 
             injector = FaultInjector(load_fault_spec(args.faults))
-        report = profile_run(
-            args.matrix, algorithm=args.algorithm, scale=args.scale,
-            faults=injector,
-        )
+        if args.export_events:
+            from repro.obs.events import event_log, host_info
+
+            label = args.run_label or (
+                f"{args.matrix}/{args.algorithm}"
+                + (f"@{args.scale:g}" if args.scale is not None else "")
+                + ("+faults" if injector is not None else "")
+            )
+            recording = event_log(
+                args.export_events,
+                run_id=f"profile:{args.matrix}:{args.algorithm}",
+                label=label,
+                provenance={
+                    "host": host_info(),
+                    "matrix": args.matrix,
+                    "algorithm": args.algorithm,
+                    "scale": args.scale,
+                    "faults": args.faults,
+                },
+            )
+        else:
+            recording = nullcontext()
+        with recording:
+            report = profile_run(
+                args.matrix, algorithm=args.algorithm, scale=args.scale,
+                faults=injector,
+            )
         print(report.render())
+        if args.export_events:
+            print(f"event log written to {args.export_events}")
         if args.export_trace:
             report.write_chrome_trace(args.export_trace)
             print(f"chrome trace written to {args.export_trace}")

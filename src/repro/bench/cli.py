@@ -46,6 +46,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="with --compare: exit 1 if any case's median regresses "
              "by more than PCT percent")
     parser.add_argument(
+        "--export-events", default=None, metavar="PATH",
+        help="record a repro-events/1 JSONL event log of the bench run "
+             "(one repeat event per timed execution; feed the directory "
+             "to `python -m repro report`)")
+    parser.add_argument(
         "--list", action="store_true",
         help="list matching cases and exit without running anything")
 
@@ -65,12 +70,35 @@ def run_bench_command(args: argparse.Namespace) -> int:
                   f"{tags}  {case.description}")
         return 0
     rev = git_rev()
-    try:
-        report = run_bench(
+
+    def timed_run():
+        return run_bench(
             filter_substr=args.filter, warmup=args.warmup, repeats=args.repeats,
             rev=rev,
             progress=lambda c: print(f"  bench {c.name} ..."),
         )
+
+    try:
+        if args.export_events:
+            from repro.obs.events import event_log, host_info
+
+            with event_log(
+                args.export_events,
+                run_id=f"bench:{rev}",
+                provenance={
+                    "host": host_info(),
+                    "rev": rev,
+                    "config": {
+                        "filter": args.filter,
+                        "warmup": args.warmup,
+                        "repeats": args.repeats,
+                    },
+                },
+            ):
+                report = timed_run()
+            print(f"event log written to {args.export_events}")
+        else:
+            report = timed_run()
     except AssertionError as exc:
         print(f"bench: VERIFICATION FAILED — {exc}")
         return 1
@@ -92,6 +120,11 @@ def run_bench_command(args: argparse.Namespace) -> int:
     baseline = load_report(args.compare)
     cmp = compare_reports(baseline, report, fail_pct=args.fail_on_regress)
     print(f"\ncompared against {args.compare} (rev {baseline['rev']}):")
+    if cmp["host_mismatch"]:
+        print("  WARNING: host metadata differs between the reports — "
+              "wall-time deltas below are cross-environment:")
+        for key, pair in sorted(cmp["host_mismatch"].items()):
+            print(f"    {key}: baseline {pair['old']!r} vs current {pair['new']!r}")
     for entry in cmp["rows"]:
         flag = "  REGRESSED" if entry["regressed"] else ""
         sim = "  (sim time changed)" if entry["sim_changed"] else ""

@@ -21,15 +21,14 @@ and :func:`compare_reports` can gate CI on a regression threshold.
 from __future__ import annotations
 
 import json
-import platform
 import subprocess
-import sys
 from time import perf_counter  # repro: noqa[DET001,CLK001] — the bench harness is the one sanctioned host-timing site: it measures real kernel wall time, reported separately from (never mixed into) simulated time
 
 import numpy as np
 
 from repro.bench.cases import BenchCase, iter_cases, verify_against_scipy
 from repro.formats.validation import ensure_canonical
+from repro.obs.events import EVENTS, host_info
 from repro.obs.metrics import METRICS
 
 #: report schema identifier; bump on any structural change
@@ -62,6 +61,9 @@ def _wall_summary(samples: list[float]) -> dict:
         "min": float(arr.min()),
         "max": float(arr.max()),
         "repeats": int(arr.size),
+        # raw per-repeat samples, in run order: the run-table aggregator
+        # turns these into one row per (case, repetition)
+        "samples": [float(s) for s in samples],
     }
 
 
@@ -82,13 +84,19 @@ def run_case(case: BenchCase, *, warmup: int, repeats: int) -> dict:
         run()
     samples: list[float] = []
     out = None
-    for _ in range(repeats):
+    for i in range(repeats):
         t0 = perf_counter()
         out = run()
         samples.append(perf_counter() - t0)
         if METRICS.enabled:
             METRICS.inc("bench.repeats")
             METRICS.observe(f"bench.case.{case.name}.wall_s", samples[-1])
+            METRICS.record(f"bench.case.{case.name}.wall_hist_s", samples[-1])
+        if EVENTS.enabled:
+            EVENTS.emit(
+                "repeat", case=case.name, repetition=i,
+                wall_s=samples[-1], sim_time_s=out.sim_time_s,
+            )
     mask = case.b_row_mask(a, b) if case.b_row_mask is not None else None
     exact = case.kind == "kernel"
     verify_against_scipy(a, b, out, mask=mask, exact=exact)
@@ -97,6 +105,12 @@ def run_case(case: BenchCase, *, warmup: int, repeats: int) -> dict:
         METRICS.inc("bench.verifications")
         if out.sim_time_s is not None:
             METRICS.set_gauge(f"bench.case.{case.name}.sim_time_s", out.sim_time_s)
+    if EVENTS.enabled:
+        EVENTS.emit(
+            "case_end", case=case.name, kind=case.kind,
+            workload=case.workload, result_nnz=int(out.matrix.nnz),
+            verified=True,
+        )
     return {
         "case": case.name,
         "kind": case.kind,
@@ -130,11 +144,7 @@ def run_bench(
     return {
         "schema": SCHEMA,
         "rev": rev if rev is not None else git_rev(),
-        "host": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "host": host_info(),
         "config": {
             "warmup": warmup,
             "repeats": repeats,
@@ -176,15 +186,36 @@ def load_report(path: str) -> dict:
     return report
 
 
+def host_mismatch(old: dict, new: dict) -> dict:
+    """Host-metadata keys that differ between two reports.
+
+    Returns ``{key: {"old": ..., "new": ...}}`` for every ``host`` key
+    (python/numpy/machine) whose values differ — wall-time comparisons
+    across different hosts or library versions measure the environment,
+    not the code, and must be reported as such.
+    """
+    old_host = old.get("host") or {}
+    new_host = new.get("host") or {}
+    out = {}
+    for key in sorted(set(old_host) | set(new_host)):
+        if old_host.get(key) != new_host.get(key):
+            out[key] = {"old": old_host.get(key), "new": new_host.get(key)}
+    return out
+
+
 def compare_reports(old: dict, new: dict, *, fail_pct: float | None = None) -> dict:
     """Case-by-case wall-time comparison of two reports.
 
-    Returns ``{"rows": [...], "regressions": [...], "missing": [...]}``:
-    one row per case present in both reports with the percent change of
-    the wall-time median (positive = new is slower); cases exceeding
-    ``fail_pct`` land in ``regressions``.  Simulated-time drift is
-    reported per row (``sim_changed``) but never gates — a modelled-time
-    change is a semantic change to review, not host noise.
+    Returns ``{"rows": [...], "regressions": [...], "missing": [...],
+    "host_mismatch": {...}}``: one row per case present in both reports
+    with the percent change of the wall-time median (positive = new is
+    slower); cases exceeding ``fail_pct`` land in ``regressions``.
+    Simulated-time drift is reported per row (``sim_changed``) but never
+    gates — a modelled-time change is a semantic change to review, not
+    host noise.  ``host_mismatch`` (see :func:`host_mismatch`) is
+    non-empty when the two reports came from different python/numpy/
+    machine triples, in which case the wall-time deltas are
+    cross-environment and should be read as such.
     """
     old_rows = {row["case"]: row for row in old["results"]}
     rows, regressions, missing = [], [], []
@@ -207,4 +238,9 @@ def compare_reports(old: dict, new: dict, *, fail_pct: float | None = None) -> d
         rows.append(entry)
         if entry["regressed"]:
             regressions.append(entry)
-    return {"rows": rows, "regressions": regressions, "missing": missing}
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "missing": missing,
+        "host_mismatch": host_mismatch(old, new),
+    }

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.faults.policy import RetryPolicy
 from repro.faults.spec import FaultSpec
+from repro.obs.events import EVENTS
 from repro.obs.metrics import METRICS
 from repro.util.rng import resolve_rng
 
@@ -97,6 +98,8 @@ class FaultInjector:
         if METRICS.enabled:
             METRICS.inc("faults.crash.events")
             METRICS.set_gauge(f"faults.device.{device}.crashed_at_s", at)
+        if EVENTS.enabled:
+            EVENTS.emit("fault", fault="crash", device=device, sim_t=at)
 
     @property
     def dead_devices(self) -> tuple[str, ...]:
@@ -127,9 +130,15 @@ class FaultInjector:
             ):
                 self._stalls_fired.add(i)
                 total += f.stall_s
-        if total > 0 and METRICS.enabled:
-            METRICS.inc("faults.stall.events")
-            METRICS.inc("faults.stall.seconds", total)
+        if total > 0:
+            if METRICS.enabled:
+                METRICS.inc("faults.stall.events")
+                METRICS.inc("faults.stall.seconds", total)
+            if EVENTS.enabled:
+                EVENTS.emit(
+                    "fault", fault="dequeue_stall", device=device,
+                    stall_s=total, sim_t=now,
+                )
         return total
 
     # -- transient errors --------------------------------------------------
@@ -155,8 +164,11 @@ class FaultInjector:
             ):
                 self._transfer_errors += 1
                 attempts += 1
-        if attempts > 1 and METRICS.enabled:
-            METRICS.inc("faults.transfer.errors", attempts - 1)
+        if attempts > 1:
+            if METRICS.enabled:
+                METRICS.inc("faults.transfer.errors", attempts - 1)
+            if EVENTS.enabled:
+                EVENTS.emit("fault", fault="transfer_error", errors=attempts - 1)
         return attempts
 
     def unit_attempt_fails(self, device: str) -> bool:
@@ -169,5 +181,7 @@ class FaultInjector:
                 self._unit_errors += 1
                 if METRICS.enabled:
                     METRICS.inc("faults.unit.errors")
+                if EVENTS.enabled:
+                    EVENTS.emit("fault", fault="unit_error", device=device)
                 return True
         return False

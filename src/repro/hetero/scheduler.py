@@ -26,6 +26,7 @@ from repro.formats.coo import COOMatrix
 from repro.hardware.engine import EventEngine, EventHandle
 from repro.hardware.platform import HeteroPlatform
 from repro.hetero.workqueue import DoubleEndedWorkQueue, WorkUnit
+from repro.obs.events import EVENTS
 from repro.obs.metrics import METRICS
 from repro.util.errors import FaultError
 
@@ -202,7 +203,7 @@ def run_workqueue_phase(
             parked.discard(kind)
             _schedule(kind, max(engine.now, devices[kind].clock))
 
-    def _complete(kind: str, unit: WorkUnit, part: COOMatrix) -> None:
+    def _complete(kind: str, unit: WorkUnit, part: COOMatrix, sim_s: float) -> None:
         outcome.parts.append(part)
         outcome.completed += 1
         stolen_product = "AH_BL" if kind == "cpu" else "AL_BH"
@@ -223,6 +224,15 @@ def run_workqueue_phase(
         t["dequeues"] += 1
         t["rows"] += unit.nrows
         t["steals"] += int(stolen)
+        if METRICS.enabled:
+            METRICS.record("phase3.unit.sim_s", sim_s)
+        if EVENTS.enabled:
+            EVENTS.emit(
+                "unit_complete", device=kind, product=unit.product,
+                units=len(unit.members), rows=int(unit.nrows),
+                sim_t=devices[kind].clock, sim_s=sim_s,
+                stolen=stolen, failover=failover,
+            )
 
     def step(kind: str) -> None:
         device = devices[kind]
@@ -268,6 +278,12 @@ def run_workqueue_phase(
                 outcome.requeues += len(unit.members)
                 if METRICS.enabled:
                     METRICS.inc("faults.unit.lost_s", lost)
+                if EVENTS.enabled:
+                    EVENTS.emit(
+                        "unit_curtailed", device=kind, reason="crash",
+                        product=unit.product, units=len(unit.members),
+                        sim_t=crash_t, lost_s=lost,
+                    )
                 _kill(kind, crash_t)
                 _kick_survivors()
                 return
@@ -284,6 +300,12 @@ def run_workqueue_phase(
             deadline_parked.add(kind)
             if METRICS.enabled:
                 METRICS.inc("phase3.deadline.curtailed_units", len(unit.members))
+            if EVENTS.enabled:
+                EVENTS.emit(
+                    "unit_curtailed", device=kind, reason="deadline",
+                    product=unit.product, units=len(unit.members),
+                    sim_t=deadline_s,
+                )
             _kick_survivors()
             return
         if injector is not None:
@@ -316,12 +338,18 @@ def run_workqueue_phase(
                         METRICS.inc("faults.unit.timeouts")
                     METRICS.inc("faults.unit.lost_s", lost)
                     METRICS.inc("faults.retry.backoff_s", backoff)
+                if EVENTS.enabled:
+                    EVENTS.emit(
+                        "unit_retry", device=kind, reason=reason,
+                        product=unit.product, attempt=attempts[unit.index],
+                        backoff_s=backoff, lost_s=lost, sim_t=device.clock,
+                    )
                 _kick_survivors()
                 _schedule(kind, device.clock + backoff)
                 return
             # attempt budget exhausted: accept the run as completed —
             # forced completion guarantees progress under any schedule
-        _complete(kind, unit, part)
+        _complete(kind, unit, part, device.clock - t0)
         _schedule(kind, device.clock)
         if (
             max_units is not None
@@ -360,14 +388,24 @@ def run_workqueue_phase(
             f"{queue.remaining} work-unit(s) remaining"
         )
     queue.check_conservation()
-    if METRICS.enabled:
+    if METRICS.enabled or EVENTS.enabled:
         # starvation: simulated idle a device accumulates at the phase
         # barrier after its end of the queue drained first; meaningless
         # for a dead device (its clock froze at the crash)
         end = max(platform.cpu.clock, platform.gpu.clock)
-        for kind, device in devices.items():
-            if kind not in dead:
+        for kind in sorted(devices):
+            device = devices[kind]
+            alive = kind not in dead
+            if METRICS.enabled and alive:
                 METRICS.set_gauge(
                     f"phase3.workqueue.{kind}.starvation_s", end - device.clock
+                )
+            if EVENTS.enabled:
+                t = tallies[kind]
+                EVENTS.emit(
+                    "phase_complete", phase="III", device=kind,
+                    dequeues=t["dequeues"], rows=t["rows"], steals=t["steals"],
+                    dead=not alive, sim_t=device.clock,
+                    starvation_s=(end - device.clock) if alive else 0.0,
                 )
     return outcome

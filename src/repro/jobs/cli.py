@@ -49,14 +49,27 @@ def add_run_arguments(p: argparse.ArgumentParser) -> None:
                         "resumed and uninterrupted runs produce identical files)")
     p.add_argument("--export-metrics", metavar="PATH", default=None,
                    help="write the metrics snapshot as flat JSON")
+    p.add_argument("--export-events", metavar="PATH", default=None,
+                   help="record a repro-events/1 JSONL event log (stage "
+                        "begin/end, checkpoints, resumes, faults) with the "
+                        "job fingerprint as provenance; feed the directory "
+                        "to `python -m repro report`)")
+    p.add_argument("--run-label", metavar="LABEL", default=None,
+                   help="configuration label stamped into the event log "
+                        "(default: <matrix>@<scale>[+faults]); rows sharing "
+                        "a label form one group for `repro report --compare`")
     p.add_argument("--sigkill-after-checkpoints", type=int, default=None,
                    metavar="N", help=argparse.SUPPRESS)
 
 
 def run_job_command(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.analysis.runners import experiment_setup
     from repro.jobs.budget import parse_size
     from repro.jobs.runner import JobRunner
+    from repro.obs.events import event_log, host_info
+    from repro.obs.export import export_metrics as write_metrics_snapshot
     from repro.obs.metrics import METRICS
     from repro.obs.spans import observed
     from repro.util.errors import (
@@ -73,9 +86,10 @@ def run_job_command(args: argparse.Namespace) -> int:
 
     def export_metrics() -> None:
         if args.export_metrics:
-            with open(args.export_metrics, "w") as fh:
-                json.dump(METRICS.snapshot(), fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            write_metrics_snapshot(
+                args.export_metrics, METRICS,
+                context={"matrix": args.matrix, "scale": setup.scale},
+            )
             print(f"metrics snapshot written to {args.export_metrics}")
 
     try:
@@ -103,9 +117,31 @@ def run_job_command(args: argparse.Namespace) -> int:
         sigkill_after_checkpoints=args.sigkill_after_checkpoints,
         **setup.units,
     )
+    recording = (
+        event_log(
+            args.export_events,
+            run_id=f"run:{args.matrix}",
+            label=args.run_label or (
+                f"{args.matrix}@{setup.scale:g}"
+                + ("+faults" if fault_spec is not None else "")
+            ),
+            provenance={
+                "fingerprint": runner.fingerprint,
+                "host": host_info(),
+                "matrix": args.matrix,
+                "scale": setup.scale,
+                "faults": fault_spec.as_dict() if fault_spec else None,
+                "deadline_s": args.deadline,
+                "checkpoint_every": args.checkpoint_every or None,
+            },
+        )
+        if args.export_events
+        else nullcontext()
+    )
     with observed():
         try:
-            result = runner.run(resume=args.resume)
+            with recording:
+                result = runner.run(resume=args.resume)
         except ResourceExhausted as exc:
             export_metrics()
             return fail(exc, 1)

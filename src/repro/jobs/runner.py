@@ -36,6 +36,7 @@ import hashlib
 import json
 import os
 import signal
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable
 
@@ -52,6 +53,7 @@ from repro.hetero.partition import partition_rows
 from repro.hetero.scheduler import Phase3Carry, Phase3Outcome
 from repro.hetero.workqueue import DEFAULT_CPU_ROWS, DEFAULT_GPU_ROWS
 from repro.jobs.snapshot import find_resumable, write_checkpoint
+from repro.obs.events import EVENTS
 from repro.obs.metrics import METRICS
 from repro.util.errors import ResourceExhausted
 
@@ -192,13 +194,15 @@ class JobRunner:
         if found is None:
             st = algo.begin(self.a, self.b)
             self._seq = 0
-            algo.run_phase1(st)
+            with self._stage("phase1"):
+                algo.run_phase1(st)
             self._checkpoint("phase1", st)
             self._check_deadline("phase1")
-            algo.stage_operands(st)
-            algo.make_contexts(st)
-            algo.run_phase2(st)
-            algo.build_queue(st)
+            with self._stage("phase2"):
+                algo.stage_operands(st)
+                algo.make_contexts(st)
+                algo.run_phase2(st)
+                algo.build_queue(st)
             self._checkpoint("phase2", st)
             self._check_deadline("phase2")
             carry = None
@@ -206,16 +210,42 @@ class JobRunner:
             st, carry, stage = self._restore(algo, found)
             self._check_deadline(stage)
             if stage == "phase1":
-                algo.stage_operands(st)
-                algo.run_phase2(st)
-                algo.build_queue(st)
+                with self._stage("phase2"):
+                    algo.stage_operands(st)
+                    algo.run_phase2(st)
+                    algo.build_queue(st)
                 self._checkpoint("phase2", st)
                 self._check_deadline("phase2")
-        self._drain_phase3(st, carry)
-        result = algo.run_phase4(st)
+        with self._stage("phase3"):
+            self._drain_phase3(st, carry)
+        with self._stage("phase4"):
+            result = algo.run_phase4(st)
         if METRICS.enabled:
             METRICS.inc("jobs.run.completed")
+        if EVENTS.enabled:
+            EVENTS.emit(
+                "run_complete", sim_t=algo.platform.elapsed,
+                result_nnz=int(result.matrix.nnz),
+            )
         return result
+
+    @contextmanager
+    def _stage(self, stage: str):
+        """Bracket one pipeline stage with begin/end events and record
+        its simulated duration into the ``jobs.stage.sim_s`` histogram.
+
+        Stage durations come off the *simulated* platform clock
+        (``platform.elapsed``); the event log's own ``wall_t`` stamps
+        supply the wall-clock side, so the two domains never mix."""
+        t0 = self._algo.platform.elapsed
+        if EVENTS.enabled:
+            EVENTS.emit("stage_begin", stage=stage, sim_t=t0)
+        yield
+        t1 = self._algo.platform.elapsed
+        if METRICS.enabled:
+            METRICS.record("jobs.stage.sim_s", t1 - t0)
+        if EVENTS.enabled:
+            EVENTS.emit("stage_end", stage=stage, sim_t=t1, sim_s=t1 - t0)
 
     def _drain_phase3(self, st: HHCPURunState, carry: Phase3Carry | None) -> None:
         algo = self._algo
@@ -234,6 +264,13 @@ class JobRunner:
                 self._checkpoint("phase3", st)
                 if METRICS.enabled:
                     METRICS.inc("jobs.deadline.exhausted")
+                if EVENTS.enabled:
+                    EVENTS.emit(
+                        "deadline_exhausted", stage="phase3",
+                        deadline_s=self.deadline_s,
+                        sim_t=algo.platform.elapsed,
+                        remaining_units=int(st.queue.remaining),
+                    )
                 raise ResourceExhausted(
                     f"simulated deadline of {self.deadline_s}s spent with "
                     f"{st.queue.remaining} Phase III work-unit(s) remaining; "
@@ -254,6 +291,11 @@ class JobRunner:
         if elapsed >= self.deadline_s:
             if METRICS.enabled:
                 METRICS.inc("jobs.deadline.exhausted")
+            if EVENTS.enabled:
+                EVENTS.emit(
+                    "deadline_exhausted", stage=stage,
+                    deadline_s=self.deadline_s, sim_t=elapsed,
+                )
             raise ResourceExhausted(
                 f"simulated deadline of {self.deadline_s}s already spent "
                 f"after {stage} (elapsed {elapsed:.6g}s); job checkpointed — "
@@ -317,6 +359,11 @@ class JobRunner:
         )
         self._seq += 1
         self._written += 1
+        if EVENTS.enabled:
+            EVENTS.emit(
+                "checkpoint_write", stage=stage, ckpt_seq=self._seq - 1,
+                sim_t=pf.elapsed,
+            )
         if (
             self.sigkill_after_checkpoints is not None
             and self._written >= self.sigkill_after_checkpoints
@@ -384,4 +431,9 @@ class JobRunner:
         if METRICS.enabled:
             METRICS.inc("jobs.resume.count")
             METRICS.set_gauge("jobs.resume.from_seq", int(meta["seq"]))
+        if EVENTS.enabled:
+            EVENTS.emit(
+                "resume", stage=stage, from_seq=int(meta["seq"]),
+                sim_t=algo.platform.elapsed,
+            )
         return st, carry, stage

@@ -12,7 +12,9 @@ Importing this package populates :data:`repro.lint.base.REGISTRY`:
 - **FLT001** (:mod:`~repro.lint.rules.faults_rules`) — fault-injection
   randomness must flow through ``repro.util.rng``;
 - **CKP001** (:mod:`~repro.lint.rules.checkpoint_rules`) — checkpoint
-  serialisation only via the versioned ``repro.jobs.snapshot`` format.
+  serialisation only via the versioned ``repro.jobs.snapshot`` format;
+- **EVT001** (:mod:`~repro.lint.rules.events_rules`) — structured run
+  events only via ``repro.obs.events``, never hand-rolled JSONL writes.
 
 To add a rule: subclass :class:`repro.lint.base.Rule` in a module here,
 decorate it with :func:`repro.lint.base.register`, import the module
@@ -23,6 +25,7 @@ from repro.lint.rules import (
     checkpoint_rules,
     clock,
     determinism,
+    events_rules,
     faults_rules,
     metrics_rules,
     units_rules,
@@ -32,6 +35,7 @@ __all__ = [
     "checkpoint_rules",
     "clock",
     "determinism",
+    "events_rules",
     "faults_rules",
     "metrics_rules",
     "units_rules",

@@ -1,0 +1,78 @@
+"""EVT001 — structured events only through ``repro.obs.events``.
+
+The event log's guarantees (schema tag, monotonically numbered
+records, one clock-stamping site, byte-stable encoding) hold only if
+every record passes through :class:`repro.obs.events.EventLog`.  A
+hand-rolled ``json.dump`` or ``fh.write(json.dumps(...))`` inside the
+instrumented packages would mint records with no ``seq``, no schema,
+and its own timestamp convention — unparseable by the run-table
+aggregator and invisible to the ``enabled`` gate.  So JSON writes are
+confined to the sanctioned observability/serialisation modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import import_map, qualified_call_name
+from repro.lint.base import ModuleContext, RawFinding, Rule, register
+
+#: packages whose run-time records must flow through repro.obs.events
+_INSTRUMENTED = ("repro.jobs", "repro.faults", "repro.hetero",
+                 "repro.core", "repro.hardware")
+
+#: sanctioned serialisation module (CKP001's versioned checkpoint I/O
+#: legitimately encodes JSON headers inside the snapshot format)
+_SANCTIONED = ("repro.jobs.snapshot",)
+
+
+def _contains_json_dumps(node: ast.expr, imports: dict) -> bool:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and qualified_call_name(sub, imports) == "json.dumps"
+        ):
+            return True
+    return False
+
+
+@register
+class EVT001(Rule):
+    """Hand-rolled JSON/JSONL writes in instrumented code."""
+
+    id = "EVT001"
+    description = (
+        "run events in instrumented packages (repro.jobs/faults/hetero/"
+        "core/hardware) must be emitted through repro.obs.events — no "
+        "direct json.dump(...) and no fh.write(json.dumps(...)) outside "
+        "the sanctioned snapshot module"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        if not ctx.in_package(*_INSTRUMENTED) or ctx.in_package(*_SANCTIONED):
+            return
+        imports = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if qualified_call_name(node, imports) == "json.dump":
+                yield RawFinding(
+                    node.lineno, node.col_offset,
+                    "direct json.dump(...) in instrumented code; emit "
+                    "structured records through repro.obs.events.EVENTS "
+                    "(or export snapshots via repro.obs.export)",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "write"
+                and any(_contains_json_dumps(arg, imports) for arg in node.args)
+            ):
+                yield RawFinding(
+                    node.lineno, node.col_offset,
+                    "hand-rolled JSONL write (`.write(json.dumps(...))`) in "
+                    "instrumented code; emit structured records through "
+                    "repro.obs.events.EVENTS so they carry the schema tag, "
+                    "seq numbering, and clock stamps",
+                )

@@ -25,11 +25,13 @@ _KIND_OF_METHOD = {
     "gauge": "gauge",
     "observe": "timer",
     "timer": "timer",
+    "record": "histogram",
+    "histogram": "histogram",
 }
 
 #: methods that write (and therefore cost something when enabled);
 #: ``timer`` is excluded from MET002 because it gates internally
-_MUTATING_METHODS = frozenset({"inc", "set_gauge", "observe"})
+_MUTATING_METHODS = frozenset({"inc", "set_gauge", "observe", "record"})
 
 
 def _metrics_call(node: ast.expr) -> tuple[str, ast.Call] | None:
@@ -51,8 +53,8 @@ class MET001(Rule):
 
     id = "MET001"
     description = (
-        "every METRICS.inc/set_gauge/observe/timer name literal must be "
-        "declared in repro.obs.catalog (with the matching kind)"
+        "every METRICS.inc/set_gauge/observe/timer/record name literal "
+        "must be declared in repro.obs.catalog (with the matching kind)"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
@@ -105,7 +107,7 @@ class MET002(Rule):
 
     id = "MET002"
     description = (
-        "METRICS.inc/set_gauge/observe must sit behind an "
+        "METRICS.inc/set_gauge/observe/record must sit behind an "
         "`if METRICS.enabled:` gate (or an early-return guard) so "
         "argument evaluation is free when profiling is off"
     )

@@ -12,6 +12,11 @@ and work go?" — the question behind Fig 7's phase breakdown, the
   clock and real wall-clock self time;
 - :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
   Perfetto / ``chrome://tracing``) and flat ``metrics.json`` snapshots;
+- :mod:`repro.obs.events` — the append-only ``repro-events/1`` JSONL
+  flight recorder (per-run provenance header, numbered records);
+- :mod:`repro.obs.runtable` — the ``repro-runtable/1`` run-table
+  builder and statistical configuration comparator behind
+  ``python -m repro report`` (imported lazily from the CLI);
 - :mod:`repro.obs.profile` — the ``python -m repro profile`` driver
   (imported lazily: it depends on the analysis layer).
 
@@ -21,7 +26,8 @@ The shared :data:`METRICS` registry and :data:`SPANS` recorder start
 """
 
 from repro.obs.catalog import CATALOG, MetricSpec, declared_names, is_declared, spec_for
-from repro.obs.metrics import METRICS, MetricsRegistry, TimerStat
+from repro.obs.events import EVENTS, EventLog, event_log, host_info, read_events
+from repro.obs.metrics import METRICS, HistogramStat, MetricsRegistry, TimerStat
 from repro.obs.spans import SPANS, Span, SpanRecorder, observed
 from repro.obs.export import (
     chrome_trace,
@@ -39,11 +45,17 @@ __all__ = [
     "spec_for",
     "METRICS",
     "MetricsRegistry",
+    "HistogramStat",
     "TimerStat",
     "SPANS",
     "Span",
     "SpanRecorder",
     "observed",
+    "EVENTS",
+    "EventLog",
+    "event_log",
+    "host_info",
+    "read_events",
     "chrome_trace",
     "chrome_trace_events",
     "export_chrome_trace",

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 _KIND_COUNTER = "counter"
 _KIND_GAUGE = "gauge"
 _KIND_TIMER = "timer"
+_KIND_HISTOGRAM = "histogram"
 
 #: placeholder syntax inside a declared name: ``{word}``
 _PLACEHOLDER = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
@@ -68,6 +69,10 @@ def _t(name: str, unit: str, description: str) -> MetricSpec:
     return MetricSpec(name, _KIND_TIMER, unit, description)
 
 
+def _h(name: str, unit: str, description: str) -> MetricSpec:
+    return MetricSpec(name, _KIND_HISTOGRAM, unit, description)
+
+
 #: every metric the library may emit, sorted by name within subsystem
 CATALOG: tuple[MetricSpec, ...] = (
     # -- cost models -------------------------------------------------------
@@ -101,6 +106,7 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("phase3.failover.units", "units", "dequeues executed by a survivor after its peer died"),
     _c("phase3.failover.rows", "rows", "A-rows a survivor absorbed after its peer died"),
     _c("phase3.deadline.curtailed_units", "units", "work-units curtailed + requeued at the deadline"),
+    _h("phase3.unit.sim_s", "seconds", "simulated per-work-unit latency distribution in Phase III"),
     # -- fault injection & degradation -------------------------------------
     _c("faults.crash.events", "crashes", "device crashes observed by the scheduler"),
     _g("faults.device.{device}.crashed_at_s", "seconds", "simulated time a device died"),
@@ -145,6 +151,7 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("bench.repeats", "runs", "timed repeats across all bench cases"),
     _c("bench.verifications", "checks", "bit-identity verifications against the scipy oracle"),
     _t("bench.case.{case}.wall_s", "seconds", "host wall clock per timed repeat of one case"),
+    _h("bench.case.{case}.wall_hist_s", "seconds", "host wall-clock distribution (exact percentiles) per case"),
     _g("bench.case.{case}.sim_time_s", "seconds", "modelled platform time of an end-to-end case"),
     # -- durable job runner ------------------------------------------------
     _c("jobs.budget.phase2_chunks", "chunks", "budgeted Phase II row-chunk launches"),
@@ -155,6 +162,7 @@ CATALOG: tuple[MetricSpec, ...] = (
     _g("jobs.resume.from_seq", "seq", "sequence number of the checkpoint a run resumed from"),
     _c("jobs.run.completed", "runs", "durable jobs that ran to completion"),
     _c("jobs.deadline.exhausted", "events", "jobs stopped (checkpointed) at the deadline budget"),
+    _h("jobs.stage.sim_s", "seconds", "simulated per-stage latency distribution of a durable job"),
 )
 
 _COMPILED: tuple[tuple[re.Pattern, MetricSpec], ...] = tuple(

@@ -7,12 +7,17 @@ group naturally by subsystem; aggregation is in-process and
 zero-dependency, and :meth:`MetricsRegistry.snapshot` is deterministic
 (sorted names) so exports can be diffed across runs.
 
-Three kinds, mirroring the usual statsd/Prometheus trio:
+Four kinds — the usual statsd/Prometheus trio plus histograms:
 
 - **counter** — monotonically accumulated value (``inc``);
 - **gauge** — last-written value (``set_gauge``);
 - **timer** — a duration distribution: count/total/min/max (``observe``
-  or the :meth:`MetricsRegistry.timer` context manager).
+  or the :meth:`MetricsRegistry.timer` context manager);
+- **histogram** — a sample distribution with a *fixed* log-spaced
+  bucket layout (quarter-decade boundaries ``10^(k/4)``) plus exact
+  p50/p95/p99 computed from the recorded samples (``record``).  The
+  layout is a module constant, never adapted to the data, so two runs
+  that record the same samples snapshot byte-identically.
 
 A name is bound to the kind of its first use; re-using it as another
 kind raises :class:`~repro.util.errors.MetricError` — silent kind
@@ -28,15 +33,61 @@ METRICS.enabled:`` so even argument evaluation is skipped.
 from __future__ import annotations
 
 import json
+import math
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.util.errors import MetricError
 
 _KIND_COUNTER = "counter"
 _KIND_GAUGE = "gauge"
 _KIND_TIMER = "timer"
+_KIND_HISTOGRAM = "histogram"
+
+#: fixed histogram bucket layout: bucket ``k`` holds samples in
+#: ``(10^((k-1)/q), 10^(k/q)]`` with ``q`` boundaries per decade.  The
+#: layout is a constant of the schema — adaptive layouts would make
+#: snapshots depend on sample order and break byte-identity.
+HIST_BUCKETS_PER_DECADE = 4
+
+#: bucket key for samples the log layout cannot place (``value <= 0``)
+HIST_NONPOSITIVE_KEY = "nonpositive"
+
+#: the percentiles every histogram snapshot reports, exactly
+HIST_PERCENTILES = (50, 95, 99)
+
+
+def bucket_index(value: float) -> int:
+    """The fixed log-layout bucket a positive sample falls in.
+
+    Bucket ``k`` covers ``(10^((k-1)/q), 10^(k/q)]``; e.g. with
+    ``q = 4``, ``1.0`` lands in bucket 0 and ``1.1`` in bucket 1.
+    """
+    if value <= 0:
+        raise ValueError(f"log buckets hold positive samples only, got {value!r}")
+    k = math.ceil(HIST_BUCKETS_PER_DECADE * math.log10(value))
+    # float log can land one bucket off at exact boundaries; nudge back
+    while 10 ** ((k - 1) / HIST_BUCKETS_PER_DECADE) >= value:
+        k -= 1
+    while 10 ** (k / HIST_BUCKETS_PER_DECADE) < value:
+        k += 1
+    return k
+
+
+def exact_percentile(sorted_samples: list[float], q: float) -> float:
+    """Exact ``q``-th percentile (linear interpolation, numpy default).
+
+    ``sorted_samples`` must already be ascending; empty input yields 0.
+    """
+    n = len(sorted_samples)
+    if n == 0:
+        return 0.0
+    rank = (q / 100.0) * (n - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return sorted_samples[lo] + (sorted_samples[hi] - sorted_samples[lo]) * frac
 
 
 @dataclass
@@ -68,6 +119,66 @@ class TimerStat:
         }
 
 
+@dataclass
+class HistogramStat:
+    """Sample distribution for one histogram name.
+
+    Keeps the raw samples (runs here are short; exact percentiles beat
+    approximate ones for the run-table statistics built on top) and
+    derives the fixed log-bucket counts and exact percentiles at
+    snapshot time, so recording stays one list append.
+    """
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.samples)
+
+    def percentile(self, q: float) -> float:
+        return exact_percentile(sorted(self.samples), q)
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Fixed-layout bucket counts keyed by the decimal bucket index
+        (upper bound ``10^(k/4)``); non-positive samples go under
+        :data:`HIST_NONPOSITIVE_KEY`."""
+        counts: dict[int, int] = {}
+        nonpositive = 0
+        for v in self.samples:
+            if v <= 0:
+                nonpositive += 1
+            else:
+                k = bucket_index(v)
+                counts[k] = counts.get(k, 0) + 1
+        out = {str(k): counts[k] for k in sorted(counts)}
+        if nonpositive:
+            out[HIST_NONPOSITIVE_KEY] = nonpositive
+        return out
+
+    def as_dict(self) -> dict:
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        out = {
+            "count": n,
+            "total": math.fsum(ordered),
+            "mean": math.fsum(ordered) / n if n else 0.0,
+            "min": ordered[0] if n else 0.0,
+            "max": ordered[-1] if n else 0.0,
+            "layout": f"log10/{HIST_BUCKETS_PER_DECADE}",
+            "buckets": self.bucket_counts(),
+        }
+        for q in HIST_PERCENTILES:
+            out[f"p{q}"] = exact_percentile(ordered, q)
+        return out
+
+
 class MetricsRegistry:
     """Hierarchically-named counters, gauges, and timers.
 
@@ -92,6 +203,7 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._timers: dict[str, TimerStat] = {}
+        self._histograms: dict[str, HistogramStat] = {}
         self._kinds: dict[str, str] = {}
 
     # -- bookkeeping -------------------------------------------------------
@@ -130,6 +242,7 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._timers.clear()
+        self._histograms.clear()
         self._kinds.clear()
 
     # -- counters ----------------------------------------------------------
@@ -174,6 +287,17 @@ class MetricsRegistry:
         finally:
             self.observe(name, time.perf_counter() - start)
 
+    # -- histograms --------------------------------------------------------
+    def record(self, name: str, value: float) -> None:
+        """Record one sample into the histogram ``name``."""
+        if not self.enabled:
+            return
+        self._bind(name, _KIND_HISTOGRAM)
+        self._histograms.setdefault(name, HistogramStat()).record(float(value))
+
+    def histogram(self, name: str) -> HistogramStat | None:
+        return self._histograms.get(name)
+
     # -- export ------------------------------------------------------------
     def snapshot(self) -> dict:
         """Deterministic (name-sorted) plain-dict view of every metric."""
@@ -181,6 +305,9 @@ class MetricsRegistry:
             "counters": {k: self._counters[k] for k in sorted(self._counters)},
             "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
             "timers": {k: self._timers[k].as_dict() for k in sorted(self._timers)},
+            "histograms": {
+                k: self._histograms[k].as_dict() for k in sorted(self._histograms)
+            },
         }
 
     def to_json(self, *, indent: int = 2) -> str:

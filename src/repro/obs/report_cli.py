@@ -1,0 +1,101 @@
+"""``python -m repro report`` — aggregate run artifacts into a run table.
+
+    python -m repro report artifacts/                    # write run_table.csv
+    python -m repro report artifacts/ --out table.csv --format json
+    python -m repro report artifacts/ --compare cfgA cfgB --metric sim_total_s
+
+Scans a directory for ``repro-events/1`` JSONL logs, ``repro-bench/1``
+reports, and ``repro-metrics/1`` snapshots; writes the
+``repro-runtable/1`` CSV (one row per (run, repetition)) and prints a
+markdown (or JSON) summary.  ``--compare A B`` runs the statistical
+configuration comparator (median delta, bootstrap CI, fixed-seed
+permutation test) on two config labels.
+
+Exit codes mirror ``check``/``bench``: 0 clean (no significant
+difference), 1 the comparator found a significant difference, 2 usage
+(missing directory, no artifacts, unknown label/metric).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.util.rng import DEFAULT_SEED
+
+
+def add_report_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("artifacts", metavar="DIR",
+                   help="directory holding event logs (*.jsonl), bench "
+                        "reports, and metrics snapshots (*.json)")
+    p.add_argument("--out", metavar="PATH", default="run_table.csv",
+                   help="run-table CSV path (default run_table.csv)")
+    p.add_argument("--compare", nargs=2, metavar=("A", "B"), default=None,
+                   help="compare two configuration labels (run-table "
+                        "'config' values); exit 1 on a significant "
+                        "difference")
+    p.add_argument("--metric", default="sim_total_s", metavar="COL",
+                   help="run-table column the comparator tests "
+                        "(default sim_total_s: deterministic across "
+                        "identical-seed runs, unlike wall time)")
+    p.add_argument("--format", choices=("md", "json"), default="md",
+                   help="summary format printed to stdout (default md)")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                   help="seed for the bootstrap/permutation draws "
+                        f"(default {DEFAULT_SEED})")
+    p.add_argument("--alpha", type=float, default=0.05,
+                   help="significance level for the permutation test "
+                        "(default 0.05)")
+
+
+def run_report_command(args: argparse.Namespace) -> int:
+    from repro.obs.runtable import (
+        build_run_table,
+        compare_tables,
+        render_markdown,
+        write_run_table,
+    )
+
+    directory = Path(args.artifacts)
+    if not directory.is_dir():
+        print(f"report: {directory} is not a directory")
+        return 2
+    table = build_run_table(directory)
+    if not table["rows"]:
+        print(f"report: no run artifacts found under {directory}")
+        for rel, reason in table["skipped"]:
+            print(f"  skipped {rel}: {reason}")
+        return 2
+
+    comparison = None
+    if args.compare is not None:
+        a_label, b_label = args.compare
+        try:
+            comparison = compare_tables(
+                table["rows"], a_label, b_label,
+                metric=args.metric, seed=args.seed, alpha=args.alpha,
+            )
+        except ValueError as exc:
+            print(f"report: {exc}")
+            return 2
+
+    write_run_table(table["rows"], args.out)
+    if args.format == "json":
+        doc = {
+            "schema": "repro-runtable/1",
+            "rows": table["rows"],
+            "files": table["files"],
+            "skipped": [list(s) for s in table["skipped"]],
+        }
+        if comparison is not None:
+            doc["comparison"] = comparison
+        # stdout stays pure JSON for machine consumers; status to stderr
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        print(f"run table written to {args.out} ({len(table['rows'])} rows)",
+              file=sys.stderr)
+    else:
+        print(render_markdown(table, comparison))
+        print(f"run table written to {args.out} ({len(table['rows'])} rows)")
+    return 1 if comparison is not None and comparison["significant"] else 0

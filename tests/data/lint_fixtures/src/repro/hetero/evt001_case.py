@@ -1,0 +1,7 @@
+"""Fixture: exactly one EVT001 violation (hand-rolled JSONL event write)."""
+
+import json
+
+
+def emit_badly(fh, record):
+    fh.write(json.dumps(record) + "\n")

@@ -72,6 +72,10 @@ def test_run_case_emits_schema_row_and_verifies():
     assert row["wall_s"]["repeats"] == 2
     assert row["wall_s"]["median"] > 0
     assert row["wall_s"]["min"] <= row["wall_s"]["median"] <= row["wall_s"]["max"]
+    # raw per-repeat samples for the run-table aggregator, in run order
+    samples = row["wall_s"]["samples"]
+    assert len(samples) == 2 and all(s > 0 for s in samples)
+    assert sorted(samples)[0] == row["wall_s"]["min"]
 
 
 def test_end_to_end_case_separates_sim_from_wall():
@@ -121,6 +125,7 @@ def test_bench_metrics_are_declared_and_emitted():
     assert snap["counters"]["bench.repeats"] == 2
     assert snap["counters"]["bench.verifications"] == 1
     assert snap["timers"]["bench.case.esc-uniform-sm.wall_s"]["count"] == 2
+    assert snap["histograms"]["bench.case.esc-uniform-sm.wall_hist_s"]["count"] == 2
 
 
 # -- the regression comparator ---------------------------------------------
@@ -168,6 +173,19 @@ def test_compare_reports_tracks_sim_time_drift_without_gating():
     assert not cmp["regressions"]
 
 
+def test_compare_reports_detects_host_mismatch():
+    old = _fake_report([("a", 0.100, None)])
+    new = _fake_report([("a", 0.100, None)])
+    old["host"] = {"python": "3.11.9", "numpy": "1.26.4", "machine": "x86_64"}
+    new["host"] = {"python": "3.12.1", "numpy": "1.26.4", "machine": "aarch64"}
+    cmp = compare_reports(old, new)
+    assert set(cmp["host_mismatch"]) == {"python", "machine"}
+    assert cmp["host_mismatch"]["python"] == {"old": "3.11.9", "new": "3.12.1"}
+    # identical hosts report nothing
+    new["host"] = dict(old["host"])
+    assert compare_reports(old, new)["host_mismatch"] == {}
+
+
 # -- CLI -------------------------------------------------------------------
 
 def test_cli_list_and_usage_errors(capsys):
@@ -200,6 +218,43 @@ def test_cli_bench_run_compare_and_regression_gate(tmp_path, capsys,
                        "--compare", str(out1),
                        "--fail-on-regress", "25"]) == 1
     assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_cli_compare_warns_on_host_mismatch(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out1 = tmp_path / "BENCH_base.json"
+    assert repro_main(["bench", "--filter", "esc-uniform", "--repeats", "1",
+                       "--warmup", "0", "--out", str(out1)]) == 0
+    # forge a baseline from a different interpreter/architecture
+    base = json.loads(out1.read_text())
+    base["host"] = {"python": "3.10.0", "numpy": "1.24.0", "machine": "other"}
+    out1.write_text(json.dumps(base))
+    capsys.readouterr()
+    assert repro_main(["bench", "--filter", "esc-uniform", "--repeats", "1",
+                       "--warmup", "0", "--out", str(tmp_path / "b2.json"),
+                       "--compare", str(out1)]) == 0
+    out = capsys.readouterr().out
+    assert "WARNING: host metadata differs" in out
+    assert "machine: baseline 'other'" in out
+
+
+def test_cli_bench_export_events(tmp_path, capsys, monkeypatch):
+    from repro.obs.events import read_events
+
+    monkeypatch.chdir(tmp_path)
+    events_path = tmp_path / "bench_events.jsonl"
+    assert repro_main(["bench", "--filter", "esc-uniform", "--repeats", "2",
+                       "--warmup", "0", "--out", str(tmp_path / "b.json"),
+                       "--export-events", str(events_path)]) == 0
+    assert "event log written to" in capsys.readouterr().out
+    header, records = read_events(events_path)
+    assert header["run_id"].startswith("bench:")
+    assert header["provenance"]["config"]["repeats"] == 2
+    repeats = [r for r in records if r["event"] == "repeat"]
+    assert [r["repetition"] for r in repeats] == [0, 1]
+    ends = [r for r in records if r["event"] == "case_end"]
+    assert len(ends) == 1 and ends[0]["verified"] is True
+    assert records[-1]["status"] == "ok"
 
 
 # -- the headline acceptance criterion -------------------------------------

@@ -1,8 +1,10 @@
 """Tests for the ``python -m repro`` experiment CLI."""
 
+import re
+
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import build_parser, command_summaries, main
 
 
 class TestParser:
@@ -11,6 +13,26 @@ class TestParser:
         out = capsys.readouterr().out
         for command in ("profile", "check", "multiply", "table1"):
             assert command in out
+
+    def test_no_command_lists_every_registered_subcommand(self, capsys):
+        """The listing is generated from the registered subparsers; the
+        printed names must match them exactly — a new subcommand can
+        never be missing, a removed one can never linger."""
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        body = out.split("commands:", 1)[1]
+        printed = [
+            m.group(1)
+            for line in body.splitlines()
+            if (m := re.match(r"  (\S+)\s+\S", line))
+        ]
+        registered = [name for name, _ in command_summaries(build_parser())]
+        assert printed == registered
+        assert "report" in printed and "bench" in printed and "run" in printed
+        # every line carries a one-line description
+        assert all(
+            help_text for _, help_text in command_summaries(build_parser())
+        )
 
     def test_unknown_command_exits_with_usage(self, capsys):
         with pytest.raises(SystemExit) as exc:

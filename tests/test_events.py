@@ -1,0 +1,220 @@
+"""Tests for the structured event log (:mod:`repro.obs.events`).
+
+Covers: the JSONL round-trip (header, seq numbering, run_end status),
+the disabled-by-default no-op contract, reserved-field rejection, the
+``event_log`` context manager's exception status, ``read_events``
+validation of truncated/foreign files, and the instrumented emit sites
+end to end — a fault-injected profile and a checkpointed job run each
+leave a parseable ``repro-events/1`` log with the expected events.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.obs.events import (
+    EVENTS,
+    SCHEMA,
+    EventLog,
+    event_log,
+    host_info,
+    read_events,
+)
+from repro.util.errors import MetricError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLE_SPEC = REPO_ROOT / "examples" / "faults_crash_gpu.json"
+
+
+@pytest.fixture(autouse=True)
+def _closed_global_log():
+    """Never leak an open global event log into other tests."""
+    yield
+    EVENTS.close()
+
+
+class TestEventLog:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = EventLog()
+        log.open(path, run_id="r1", label="cfgA", provenance={"seed": 7})
+        log.emit("stage_begin", stage="phase1", sim_t=0.0)
+        log.emit("stage_end", stage="phase1", sim_t=0.5, sim_s=0.5)
+        log.close()
+
+        header, records = read_events(path)
+        assert header["schema"] == SCHEMA
+        assert header["run_id"] == "r1" and header["label"] == "cfgA"
+        assert header["provenance"] == {"seed": 7}
+        assert [r["event"] for r in records] == [
+            "stage_begin", "stage_end", "run_end",
+        ]
+        assert records[-1]["status"] == "ok"
+        # wall_t is monotone non-decreasing across the log
+        walls = [header["wall_t"]] + [r["wall_t"] for r in records]
+        assert walls == sorted(walls)
+
+    def test_lines_are_compact_sorted_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = EventLog()
+        log.open(path, run_id="r1")
+        log.emit("x", beta=2, alpha=1)
+        log.close()
+        line = path.read_text().splitlines()[1]
+        assert ": " not in line and ", " not in line
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_disabled_and_closed_emit_is_noop(self, tmp_path):
+        log = EventLog()
+        log.emit("ghost")  # never opened
+        path = tmp_path / "run.jsonl"
+        log.open(path, run_id="r1")
+        log.enabled = False
+        log.emit("ghost")
+        log.enabled = True
+        log.close()
+        log.emit("ghost")  # closed
+        _, records = read_events(path)
+        assert [r["event"] for r in records] == ["run_end"]
+
+    def test_double_open_rejected(self, tmp_path):
+        log = EventLog()
+        log.open(tmp_path / "a.jsonl", run_id="r1")
+        with pytest.raises(MetricError, match="already open"):
+            log.open(tmp_path / "b.jsonl", run_id="r2")
+        log.close()
+
+    def test_reserved_fields_rejected(self, tmp_path):
+        log = EventLog()
+        log.open(tmp_path / "a.jsonl", run_id="r1")
+        with pytest.raises(MetricError, match="reserved"):
+            log.emit("x", seq=3)
+        with pytest.raises(MetricError, match="reserved"):
+            log.emit("x", wall_t=1.0)
+        log.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        log = EventLog()
+        log.open(path, run_id="r1")
+        log.close()
+        log.close()
+        assert len(path.read_text().splitlines()) == 2  # header + run_end
+
+    def test_numpy_values_serialise(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        log = EventLog()
+        log.open(path, run_id="r1")
+        log.emit("x", n=np.int64(3), t=np.float64(0.5), v=np.arange(2))
+        log.close()
+        _, records = read_events(path)
+        assert records[0]["n"] == 3 and records[0]["t"] == 0.5
+        assert records[0]["v"] == [0, 1]
+
+
+class TestEventLogContextManager:
+    def test_clean_run_status_ok(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        with event_log(path, run_id="r1") as log:
+            assert log is EVENTS and EVENTS.enabled
+            log.emit("work")
+        assert not EVENTS.enabled
+        _, records = read_events(path)
+        assert [r["event"] for r in records] == ["run_begin", "work", "run_end"]
+        assert records[-1]["status"] == "ok"
+
+    def test_exception_recorded_as_status(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        with pytest.raises(RuntimeError):
+            with event_log(path, run_id="r1"):
+                raise RuntimeError("boom")
+        _, records = read_events(path)
+        assert records[-1]["event"] == "run_end"
+        assert records[-1]["status"] == "RuntimeError"
+
+
+class TestReadEventsValidation:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event":"x","seq":0,"wall_t":0.0}\n')
+        with pytest.raises(ValueError, match="missing header"):
+            read_events(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"event":"header","schema":"other/9","run_id":"r",'
+            '"seq":0,"wall_t":0.0}\n'
+        )
+        with pytest.raises(ValueError, match="unsupported event schema"):
+            read_events(path)
+
+    def test_seq_gap_detected(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        log = EventLog()
+        log.open(path, run_id="r1")
+        log.emit("a")
+        log.emit("b")
+        log.close()
+        lines = path.read_text().splitlines()
+        del lines[2]  # drop record b: run_end's seq now gaps
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="seq gap"):
+            read_events(path)
+
+
+class TestHostInfo:
+    def test_triple(self):
+        info = host_info()
+        assert set(info) == {"python", "numpy", "machine"}
+        assert info["numpy"] == np.__version__
+
+
+class TestInstrumentedEmitSites:
+    def test_faulted_profile_exports_events(self, tmp_path, capsys):
+        path = tmp_path / "profile.jsonl"
+        rc = main([
+            "profile", "wiki-Vote", "--scale", "0.01",
+            "--faults", str(EXAMPLE_SPEC),
+            "--export-events", str(path),
+            "--run-label", "cfg-faulty",
+        ])
+        assert rc == 0
+        assert "event log written to" in capsys.readouterr().out
+        header, records = read_events(path)
+        assert header["run_id"] == "profile:wiki-Vote:hh-cpu"
+        assert header["label"] == "cfg-faulty"
+        assert header["provenance"]["host"] == host_info()
+        kinds = {r["event"] for r in records}
+        assert {"run_begin", "unit_complete", "phase_complete",
+                "fault", "run_end"} <= kinds
+        faults = [r for r in records if r["event"] == "fault"]
+        assert any(f["fault"] == "crash" for f in faults)
+        # CLK001 discipline: simulated stamps ride in sim_t, never wall_t
+        for r in records:
+            if r["event"] == "unit_complete":
+                assert "sim_t" in r and "sim_s" in r and "wall_t" in r
+
+    def test_checkpointed_run_exports_events(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "run.jsonl"
+        rc = main([
+            "run", "wiki-Vote", "--scale", "0.01",
+            "--checkpoint-dir", "ck", "--checkpoint-every", "2",
+            "--export-events", str(path),
+        ])
+        assert rc == 0
+        header, records = read_events(path)
+        assert header["run_id"] == "run:wiki-Vote"
+        assert "fingerprint" in header["provenance"]
+        stages = [r["stage"] for r in records if r["event"] == "stage_begin"]
+        assert stages == ["phase1", "phase2", "phase3", "phase4"]
+        ends = [r["stage"] for r in records if r["event"] == "stage_end"]
+        assert ends == stages
+        assert any(r["event"] == "checkpoint_write" for r in records)
+        assert records[-1]["status"] == "ok"
+        assert any(r["event"] == "run_complete" for r in records)

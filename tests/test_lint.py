@@ -23,7 +23,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "data" / "lint_fixtures"
 GOLDEN = REPO_ROOT / "tests" / "data" / "lint_golden.json"
 
-ALL_RULE_IDS = {"DET001", "DET002", "CLK001", "CKP001", "FLT001", "MET001", "MET002", "UNIT001"}
+ALL_RULE_IDS = {"DET001", "DET002", "CLK001", "CKP001", "EVT001", "FLT001",
+                "MET001", "MET002", "UNIT001"}
 
 
 def lint_fixtures(**kwargs):
@@ -67,7 +68,7 @@ class TestFixtures:
     def test_every_rule_fires(self):
         result = lint_fixtures()
         assert {f.rule for f in result.findings} == ALL_RULE_IDS
-        assert result.errors == len(result.findings) == 10  # CLK001 + CKP001 fire twice
+        assert result.errors == len(result.findings) == 11  # CLK001 + CKP001 fire twice
         assert not result.ok
 
     def test_cli_exits_nonzero_on_fixture_tree(self, capsys):
@@ -81,7 +82,7 @@ class TestFixtures:
     def test_json_document_shape(self):
         doc = json_document(lint_fixtures())
         assert doc["schema"] == "repro-lint/1"
-        assert doc["summary"]["errors"] == 10
+        assert doc["summary"]["errors"] == 11
         for finding in doc["findings"]:
             assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
 
@@ -298,6 +299,37 @@ class TestRuleDetails:
         boundary = lint_snippet(tmp_path, src, package="repro/analysis", name="rpt.py")
         assert not boundary.findings
 
+    def test_evt001_json_dump_in_instrumented_code(self, tmp_path):
+        src = (
+            "import json\n\n"
+            "def save(record, fh):\n"
+            "    json.dump(record, fh)\n"
+        )
+        result = lint_snippet(tmp_path, src, package="repro/jobs")
+        assert [f.rule for f in result.findings] == ["EVT001"]
+
+    def test_evt001_snapshot_module_is_sanctioned(self, tmp_path):
+        src = (
+            "import json\n\n"
+            "def encode(meta, fh):\n"
+            "    fh.write(json.dumps(meta) + '\\n')\n"
+        )
+        inside = lint_snippet(tmp_path, src, package="repro/jobs",
+                              name="snapshot.py")
+        assert not inside.findings
+        outside = lint_snippet(tmp_path, src, package="repro/analysis",
+                               name="rpt2.py")
+        assert not outside.findings
+
+    def test_evt001_plain_dumps_is_fine(self, tmp_path):
+        src = (
+            "import json\n\n"
+            "def fingerprint(config):\n"
+            "    return json.dumps(config, sort_keys=True)\n"
+        )
+        result = lint_snippet(tmp_path, src, package="repro/jobs")
+        assert not result.findings
+
     def test_syntax_error_is_reported_not_raised(self, tmp_path):
         result = lint_snippet(tmp_path, "def broken(:\n", package="repro/analysis")
         assert [f.rule for f in result.findings] == ["SYNTAX"]
@@ -322,4 +354,4 @@ class TestCheckCli:
         assert main(["check", str(FIXTURES), "--baseline", str(path),
                      "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["summary"]["baselined"] == 10 and doc["findings"] == []
+        assert doc["summary"]["baselined"] == 11 and doc["findings"] == []

@@ -20,6 +20,11 @@ class TestCatalog:
         assert is_declared("kernels.esc.flops", "counter")
         assert is_declared("trace.makespan_s", "gauge")
         assert is_declared("profile.run_wall_s", "timer")
+        assert is_declared("phase3.unit.sim_s", "histogram")
+        assert is_declared("jobs.stage.sim_s", "histogram")
+
+    def test_histogram_families_resolve(self):
+        assert is_declared("bench.case.spmm_smoke.wall_hist_s", "histogram")
 
     def test_placeholder_families_resolve(self):
         assert is_declared("quadrant.AH_BH.tuples", "counter")
@@ -57,7 +62,7 @@ class TestCatalog:
     def test_specs_are_well_formed(self):
         assert len({s.name for s in CATALOG}) == len(CATALOG)
         for spec in CATALOG:
-            assert spec.kind in ("counter", "gauge", "timer")
+            assert spec.kind in ("counter", "gauge", "timer", "histogram")
             assert spec.unit and spec.description
 
     def test_declared_names_sorted(self):
@@ -79,6 +84,8 @@ class TestSingleSourceOfTruth:
                 reg.inc(concrete)
             elif spec.kind == "gauge":
                 reg.set_gauge(concrete, 1.0)
+            elif spec.kind == "histogram":
+                reg.record(concrete, 1e-3)
             else:
                 reg.observe(concrete, 1e-3)
 
@@ -126,7 +133,8 @@ class TestProfiledRunIsDeclared:
             METRICS.validate = False
         snapshot = report.snapshot
         for section, kind in (
-            ("counters", "counter"), ("gauges", "gauge"), ("timers", "timer")
+            ("counters", "counter"), ("gauges", "gauge"), ("timers", "timer"),
+            ("histograms", "histogram"),
         ):
             for name in snapshot[section]:
                 assert is_declared(name, kind), name
@@ -163,7 +171,8 @@ class TestProfiledRunIsDeclared:
         assert counters.get("faults.crash.events") == 1
         assert counters.get("phase3.failover.units", 0) > 0
         for section, kind in (
-            ("counters", "counter"), ("gauges", "gauge"), ("timers", "timer")
+            ("counters", "counter"), ("gauges", "gauge"), ("timers", "timer"),
+            ("histograms", "histogram"),
         ):
             for name in report.snapshot[section]:
                 assert is_declared(name, kind), name

@@ -66,6 +66,47 @@ class TestMetricsRegistry:
             pass
         assert m.snapshot()["timers"]["block"]["count"] == 1
 
+    def test_histogram_snapshot(self):
+        m = MetricsRegistry()
+        for v in (0.004, 0.002, 0.008, 0.001, 0.016):
+            m.record("h", v)
+        snap = m.snapshot()["histograms"]["h"]
+        assert snap["count"] == 5
+        assert snap["min"] == pytest.approx(0.001)
+        assert snap["max"] == pytest.approx(0.016)
+        assert snap["p50"] == pytest.approx(0.004)
+        assert snap["layout"] == "log10/4"
+        assert sum(snap["buckets"].values()) == 5
+
+    def test_histogram_fixed_buckets(self):
+        from repro.obs.metrics import bucket_index
+
+        # bucket k covers (10^((k-1)/4), 10^(k/4)] -- exact boundaries
+        # land in the bucket they bound from above
+        assert bucket_index(1.0) == 0
+        assert bucket_index(10.0) == 4
+        assert bucket_index(10.0 ** 0.25) == 1
+        assert bucket_index(1.0001) == 1
+        assert bucket_index(0.1) == -4
+        with pytest.raises(ValueError):
+            bucket_index(0.0)
+
+    def test_histogram_nonpositive_samples_bucketed_separately(self):
+        m = MetricsRegistry()
+        m.record("h", 0.0)
+        m.record("h", 1.0)
+        snap = m.snapshot()["histograms"]["h"]
+        assert snap["buckets"]["nonpositive"] == 1
+        assert snap["count"] == 2
+
+    def test_histogram_snapshot_byte_identical_across_orders(self):
+        m1, m2 = MetricsRegistry(), MetricsRegistry()
+        for v in (0.3, 0.1, 0.2):
+            m1.record("h", v)
+        for v in (0.2, 0.3, 0.1):
+            m2.record("h", v)
+        assert m1.to_json() == m2.to_json()
+
     def test_kind_collision_rejected(self):
         m = MetricsRegistry()
         m.inc("name")
@@ -73,6 +114,8 @@ class TestMetricsRegistry:
             m.set_gauge("name", 1.0)
         with pytest.raises(MetricError):
             m.observe("name", 1.0)
+        with pytest.raises(MetricError):
+            m.record("name", 1.0)
 
     def test_empty_name_rejected(self):
         with pytest.raises(MetricError):
@@ -83,8 +126,10 @@ class TestMetricsRegistry:
         m.inc("c")
         m.set_gauge("g", 1.0)
         m.observe("t", 1.0)
+        m.record("h", 1.0)
         snap = m.snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "timers": {}}
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {},
+                        "timers": {}}
 
     def test_snapshot_deterministic_across_insert_order(self):
         m1, m2 = MetricsRegistry(), MetricsRegistry()
@@ -234,7 +279,8 @@ class TestInstrumentationGating:
         METRICS.reset()
         a = powerlaw_matrix(300, alpha=2.5, target_nnz=1_500, hub_bias=0.5, rng=11)
         hhcpu_multiply(a, a)
-        assert METRICS.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+        assert METRICS.snapshot() == {"counters": {}, "gauges": {},
+                                      "histograms": {}, "timers": {}}
         assert SPANS.spans == []
 
     def test_hhcpu_records_required_metrics_when_enabled(self):

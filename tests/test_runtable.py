@@ -1,0 +1,335 @@
+"""Tests for the run-table aggregator and comparator (:mod:`repro.obs.runtable`).
+
+Covers: the golden-file contract (a canned artifact directory must
+render to an exactly committed ``repro-runtable/1`` CSV, byte for
+byte), per-source row extraction, (run, repetition) deduplication with
+events-over-bench precedence, the statistical configuration comparator
+(identical-seed runs → no significant difference; a deliberately
+slowed configuration → flagged), Hypothesis properties for byte-stable
+histogram snapshots and comparator verdicts, and the
+``python -m repro report`` CLI exit codes.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtable import (
+    COLUMNS,
+    COMPARABLE_METRICS,
+    SCHEMA,
+    build_run_table,
+    compare_tables,
+    load_run_table,
+    render_csv,
+    render_markdown,
+    rows_from_bench,
+    rows_from_events,
+    write_run_table,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_DIR = REPO_ROOT / "tests" / "data" / "runtable_fixture"
+GOLDEN_CSV = REPO_ROOT / "tests" / "data" / "runtable_golden.csv"
+
+
+def _synthetic_rows(a_values, b_values, metric="sim_total_s"):
+    rows = []
+    for label, values in (("cfgA", a_values), ("cfgB", b_values)):
+        for i, v in enumerate(values):
+            rows.append({"run_id": f"{label}:{i}", "config": label,
+                         "repetition": 0, metric: v})
+    return rows
+
+
+class TestGoldenRunTable:
+    def test_fixture_dir_renders_to_committed_golden(self):
+        table = build_run_table(FIXTURE_DIR)
+        assert table["skipped"] == []
+        assert render_csv(table["rows"]) == GOLDEN_CSV.read_text()
+
+    def test_schema_header_and_column_row(self):
+        lines = GOLDEN_CSV.read_text().splitlines()
+        assert lines[0] == f"# {SCHEMA}"
+        assert lines[1] == ",".join(name for name, _ in COLUMNS)
+
+    def test_one_row_per_run_and_repetition(self):
+        rows = build_run_table(FIXTURE_DIR)["rows"]
+        keys = [(r["run_id"], r["repetition"]) for r in rows]
+        assert len(keys) == len(set(keys)) == 5
+        # 3 bench repetitions + 1 faulted run + 1 metrics snapshot
+        assert sorted(r["source"] for r in rows) == [
+            "bench", "bench", "bench", "events", "metrics",
+        ]
+
+    def test_aggregation_is_byte_identical_across_invocations(self, tmp_path):
+        out1, out2 = tmp_path / "a.csv", tmp_path / "b.csv"
+        write_run_table(build_run_table(FIXTURE_DIR)["rows"], out1)
+        write_run_table(build_run_table(FIXTURE_DIR)["rows"], out2)
+        assert out1.read_bytes() == out2.read_bytes()
+
+    def test_load_round_trip(self):
+        rows = load_run_table(GOLDEN_CSV)
+        assert len(rows) == 5
+        assert set(rows[0]) == {name for name, _ in COLUMNS}
+        with pytest.raises(ValueError, match="schema line"):
+            load_run_table(FIXTURE_DIR / "BENCH_fix01.json")
+
+
+class TestRowExtraction:
+    def test_faulted_run_row(self):
+        rows = rows_from_events(FIXTURE_DIR / "faulty_run.jsonl")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["run_id"] == "faulty_run"
+        assert row["config"] == "wiki-Vote@0.05+faults"
+        assert row["work"] == 200  # rows from the two unit_complete events
+        assert row["failures"] == 1 and row["retries"] == 1
+        assert row["requeues"] == 2  # curtailed unit had two members
+        assert row["checkpoints"] == 1 and row["resumes"] == 0
+        assert row["sim_total_s"] == pytest.approx(0.022)
+        assert row["status"] == "ok"
+        # wall and simulated latency stay separate columns (CLK001)
+        assert row["wall_p95_s"] != row["sim_p95_s"]
+
+    def test_bench_report_rows_one_per_repeat(self):
+        doc = json.loads((FIXTURE_DIR / "BENCH_fix01.json").read_text())
+        rows = rows_from_bench(doc)
+        assert [r["repetition"] for r in rows] == [0, 1, 2]
+        assert [r["wall_total_s"] for r in rows] == [0.013, 0.011, 0.012]
+        assert all(r["run_id"] == "bench:fix01:spmm_smoke" for r in rows)
+
+    def test_old_bench_report_without_samples_falls_back_to_median(self):
+        doc = json.loads((FIXTURE_DIR / "BENCH_fix01.json").read_text())
+        del doc["results"][0]["wall_s"]["samples"]
+        rows = rows_from_bench(doc)
+        assert len(rows) == 1
+        assert rows[0]["wall_total_s"] == 0.012
+
+    def test_metrics_snapshot_row(self):
+        rows = build_run_table(FIXTURE_DIR)["rows"]
+        row = next(r for r in rows if r["source"] == "metrics")
+        assert row["config"] == "wiki-Vote/hh-cpu"
+        assert row["work"] == 800 and row["failures"] == 3
+        assert row["sim_p95_s"] == pytest.approx(0.0084)
+
+    def test_unreadable_artifacts_are_skipped_not_fatal(self, tmp_path):
+        (tmp_path / "junk.jsonl").write_text("not json\n")
+        (tmp_path / "junk.json").write_text("{\"schema\": \"other/1\"}")
+        shutil.copy(FIXTURE_DIR / "BENCH_fix01.json", tmp_path / "b.json")
+        table = build_run_table(tmp_path)
+        assert len(table["rows"]) == 3
+        assert sorted(rel for rel, _ in table["skipped"]) == [
+            "junk.json", "junk.jsonl",
+        ]
+
+
+class TestDedup:
+    def test_event_log_row_beats_bench_report_row(self, tmp_path):
+        shutil.copy(FIXTURE_DIR / "BENCH_fix01.json", tmp_path / "b.json")
+        # a bench --export-events log of the same run: same (run_id,
+        # repetition) keys, so its rows must displace the report's
+        lines = [
+            {"event": "header", "schema": "repro-events/1",
+             "run_id": "bench:fix01", "label": "bench:fix01",
+             "provenance": {}},
+            {"event": "run_begin", "run_id": "bench:fix01"},
+            {"event": "repeat", "case": "spmm_smoke", "repetition": 0,
+             "wall_s": 0.013, "sim_time_s": 0.0021},
+            {"event": "repeat", "case": "spmm_smoke", "repetition": 1,
+             "wall_s": 0.011, "sim_time_s": 0.0021},
+            {"event": "repeat", "case": "spmm_smoke", "repetition": 2,
+             "wall_s": 0.012, "sim_time_s": 0.0021},
+            {"event": "case_end", "case": "spmm_smoke", "kind": "kernel",
+             "workload": "powerlaw_small", "result_nnz": 10240,
+             "verified": True},
+            {"event": "run_end", "status": "ok"},
+        ]
+        with open(tmp_path / "bench_events.jsonl", "w") as fh:
+            for seq, rec in enumerate(lines):
+                fh.write(json.dumps(
+                    {**rec, "seq": seq, "wall_t": 0.001 * seq},
+                    sort_keys=True, separators=(",", ":"),
+                ) + "\n")
+        rows = build_run_table(tmp_path)["rows"]
+        assert len(rows) == 3
+        assert all(r["source"] == "events" for r in rows)
+        assert all(r["run_id"] == "bench:fix01:spmm_smoke" for r in rows)
+
+
+class TestComparator:
+    def test_identical_groups_not_significant(self):
+        values = [1.0, 1.01, 0.99, 1.02, 0.98]
+        rows = _synthetic_rows(values, values)
+        cmp = compare_tables(rows, "cfgA", "cfgB")
+        assert cmp["permutation"]["p_value"] == 1.0
+        assert not cmp["significant"] and cmp["direction"] == "none"
+        assert cmp["delta"]["median"] == 0.0
+
+    def test_slowed_configuration_flagged(self):
+        fast = [1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 1.01]
+        slow = [v * 1.5 for v in fast]
+        cmp = compare_tables(_synthetic_rows(fast, slow), "cfgA", "cfgB")
+        assert cmp["significant"] and cmp["direction"] == "b_worse"
+        assert cmp["permutation"]["p_value"] < 0.05
+        assert cmp["delta"]["median"] == pytest.approx(0.5)
+        assert cmp["delta"]["ci95_low"] <= 0.5 <= cmp["delta"]["ci95_high"]
+
+    def test_deterministic_groups_compared_exactly(self):
+        # identical-seed simulated runs: zero spread within each group.
+        # Resampling has no resolving power there, so the comparator
+        # must fall back to the exact verdict: any nonzero delta is a
+        # real configuration effect, a zero delta a real tie.
+        same = _synthetic_rows([0.5] * 5, [0.5] * 5)
+        cmp = compare_tables(same, "cfgA", "cfgB")
+        assert cmp["deterministic"] and not cmp["significant"]
+        assert cmp["permutation"]["p_value"] == 1.0
+
+        slowed = _synthetic_rows([0.5] * 5, [0.50001] * 5)
+        cmp = compare_tables(slowed, "cfgA", "cfgB")
+        assert cmp["deterministic"] and cmp["significant"]
+        assert cmp["direction"] == "b_worse"
+        assert cmp["permutation"]["p_value"] == 0.0
+        assert cmp["permutation"]["n"] == 0
+
+    def test_throughput_direction_inverts(self):
+        fast = [100.0, 101.0, 99.0, 102.0, 98.0, 100.0, 101.0]
+        slow = [v * 0.5 for v in fast]
+        rows = _synthetic_rows(fast, slow, metric="throughput_sim_per_s")
+        cmp = compare_tables(rows, "cfgA", "cfgB",
+                             metric="throughput_sim_per_s")
+        assert cmp["significant"] and cmp["direction"] == "b_worse"
+
+    def test_unknown_metric_and_missing_label_rejected(self):
+        rows = _synthetic_rows([1.0], [1.0])
+        with pytest.raises(ValueError, match="unknown metric"):
+            compare_tables(rows, "cfgA", "cfgB", metric="status")
+        with pytest.raises(ValueError, match="no rows"):
+            compare_tables(rows, "cfgA", "nope")
+        assert "sim_total_s" in COMPARABLE_METRICS
+
+    def test_verdict_byte_identical_across_calls(self):
+        fast = [1.0, 1.2, 0.9, 1.1]
+        slow = [2.0, 2.2, 1.9, 2.1]
+        rows = _synthetic_rows(fast, slow)
+        one = json.dumps(compare_tables(rows, "cfgA", "cfgB"), sort_keys=True)
+        two = json.dumps(compare_tables(rows, "cfgA", "cfgB"), sort_keys=True)
+        assert one == two
+
+
+class TestByteStabilityProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=40))
+    def test_histogram_snapshot_is_order_and_run_independent(self, samples):
+        m1, m2 = MetricsRegistry(), MetricsRegistry()
+        for v in samples:
+            m1.record("h", v)
+        for v in reversed(samples):
+            m2.record("h", v)
+        assert m1.to_json() == m2.to_json()
+        snap = m1.snapshot()["histograms"]["h"]
+        assert snap["count"] == len(samples)
+        assert sum(snap["buckets"].values()) == len(samples)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=1e-3, max_value=1e3,
+                             allow_nan=False, allow_infinity=False),
+                   min_size=2, max_size=10),
+        b=st.lists(st.floats(min_value=1e-3, max_value=1e3,
+                             allow_nan=False, allow_infinity=False),
+                   min_size=2, max_size=10),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_comparator_verdict_fixed_seed_reproducible(self, a, b, seed):
+        rows = _synthetic_rows(a, b)
+        kw = dict(seed=seed, n_bootstrap=50, n_permutation=50)
+        one = compare_tables(rows, "cfgA", "cfgB", **kw)
+        two = compare_tables(rows, "cfgA", "cfgB", **kw)
+        assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+
+class TestReportCli:
+    def test_report_writes_table_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "run_table.csv"
+        rc = main(["report", str(FIXTURE_DIR), "--out", str(out)])
+        assert rc == 0
+        assert out.read_text() == GOLDEN_CSV.read_text()
+        text = capsys.readouterr().out
+        assert "Run table" in text and "run table written to" in text
+
+    def test_report_json_format(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        rc = main(["report", str(FIXTURE_DIR), "--out", str(out),
+                   "--format", "json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        # stdout is pure JSON; the status line goes to stderr
+        doc = json.loads(captured.out)
+        assert doc["schema"] == SCHEMA and len(doc["rows"]) == 5
+        assert "run table written to" in captured.err
+
+    def test_missing_directory_is_usage_error(self, capsys):
+        assert main(["report", "no/such/dir"]) == 2
+        assert "not a directory" in capsys.readouterr().out
+
+    def test_empty_directory_is_usage_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 2
+        assert "no run artifacts" in capsys.readouterr().out
+
+    def test_compare_identical_labels_exits_zero(self, tmp_path, capsys):
+        # three bench repetitions under one label vs themselves: the
+        # comparator must not invent a difference
+        out = tmp_path / "t.csv"
+        rc = main(["report", str(FIXTURE_DIR), "--out", str(out),
+                   "--compare", "spmm_smoke", "spmm_smoke",
+                   "--metric", "sim_total_s"])
+        assert rc == 0
+        assert "no significant difference" in capsys.readouterr().out
+
+    def test_compare_unknown_label_is_usage_error(self, tmp_path, capsys):
+        rc = main(["report", str(FIXTURE_DIR),
+                   "--out", str(tmp_path / "t.csv"),
+                   "--compare", "spmm_smoke", "nope"])
+        assert rc == 2
+
+    def test_compare_slowed_config_exits_one(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        artifacts.mkdir()
+        doc = json.loads((FIXTURE_DIR / "BENCH_fix01.json").read_text())
+        samples = [0.011, 0.013, 0.012, 0.0115, 0.0125, 0.0118, 0.0122]
+        doc["results"][0]["wall_s"]["samples"] = samples
+        (artifacts / "BENCH_fast.json").write_text(json.dumps(doc))
+        slow = json.loads(json.dumps(doc))
+        slow["rev"] = "slow1"
+        row = slow["results"][0]
+        row["case"] = "spmm_smoke_slowed"
+        row["wall_s"]["samples"] = [s * 3 for s in samples]
+        row["wall_s"]["median"] *= 3
+        (artifacts / "BENCH_slow.json").write_text(json.dumps(slow))
+        rc = main(["report", str(artifacts),
+                   "--out", str(tmp_path / "t.csv"),
+                   "--compare", "spmm_smoke", "spmm_smoke_slowed",
+                   "--metric", "wall_total_s"])
+        assert rc == 1
+        assert "significant difference" in capsys.readouterr().out
+
+
+class TestMarkdown:
+    def test_render_includes_verdict_and_rows(self):
+        table = build_run_table(FIXTURE_DIR)
+        cmp = compare_tables(
+            _synthetic_rows([1.0, 1.1], [1.0, 1.1]), "cfgA", "cfgB",
+        )
+        text = render_markdown(table, cmp)
+        assert text.startswith("# Run table")
+        assert "faulty_run" in text and "bench:fix01:spmm_smoke" in text
+        assert "no significant difference" in text
