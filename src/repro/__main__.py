@@ -9,7 +9,8 @@ Commands mirror the benchmark harness, for interactive use:
     python -m repro multiply webbase-1M [--algorithm hipc2012]
     python -m repro profile wiki-Vote [--export-trace t.json] [--export-metrics m.json]
     python -m repro bench [--filter smoke] [--compare BENCH_old.json --fail-on-regress 25]
-    python -m repro check [--format json] [--baseline]
+    python -m repro check [--format json] [--baseline] [--deep] [--explain RULE]
+    python -m repro sanitize powerlaw-sm [--schedules 8] [--report r.json]
     python -m repro run wiki-Vote --checkpoint-dir ckpts [--resume] [--deadline 0.5]
     python -m repro report artifacts/ [--compare cfgA cfgB]
     python -m repro datasets
@@ -140,6 +141,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_check_arguments(pc)
 
+    from repro.sanitize.cli import add_sanitize_arguments
+
+    ps = sub.add_parser(
+        "sanitize",
+        help="schedule-perturbation race sanitizer: baseline + N seeded "
+             "tie-break schedules under the RSan detector, asserting "
+             "bit-identical results and traces; exit 0 invariant, "
+             "1 schedule-dependent behaviour, 2 usage error",
+    )
+    add_sanitize_arguments(ps)
+
     from repro.obs.report_cli import add_report_arguments
 
     pt = sub.add_parser(
@@ -183,6 +195,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import run_check
 
         return run_check(args)
+    if args.command == "sanitize":
+        from repro.sanitize.cli import run_sanitize_command
+
+        return run_sanitize_command(args)
     if args.command == "bench":
         from repro.bench.cli import run_bench_command
 

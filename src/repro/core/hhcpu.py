@@ -139,6 +139,10 @@ class HHCPU:
         in bounded groups (mathematically equal output); a single row
         whose tuples alone exceed the budget raises
         :class:`~repro.util.errors.ResourceExhausted`.
+    schedule_tiebreak:
+        Optional ``() -> int`` permuting equal-simulated-time Phase III
+        event order (the :mod:`repro.sanitize` perturbation harness);
+        the result must be bit-identical for any choice.
     """
 
     name = "HH-CPU"
@@ -155,6 +159,7 @@ class HHCPU:
         faults: FaultInjector | FaultSpec | None = None,
         retry: RetryPolicy | None = None,
         mem_budget_bytes: int | None = None,
+        schedule_tiebreak=None,
     ):
         self.platform = platform or default_platform()
         self.kernel = resolve_kernel(kernel)
@@ -171,6 +176,10 @@ class HHCPU:
         if mem_budget_bytes is not None and mem_budget_bytes <= 0:
             raise ValueError("mem_budget_bytes must be positive when given")
         self.mem_budget_bytes = mem_budget_bytes
+        #: optional ``() -> int`` perturbing equal-time Phase III event
+        #: order (the sanitizer's schedule-exploration knob; see
+        #: :class:`repro.hardware.engine.EventEngine`)
+        self.schedule_tiebreak = schedule_tiebreak
 
     # -- public API ---------------------------------------------------------
     def multiply(self, a: CSRMatrix, b: CSRMatrix) -> SpmmResult:
@@ -418,6 +427,7 @@ class HHCPU:
             self.platform, st.queue, self._make_executor(st),
             gpu_batch_rows=self.gpu_rows, faults=self.faults, retry=self.retry,
             max_units=max_units, deadline_s=deadline_s, carry=carry,
+            tiebreak=self.schedule_tiebreak,
         )
         st.outcome.accumulate(slice_outcome)
         return slice_outcome

@@ -17,6 +17,7 @@ from repro.costmodel.gpu_cost import gpu_phase1_time, gpu_spmm_time
 from repro.hardware.specs import CPUSpec, GPUSpec
 from repro.hardware.trace import Trace, TraceEvent
 from repro.kernels.symbolic import KernelStats
+from repro.sanitize.rsan import RSAN
 from repro.util.errors import SchedulingError
 
 
@@ -49,6 +50,8 @@ class SimDevice:
         )
         self.clock = event.end
         self.trace.add(event)
+        if RSAN.enabled:
+            RSAN.on_device_busy(self.kind, event.start, event.end)
         return event
 
     def curtail(self, at: float, *, reason: str) -> TraceEvent:
@@ -56,6 +59,10 @@ class SimDevice:
         or timeout landed inside it): the last logged event is truncated
         and the clock rewound to the cut — the remainder never happened."""
         event = self.trace.curtail_last(self.name, at, reason=reason)
+        if RSAN.enabled:
+            # sanctions the rewind: the sanitizer's monotonicity floor
+            # follows the curtailment instead of flagging it
+            RSAN.on_curtail(self.kind, at)
         self.clock = at
         return event
 
@@ -73,6 +80,9 @@ class SimDevice:
             self.clock = t
 
     def reset(self) -> None:
+        if RSAN.enabled:
+            # a platform reset rewinds every clock by design
+            RSAN.on_curtail(self.kind, 0.0)
         self.clock = 0.0
 
 

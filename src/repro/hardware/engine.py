@@ -13,6 +13,7 @@ import heapq
 import itertools
 from typing import Callable
 
+from repro.sanitize.rsan import RSAN
 from repro.util.errors import SchedulingError
 
 
@@ -35,11 +36,23 @@ class EventHandle:
 
 
 class EventEngine:
-    """Priority-queue discrete-event loop with a monotone clock."""
+    """Priority-queue discrete-event loop with a monotone clock.
 
-    def __init__(self) -> None:
-        self._queue: list[tuple[float, int, Callable[[], None], EventHandle]] = []
+    ``tiebreak`` perturbs the order of *equal-time* events: when given,
+    each scheduled event draws one integer from it and equal-time
+    events run in (jitter, insertion) order instead of pure insertion
+    order.  The schedule-perturbation harness (:mod:`repro.sanitize`)
+    uses a seeded draw here to explore the tie-break freedom the
+    simulation claims is result-invariant; production runs leave it
+    ``None`` (insertion order, exactly as before).
+    """
+
+    def __init__(self, *, tiebreak: Callable[[], int] | None = None) -> None:
+        self._queue: list[
+            tuple[float, int, int, Callable[[], None], EventHandle]
+        ] = []
         self._counter = itertools.count()
+        self._tiebreak = tiebreak
         self._now = 0.0
         self._running = False
 
@@ -61,9 +74,10 @@ class EventEngine:
                 f"cannot schedule at t={time} before current time {self._now}"
             )
         handle = EventHandle()
+        jitter = self._tiebreak() if self._tiebreak is not None else 0
         heapq.heappush(
             self._queue,
-            (max(time, self._now), next(self._counter), callback, handle),
+            (max(time, self._now), jitter, next(self._counter), callback, handle),
         )
         return handle
 
@@ -84,9 +98,11 @@ class EventEngine:
         try:
             processed = 0
             while self._queue:
-                time, _, callback, handle = heapq.heappop(self._queue)
+                time, _, _, callback, handle = heapq.heappop(self._queue)
                 if handle.cancelled:
                     continue
+                if RSAN.enabled:
+                    RSAN.on_engine_event(time, self._now)
                 self._now = time
                 callback()
                 processed += 1

@@ -28,6 +28,7 @@ from repro.hardware.platform import HeteroPlatform
 from repro.hetero.workqueue import DoubleEndedWorkQueue, WorkUnit
 from repro.obs.events import EVENTS
 from repro.obs.metrics import METRICS
+from repro.sanitize.rsan import RSAN
 from repro.util.errors import FaultError
 
 #: executes a unit on a device kind ("cpu" / "gpu"); returns the tuple part
@@ -115,6 +116,7 @@ def run_workqueue_phase(
     max_units: int | None = None,
     deadline_s: float | None = None,
     carry: Phase3Carry | None = None,
+    tiebreak: Callable[[], int] | None = None,
 ) -> Phase3Outcome:
     """Drain ``queue`` with both devices running asynchronously.
 
@@ -136,11 +138,15 @@ def run_workqueue_phase(
     checkpointed state) to continue exactly where the drain paused —
     unit completion order, and therefore the Phase IV merge, is
     preserved bit-for-bit.
+
+    ``tiebreak`` is forwarded to the :class:`EventEngine`: a seeded
+    draw there permutes equal-simulated-time event order, which the
+    sanitizer harness uses to assert the drain is tie-break invariant.
     """
     injector = faults if faults is not None else platform.faults
     policy = retry or (injector.retry if injector is not None else DEFAULT_RETRY_POLICY)
     outcome = Phase3Outcome()
-    engine = EventEngine()
+    engine = EventEngine(tiebreak=tiebreak)
     devices = {"cpu": platform.cpu, "gpu": platform.gpu}
     dead: set[str] = set()
     parked: set[str] = set()
@@ -190,7 +196,7 @@ def run_workqueue_phase(
             handle.cancel()
             ready[kind] = scheduled_at[kind]
         pending.clear()
-        for kind in deadline_parked | parked:
+        for kind in sorted(deadline_parked | parked):
             if kind not in dead:
                 ready.setdefault(kind, devices[kind].clock)
         outcome.carry = Phase3Carry(attempts=dict(attempts), ready_at=ready)
@@ -204,6 +210,8 @@ def run_workqueue_phase(
             _schedule(kind, max(engine.now, devices[kind].clock))
 
     def _complete(kind: str, unit: WorkUnit, part: COOMatrix, sim_s: float) -> None:
+        if RSAN.enabled:
+            RSAN.on_unit_complete(kind, unit, devices[kind].clock)
         outcome.parts.append(part)
         outcome.completed += 1
         stolen_product = "AH_BL" if kind == "cpu" else "AL_BH"
@@ -266,6 +274,8 @@ def run_workqueue_phase(
             else (queue.pop_front() if end == "front" else queue.pop_back())
         )
         t0 = device.clock
+        if RSAN.enabled:
+            RSAN.on_unit_start(kind, unit, t0)
         part = execute(kind, unit)
         if injector is not None:
             crash_t = injector.crash_time(kind)
@@ -274,6 +284,8 @@ def run_workqueue_phase(
                 # trace there, give the unit back, and stop this device
                 lost = device.clock - crash_t
                 device.curtail(crash_t, reason="crash")
+                if RSAN.enabled:
+                    RSAN.on_unit_requeue(kind, unit, crash_t)
                 queue.requeue(unit, end=end)
                 outcome.requeues += len(unit.members)
                 if METRICS.enabled:
@@ -294,6 +306,8 @@ def run_workqueue_phase(
             # peer still under budget may pick it up; otherwise the
             # caller checkpoints and reports ResourceExhausted.
             device.curtail(deadline_s, reason="deadline")
+            if RSAN.enabled:
+                RSAN.on_unit_requeue(kind, unit, deadline_s)
             queue.requeue(unit, end=end)
             outcome.requeues += len(unit.members)
             outcome.deadline_curtailed += len(unit.members)
@@ -328,6 +342,8 @@ def run_workqueue_phase(
                     reason = "error"
                 lost = duration - (cut - t0)
                 device.curtail(cut, reason=reason)
+                if RSAN.enabled:
+                    RSAN.on_unit_requeue(kind, unit, cut)
                 queue.requeue(unit, end=end)
                 outcome.requeues += len(unit.members)
                 outcome.retries += 1

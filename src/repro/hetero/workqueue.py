@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.formats.base import INDEX_DTYPE
 from repro.obs.metrics import METRICS
+from repro.sanitize.rsan import RSAN
 from repro.util.errors import SchedulingError
 
 #: paper defaults (§IV-B)
@@ -90,6 +91,8 @@ class DoubleEndedWorkQueue:
         self._slot_prod = np.fromiter(
             (codes[u.product] for u in self.units), dtype=INDEX_DTYPE, count=n
         )
+        if RSAN.enabled:
+            RSAN.on_queue_build(self.units)
 
     @classmethod
     def build(
@@ -126,6 +129,8 @@ class DoubleEndedWorkQueue:
         unit = self.units[self._front]
         self._front += 1
         self.log.append(("front", unit.index))
+        if RSAN.enabled:
+            RSAN.on_dequeue("front", (unit.index,))
         if METRICS.enabled:
             METRICS.inc("phase3.workqueue.front.units")
         return unit
@@ -137,6 +142,8 @@ class DoubleEndedWorkQueue:
         unit = self.units[self._back]
         self._back -= 1
         self.log.append(("back", unit.index))
+        if RSAN.enabled:
+            RSAN.on_dequeue("back", (unit.index,))
         if METRICS.enabled:
             METRICS.inc("phase3.workqueue.back.units")
         return unit
@@ -171,6 +178,8 @@ class DoubleEndedWorkQueue:
         popped = [first] + [self.units[self._back - i] for i in range(take)]
         self.log.extend(("back", u.index) for u in popped[1:])
         self._back -= take
+        if RSAN.enabled:
+            RSAN.on_dequeue("back", tuple(u.index for u in popped[1:]))
         if METRICS.enabled:
             METRICS.inc("phase3.workqueue.back.units", take)
             METRICS.inc("phase3.workqueue.back.batched_launches")
@@ -239,6 +248,8 @@ class DoubleEndedWorkQueue:
             else:
                 self._back += 1
                 self.units[self._back] = m
+        if RSAN.enabled:
+            RSAN.on_restore(end, tuple(m.index for m in members))
         if METRICS.enabled:
             METRICS.inc("phase3.workqueue.requeues", len(members))
 

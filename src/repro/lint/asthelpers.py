@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
 from repro.obs.catalog import FSTRING_SENTINEL
 
@@ -79,7 +80,7 @@ def qualified_call_name(call: ast.Call, imports: dict[str, str]) -> str | None:
     return f"{origin}.{rest}" if rest else origin
 
 
-def iter_loop_iterables(tree: ast.Module):
+def iter_loop_iterables(tree: ast.Module) -> Iterator[ast.expr]:
     """Yield every expression something iterates over: ``for`` targets
     and comprehension generators (the places set ordering leaks)."""
     for node in ast.walk(tree):

@@ -82,12 +82,33 @@ class ModuleContext:
         )
 
 
+#: a rule's unit of analysis: ``"file"`` rules run per module through
+#: :func:`repro.lint.engine.lint_file`; ``"project"`` rules run only in
+#: the interprocedural deep pass (``repro check --deep``) and are
+#: skipped by the fast per-file loop
+SCOPE_FILE = "file"
+SCOPE_PROJECT = "project"
+_SCOPES = (SCOPE_FILE, SCOPE_PROJECT)
+
+
 class Rule:
-    """Base class; subclasses set the class attributes and ``check``."""
+    """Base class; subclasses set the class attributes and ``check``.
+
+    Besides the machine-facing attributes, every rule documents itself
+    for ``repro check --explain``: the class docstring carries the
+    rationale (why the rule exists, which failure it prevents) and
+    ``example_violation`` / ``example_fix`` carry a minimal violating
+    snippet and its sanctioned rewrite.
+    """
 
     id: str = ""
     severity: str = SEVERITY_ERROR
     description: str = ""
+    scope: str = SCOPE_FILE
+    #: minimal snippet the rule flags (shown by ``--explain``)
+    example_violation: str = ""
+    #: the sanctioned pattern replacing the violation
+    example_fix: str = ""
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
         raise NotImplementedError
@@ -116,6 +137,11 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
         raise ValueError(
             f"rule {rule_cls.id}: severity must be one of {_SEVERITIES}, "
             f"got {rule_cls.severity!r}"
+        )
+    if rule_cls.scope not in _SCOPES:
+        raise ValueError(
+            f"rule {rule_cls.id}: scope must be one of {_SCOPES}, "
+            f"got {rule_cls.scope!r}"
         )
     if rule_cls.id in REGISTRY:
         raise ValueError(f"duplicate rule id {rule_cls.id}")

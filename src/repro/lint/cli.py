@@ -15,7 +15,7 @@ from pathlib import Path
 
 from repro.lint.baseline import DEFAULT_BASELINE_PATH, load_baseline, write_baseline
 from repro.lint.engine import DEFAULT_ROOTS, lint_paths
-from repro.lint.reporters import render_json, render_rules, render_text
+from repro.lint.reporters import render_explain, render_json, render_rules, render_text
 from repro.util.errors import ReproError
 
 
@@ -45,8 +45,19 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="ignore inline `# repro: noqa[...]` suppressions",
     )
     parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the interprocedural dataflow pass "
+             "(CLK002/DET003/ORD001) over src/repro — slower, "
+             "project-wide taint tracking",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print one rule's rationale, a violating snippet, and the "
+             "sanctioned pattern, then exit",
     )
 
 
@@ -54,6 +65,22 @@ def run_check(args: argparse.Namespace) -> int:
     """Execute ``repro check`` for parsed arguments."""
     if args.list_rules:
         print(render_rules())
+        return 0
+
+    if args.explain is not None:
+        from repro.lint.base import all_rules
+
+        wanted = args.explain.upper()
+        by_id = {r.id: r for r in all_rules()}
+        rule = by_id.get(wanted)
+        if rule is None:
+            print(
+                f"repro check: unknown rule {args.explain!r}; "
+                f"registered: {', '.join(sorted(by_id))}",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_explain(rule))
         return 0
 
     paths = args.paths or None
@@ -72,7 +99,8 @@ def run_check(args: argparse.Namespace) -> int:
             return 2
 
     result = lint_paths(
-        paths, respect_noqa=not args.no_noqa, baseline=baseline
+        paths, respect_noqa=not args.no_noqa, baseline=baseline,
+        deep=args.deep,
     )
 
     if args.write_baseline is not None:

@@ -1,0 +1,43 @@
+"""The interprocedural deep pass behind ``repro check --deep``.
+
+The fast per-file rules (DET001 …, CLK001 …) are syntactic: they flag a
+``perf_counter()`` *call* in simulation code, a ``set()`` *iteration*,
+an unseeded Generator *construction* — in the file where it happens.
+They cannot see a host-clock value returned through a chain of helpers
+into a simulated-time field, an RNG leaked across a module boundary, or
+set ordering laundered through a function call into a float
+accumulation.  This package closes that gap with a small, deterministic
+interprocedural taint analysis:
+
+1. :mod:`~repro.lint.dataflow.model` parses every file once and builds
+   a **project model**: module import maps, a table of top-level
+   functions and methods by qualified name, and best-effort call
+   resolution through those import maps.
+2. :mod:`~repro.lint.dataflow.taint` computes a **per-function taint
+   summary** (which taint kinds a function returns; which parameters
+   flow to its return or into a sink) to a fixed point over the call
+   graph, then re-walks every function flow-sensitively, reporting
+   taint reaching a sink as a CLK002 / DET003 / ORD001 finding.
+
+Findings flow through the exact same machinery as per-file findings:
+``# repro: noqa[RULE]`` suppressions on the sink line, the committed
+baseline, and the ``repro-lint/1`` reporters all apply unchanged.
+
+The analysis is intentionally best-effort and *sound-ish*, not
+complete: attribute calls on unknown objects, dynamic dispatch, and
+containers are approximated.  It is a linter — its contract is "no
+false positives on this codebase, catch the laundering patterns the
+per-file pass provably misses", enforced by the fixture tree under
+``tests/data/dataflow_fixtures``.
+"""
+
+from repro.lint.dataflow.model import FunctionInfo, ProjectModel, build_project_model
+from repro.lint.dataflow.taint import TaintSummary, analyze_project
+
+__all__ = [
+    "FunctionInfo",
+    "ProjectModel",
+    "TaintSummary",
+    "analyze_project",
+    "build_project_model",
+]

@@ -1,0 +1,151 @@
+"""Project model for the deep pass: modules, functions, call resolution.
+
+One parse per file (shared with nothing — the deep pass owns its own
+walk so it can run over any file set: the real tree, a fixture tree, an
+explicit path list).  The model knows every top-level function and
+every method of every top-level class by **qualified name**
+(``repro.hetero.scheduler.run_workqueue_phase``,
+``repro.hardware.device.SimDevice.busy``) and resolves call
+expressions to those names through each module's import map.
+
+Resolution is best-effort by design: a call that cannot be resolved to
+a project function simply contributes no interprocedural edge, which
+makes the taint analysis under-approximate rather than noisy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.asthelpers import dotted_name, import_map
+from repro.lint.engine import iter_python_files, module_name
+
+
+@dataclass
+class FunctionInfo:
+    """One analysable function or method."""
+
+    #: fully qualified dotted name (module [+ class] + function)
+    qualname: str
+    #: dotted module the definition lives in
+    module: str
+    #: posix relpath of the defining file (for findings)
+    relpath: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: module-level import map of the defining module
+    imports: dict[str, str]
+    #: enclosing class name when this is a method, else ""
+    cls: str = ""
+
+    @property
+    def params(self) -> list[str]:
+        a = self.node.args
+        return [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file of the project."""
+
+    module: str
+    relpath: str
+    tree: ast.Module
+    imports: dict[str, str]
+    source_lines: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ProjectModel:
+    """Everything the taint pass needs to see the project whole."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def resolve_call(self, call: ast.Call, fn: FunctionInfo | ModuleInfo) -> FunctionInfo | None:
+        """The project function a call dispatches to, if determinable.
+
+        Handles, in order: ``self.method(...)`` within the enclosing
+        class, bare local names (``helper()`` in the same module), and
+        dotted names resolved through the module's import map
+        (``helpers.now_s()``, aliased ``from x import f as g``).
+        """
+        func = call.func
+        cls = getattr(fn, "cls", "")
+        if (
+            cls
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            return self.functions.get(f"{fn.module}.{cls}.{func.attr}")
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        if "." not in dotted:
+            # a bare name: same-module function, else an imported one
+            local = self.functions.get(f"{fn.module}.{dotted}")
+            if local is not None:
+                return local
+            origin = fn.imports.get(dotted)
+            return self.functions.get(origin) if origin else None
+        head, _, rest = dotted.partition(".")
+        origin = fn.imports.get(head)
+        qual = f"{origin}.{rest}" if origin else dotted
+        return self.functions.get(qual)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return "/".join(rel.parts)
+
+
+def build_project_model(paths: list[Path], *, root: Path) -> ProjectModel:
+    """Parse every Python file under ``paths`` into one project model.
+
+    Files that fail to parse are skipped silently here — the per-file
+    engine already reports ``SYNTAX`` findings for them.
+    """
+    model = ProjectModel()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError):
+            continue
+        module = module_name(path)
+        info = ModuleInfo(
+            module=module,
+            relpath=_relpath(path, root),
+            tree=tree,
+            imports=import_map(tree),
+            source_lines=source.splitlines(),
+        )
+        model.modules[module] = info
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fi = FunctionInfo(
+                    qualname=f"{module}.{node.name}",
+                    module=module,
+                    relpath=info.relpath,
+                    node=node,
+                    imports=info.imports,
+                )
+                model.functions[fi.qualname] = fi
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fi = FunctionInfo(
+                            qualname=f"{module}.{node.name}.{sub.name}",
+                            module=module,
+                            relpath=info.relpath,
+                            node=sub,
+                            imports=info.imports,
+                            cls=node.name,
+                        )
+                        model.functions[fi.qualname] = fi
+    return model

@@ -1,0 +1,685 @@
+"""Interprocedural taint analysis for CLK002 / DET003 / ORD001.
+
+Three taint kinds flow through the project:
+
+- ``clock`` — a host wall-clock value (``time.perf_counter()`` & co),
+  which must never reach a simulated-time sink: a ``.clock`` /
+  ``sim_*`` field, ``set_sim``/``wait_until``/``curtail``, an event
+  engine ``schedule``, a ``busy`` duration, or a ``TraceEvent``
+  interval (**CLK002**);
+- ``rng`` — a numpy ``Generator``.  Constructing one outside
+  ``repro.util.rng`` is a violation on its own, and drawing from any
+  generator inside a loop over an *unordered* container makes the draw
+  sequence order-dependent (**DET003**);
+- ``unordered`` — a ``set``/``frozenset`` (the only genuinely
+  unordered containers; dicts iterate in deterministic insertion
+  order).  Iterating one yields ``ordpos``-tainted loop variables, and
+  an ``ordpos`` value reaching a float accumulation or a
+  container/workqueue insertion leaks iteration order into results
+  (**ORD001**).
+
+The analysis runs in two stages over the
+:class:`~repro.lint.dataflow.model.ProjectModel`:
+
+1. **Summaries to a fixed point** — each function is abstractly
+   evaluated with its parameters marked ``p0``/``p1``/…; the summary
+   records which kinds (and which parameter markers) its return value
+   carries and which parameters reach a sink inside it.  Summaries of
+   callees feed callers, so a clock value returned through any chain
+   of helpers stays tainted.
+2. **Reporting walk** — every function and module body is re-walked
+   with the converged summaries; concrete taint reaching a sink (or a
+   tainted argument hitting a callee's parameter sink) becomes a
+   violation at the sink/call line.
+
+The evaluator is deliberately approximate: unresolved calls union
+their argument kinds, ``sorted``/``min``/``max``/``len``/``np.sort``/
+``np.unique`` launder order-taint, comparisons return untainted
+booleans.  Everything is deterministic — functions are analysed in
+sorted qualname order and findings dedup into a sorted list.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.lint.base import Finding
+
+from repro.lint.asthelpers import dotted_name, qualified_call_name
+from repro.lint.dataflow.model import FunctionInfo, ModuleInfo, ProjectModel
+from repro.lint.rules.clock import _HOST_CLOCK_CALLS as HOST_CLOCK_CALLS
+
+#: concrete taint kinds (parameter markers are ``p{i}`` on top)
+CLOCK, RNG, UNORDERED, ORDPOS = "clock", "rng", "unordered", "ordpos"
+
+#: numpy Generator/BitGenerator constructors — sanctioned only inside
+#: ``repro.util.rng``
+RNG_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng", "numpy.random.Generator",
+    "numpy.random.RandomState", "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM", "numpy.random.Philox",
+    "numpy.random.SFC64", "numpy.random.MT19937",
+})
+
+#: the sanctioned generator plumbing: calls here *return* rng taint
+#: (so downstream misuse is tracked) but are never construction sites
+SANCTIONED_RNG_PREFIX = "repro.util.rng."
+
+#: calls whose result has a defined order regardless of input order
+ORDER_LAUNDERERS = frozenset({
+    "sorted", "min", "max", "len", "numpy.sort", "numpy.unique",
+    "numpy.argsort", "numpy.lexsort",
+})
+
+#: attribute assignments that are simulated-time sinks
+CLOCK_SINK_ATTRS = frozenset({
+    "clock", "sim_start", "sim_end", "sim_duration_s", "sim_t",
+})
+
+#: keyword arguments that are simulated-time sinks on any call
+CLOCK_SINK_KWARGS = frozenset({"sim_t", "sim_s", "sim_start", "sim_end"})
+
+#: method names that accept simulated times: name -> positional arg
+#: indices checked ("all" = every positional argument)
+CLOCK_SINK_METHODS: dict[str, tuple[int, ...] | str] = {
+    "set_sim": "all",
+    "wait_until": (0,),
+    "curtail": (0,),
+    "schedule": (0,),
+    "schedule_after": (0,),
+    "busy": (2,),
+}
+
+#: container-insertion methods whose argument order is observable
+#: (``set.add`` is deliberately absent: set insertion is commutative)
+INSERTION_METHODS = frozenset({
+    "append", "appendleft", "insert", "push", "put",
+    "setdefault", "heappush", "requeue", "extend",
+})
+
+#: generator methods treated as stateful draws (any attribute call on
+#: an rng-tainted receiver counts; this set only names the message)
+_PARAM = "p"
+
+
+def _is_marker(kind: str) -> bool:
+    return kind.startswith(_PARAM) and kind[1:].isdigit()
+
+
+def _concrete(kinds: frozenset[str] | set[str]) -> set[str]:
+    return {k for k in kinds if not _is_marker(k)}
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """What one function does with taint, as seen by its callers."""
+
+    #: kinds (+ param markers) the return value may carry
+    returns: frozenset = frozenset()
+    #: ``(param index, trigger kind, sink description)`` triples: a
+    #: caller passing a ``trigger``-tainted argument at that index has
+    #: routed taint into a sink inside this function (or deeper)
+    param_sinks: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class RawViolation:
+    """One deep-pass finding before severity/suppression stamping."""
+
+    rule: str
+    relpath: str
+    line: int
+    col: int
+    message: str
+
+
+class _Walker:
+    """Flow-sensitive walk of one function (or module) body."""
+
+    def __init__(
+        self,
+        model: ProjectModel,
+        owner: FunctionInfo | ModuleInfo,
+        summaries: dict[str, TaintSummary],
+        report: Callable[[RawViolation], None] | None,
+    ) -> None:
+        self.model = model
+        self.owner = owner
+        self.summaries = summaries
+        self.report = report
+        self.env: dict[str, set[str]] = {}
+        self.returns: set[str] = set()
+        self.param_sinks: set[tuple[int, str, str]] = set()
+        #: > 0 while walking the body of a loop over an unordered iterable
+        self.order_depth = 0
+        self._param_index = {
+            name: i for i, name in enumerate(getattr(owner, "params", []) or [])
+        }
+        self._module = owner.module
+        self._sanctioned_rng = self._module.startswith("repro.util.rng")
+
+    # -- plumbing ----------------------------------------------------------
+    def _violate(self, node: ast.AST, rule: str, message: str) -> None:
+        if self.report is not None:
+            self.report(RawViolation(
+                rule=rule,
+                relpath=self.owner.relpath,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            ))
+
+    def _sink(self, node: ast.AST, kinds: set[str], trigger: str,
+              rule: str, desc: str) -> None:
+        """Taint ``kinds`` reached a sink: report concrete taint, record
+        parameter markers for the summary."""
+        if trigger in kinds:
+            self._violate(node, rule, desc)
+        for k in kinds:
+            if _is_marker(k):
+                self.param_sinks.add((int(k[1:]), trigger, desc))
+
+    # -- expression evaluation --------------------------------------------
+    def eval(self, node: ast.expr | None) -> set[str]:
+        if node is None:
+            return set()
+        m = getattr(self, f"_eval_{type(node).__name__}", None)
+        if m is not None:
+            return m(node)
+        # default: union of child expression kinds
+        out: set[str] = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self.eval(child)
+        return out
+
+    def _eval_Name(self, node: ast.Name) -> set[str]:
+        return set(self.env.get(node.id, ()))
+
+    def _eval_Constant(self, node: ast.Constant) -> set[str]:
+        return set()
+
+    def _eval_Attribute(self, node: ast.Attribute) -> set[str]:
+        dotted = dotted_name(node)
+        if dotted is not None and dotted in self.env:
+            return set(self.env[dotted])
+        return self.eval(node.value)
+
+    def _eval_Compare(self, node: ast.Compare) -> set[str]:
+        self.eval(node.left)
+        for c in node.comparators:
+            self.eval(c)
+        return set()
+
+    def _eval_Lambda(self, node: ast.Lambda) -> set[str]:
+        return set()
+
+    def _eval_Set(self, node: ast.Set) -> set[str]:
+        out = {UNORDERED}
+        for e in node.elts:
+            out |= self.eval(e)
+        return out
+
+    def _eval_SetComp(self, node: ast.SetComp) -> set[str]:
+        out = self._eval_comprehension(node.generators, node.elt)
+        return out | {UNORDERED}
+
+    def _eval_ListComp(self, node: ast.ListComp) -> set[str]:
+        return self._eval_comprehension(node.generators, node.elt)
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp) -> set[str]:
+        return self._eval_comprehension(node.generators, node.elt)
+
+    def _eval_DictComp(self, node: ast.DictComp) -> set[str]:
+        return self._eval_comprehension(node.generators, node.key, node.value)
+
+    def _eval_comprehension(
+        self, generators: list[ast.comprehension], *elts: ast.expr
+    ) -> set[str]:
+        """A comprehension is a loop: unordered generators make the
+        built container's order (and the bound targets) order-tainted."""
+        out: set[str] = set()
+        unordered = False
+        for gen in generators:
+            it_kinds = self.eval(gen.iter)
+            if UNORDERED in it_kinds:
+                unordered = True
+            self._bind(gen.target, (it_kinds - {UNORDERED}) |
+                       ({ORDPOS} if UNORDERED in it_kinds else set()))
+            for cond in gen.ifs:
+                self.eval(cond)
+        if unordered:
+            self.order_depth += 1
+        try:
+            for e in elts:
+                out |= self.eval(e)
+        finally:
+            if unordered:
+                self.order_depth -= 1
+        if unordered:
+            out |= {UNORDERED}
+        return out
+
+    def _eval_Subscript(self, node: ast.Subscript) -> set[str]:
+        out = self.eval(node.value)
+        sl = self.eval(node.slice)
+        if ORDPOS in sl:
+            out |= {ORDPOS}
+        return out
+
+    def _eval_Call(self, node: ast.Call) -> set[str]:  # noqa: C901
+        arg_kinds = [self.eval(a) for a in node.args]
+        kw_kinds = {kw.arg: self.eval(kw.value) for kw in node.keywords}
+        func = node.func
+        imports = self.owner.imports
+        qual = qualified_call_name(node, imports)
+
+        # simulated-time keyword sinks apply to every call
+        for kw in node.keywords:
+            if kw.arg in CLOCK_SINK_KWARGS:
+                self._sink(
+                    kw.value, kw_kinds[kw.arg], CLOCK, "CLK002",
+                    f"host wall-clock value flows into simulated-time "
+                    f"keyword `{kw.arg}=`; simulated fields take modelled "
+                    "times only",
+                )
+
+        if qual is not None:
+            if qual in HOST_CLOCK_CALLS:
+                return {CLOCK}
+            if qual in RNG_CONSTRUCTORS:
+                if not self._sanctioned_rng:
+                    self._violate(
+                        node, "DET003",
+                        f"numpy Generator constructed via `{qual}` outside "
+                        "repro.util.rng; thread seeds through "
+                        "repro.util.rng.resolve_rng/spawn_rngs",
+                    )
+                return {RNG}
+            if qual.startswith(SANCTIONED_RNG_PREFIX):
+                return {RNG}
+            if qual in ("set", "frozenset"):
+                out = {UNORDERED}
+                for k in arg_kinds:
+                    out |= k
+                return out
+            if qual in ORDER_LAUNDERERS:
+                out: set[str] = set()
+                for k in arg_kinds:
+                    out |= k
+                return out - {UNORDERED, ORDPOS}
+
+        callee = self.model.resolve_call(node, self.owner)
+        if callee is not None:
+            return self._apply_callee(node, callee, arg_kinds, kw_kinds)
+
+        if isinstance(func, ast.Attribute):
+            recv = self.eval(func.value)
+            if func.attr in CLOCK_SINK_METHODS:
+                spec = CLOCK_SINK_METHODS[func.attr]
+                positions = range(len(arg_kinds)) if spec == "all" else spec
+                for i in positions:
+                    if i < len(arg_kinds):
+                        self._sink(
+                            node.args[i], arg_kinds[i], CLOCK, "CLK002",
+                            f"host wall-clock value flows into "
+                            f"`.{func.attr}()`; this sink advances the "
+                            "simulated clock/trace and takes modelled "
+                            "times only",
+                        )
+                for kw in node.keywords:
+                    if func.attr == "busy" and kw.arg == "duration":
+                        self._sink(
+                            kw.value, kw_kinds[kw.arg], CLOCK, "CLK002",
+                            "host wall-clock value flows into a `busy("
+                            "duration=)` simulated interval",
+                        )
+            if RNG in recv:
+                # a stateful draw: nondeterministic when the enclosing
+                # iteration order is undefined
+                if self.order_depth > 0:
+                    self._violate(
+                        node, "DET003",
+                        f"stateful RNG draw `.{func.attr}()` inside "
+                        "iteration over an unordered container; the draw "
+                        "sequence depends on set ordering — iterate "
+                        "sorted(...) or draw before the loop",
+                    )
+                return set()
+            if func.attr in ("keys", "values", "items"):
+                # dict views iterate in deterministic insertion order;
+                # they carry their mapping's taint but are not unordered
+                return recv - {UNORDERED}
+            if self.order_depth > 0 and func.attr in INSERTION_METHODS:
+                for i, k in enumerate(arg_kinds):
+                    self._sink(
+                        node.args[i], k, ORDPOS, "ORD001",
+                        "unordered iteration order flows into "
+                        f"`.{func.attr}()`; the container's contents now "
+                        "depend on set ordering — iterate sorted(...)",
+                    )
+            out = set(recv)
+            for k in arg_kinds:
+                out |= k
+            return out
+
+        # TraceEvent construction: start=/end= are simulated instants
+        if qual is not None and qual.rsplit(".", 1)[-1] == "TraceEvent":
+            for kw in node.keywords:
+                if kw.arg in ("start", "end"):
+                    self._sink(
+                        kw.value, kw_kinds[kw.arg], CLOCK, "CLK002",
+                        f"host wall-clock value flows into TraceEvent "
+                        f"`{kw.arg}=`; the Trace records simulated "
+                        "instants only",
+                    )
+
+        if qual == "sum":
+            for i, k in enumerate(arg_kinds[:1]):
+                if UNORDERED in k:
+                    self._violate(
+                        node, "ORD001",
+                        "sum() over an unordered container: float "
+                        "accumulation order follows set ordering — "
+                        "sum(sorted(...)) instead",
+                    )
+            out = set()
+            for k in arg_kinds:
+                out |= k
+            return out - {UNORDERED, ORDPOS}
+
+        out = set()
+        for k in arg_kinds:
+            out |= k
+        for k in kw_kinds.values():
+            out |= k
+        return out
+
+    def _apply_callee(
+        self,
+        node: ast.Call,
+        callee: FunctionInfo,
+        arg_kinds: list[set[str]],
+        kw_kinds: dict[str | None, set[str]],
+    ) -> set[str]:
+        """Map call arguments onto the callee's summary."""
+        summary = self.summaries.get(callee.qualname, TaintSummary())
+        params = callee.params
+        # receiver of a self-method call occupies parameter 0
+        offset = 0
+        if (
+            callee.cls
+            and isinstance(node.func, ast.Attribute)
+            and params
+            and params[0] == "self"
+        ):
+            offset = 1
+        by_index: dict[int, set[str]] = {
+            i + offset: k for i, k in enumerate(arg_kinds)
+        }
+        for name, k in kw_kinds.items():
+            if name in callee.params:
+                by_index[callee.params.index(name)] = k
+
+        out: set[str] = set()
+        for kind in summary.returns:
+            if _is_marker(kind):
+                out |= by_index.get(int(kind[1:]), set())
+            else:
+                out.add(kind)
+        for idx, trigger, desc in summary.param_sinks:
+            kinds = by_index.get(idx, set())
+            if trigger in kinds:
+                rule = {CLOCK: "CLK002", RNG: "DET003"}.get(trigger, "ORD001")
+                self._violate(
+                    node, rule,
+                    f"tainted value passed to {callee.qualname}() "
+                    f"(parameter `{params[idx] if idx < len(params) else idx}`): "
+                    f"{desc}",
+                )
+            for k in kinds:
+                if _is_marker(k):
+                    self.param_sinks.add((int(k[1:]), trigger, desc))
+        return out
+
+    # -- statements --------------------------------------------------------
+    def _bind(self, target: ast.expr, kinds: set[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(kinds)
+        elif isinstance(target, ast.Attribute):
+            dotted = dotted_name(target)
+            if dotted is not None:
+                self.env[dotted] = set(kinds)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, kinds)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, kinds)
+
+    def _assign_sink_check(self, target: ast.expr, value: ast.expr,
+                           kinds: set[str]) -> None:
+        if isinstance(target, ast.Attribute) and target.attr in CLOCK_SINK_ATTRS:
+            self._sink(
+                value, kinds, CLOCK, "CLK002",
+                f"host wall-clock value assigned to `.{target.attr}`; "
+                "simulated-clock fields take modelled times only",
+            )
+        if (
+            self.order_depth > 0
+            and isinstance(target, ast.Subscript)
+        ):
+            key = self.eval(target.slice)
+            if ORDPOS in key or ORDPOS in kinds:
+                self._sink(
+                    value, key | kinds, ORDPOS, "ORD001",
+                    "unordered iteration order flows into a subscript "
+                    "store; insertion order now depends on set ordering "
+                    "— iterate sorted(...)",
+                )
+
+    def walk(self, body: list[ast.stmt]) -> None:
+        nested: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        self._walk_block(body, nested)
+        # nested defs (closures) see the enclosing bindings
+        for fn in nested:
+            saved = dict(self.env)
+            for p in (*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs):
+                self.env.pop(p.arg, None)
+            inner: list = []
+            self._walk_block(fn.body, inner)
+            for deeper in inner:
+                self._walk_block(deeper.body, [])
+            self.env = saved
+
+    def _walk_block(self, body: list[ast.stmt], nested: list) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, nested)
+
+    def _walk_stmt(self, stmt: ast.stmt, nested: list) -> None:  # noqa: C901
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested.append(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            pass
+        elif isinstance(stmt, ast.Assign):
+            kinds = self.eval(stmt.value)
+            for t in stmt.targets:
+                self._assign_sink_check(t, stmt.value, kinds)
+                self._bind(t, kinds)
+        elif isinstance(stmt, ast.AnnAssign):
+            kinds = self.eval(stmt.value) if stmt.value is not None else set()
+            self._assign_sink_check(stmt.target, stmt.value or stmt.target, kinds)
+            self._bind(stmt.target, kinds)
+        elif isinstance(stmt, ast.AugAssign):
+            kinds = self.eval(stmt.value)
+            if (
+                self.order_depth > 0
+                and isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mult))
+            ):
+                self._sink(
+                    stmt.value, kinds, ORDPOS, "ORD001",
+                    "accumulation over unordered iteration order: float "
+                    "sums are not associative, so the total depends on "
+                    "set ordering — iterate sorted(...)",
+                )
+            self._assign_sink_check(stmt.target, stmt.value, kinds)
+            target_kinds = self.eval(stmt.target) | kinds
+            self._bind(stmt.target, target_kinds)
+        elif isinstance(stmt, ast.Return):
+            self.returns |= self.eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.If,)):
+            self.eval(stmt.test)
+            self._walk_block(stmt.body, nested)
+            self._walk_block(stmt.orelse, nested)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            it_kinds = self.eval(stmt.iter)
+            unordered = UNORDERED in it_kinds
+            self._bind(
+                stmt.target,
+                (it_kinds - {UNORDERED}) | ({ORDPOS} if unordered else set()),
+            )
+            if unordered:
+                self.order_depth += 1
+            try:
+                # twice: loop-carried taint stabilises after one repeat
+                self._walk_block(stmt.body, nested)
+                self._walk_block(stmt.body, [])
+            finally:
+                if unordered:
+                    self.order_depth -= 1
+            self._walk_block(stmt.orelse, nested)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self._walk_block(stmt.body, nested)
+            self._walk_block(stmt.body, [])
+            self._walk_block(stmt.orelse, nested)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                kinds = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, kinds)
+            self._walk_block(stmt.body, nested)
+        elif isinstance(stmt, ast.Try):
+            self._walk_block(stmt.body, nested)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body, nested)
+            self._walk_block(stmt.orelse, nested)
+            self._walk_block(stmt.finalbody, nested)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        # Import/Pass/Break/Continue/Global/Nonlocal/Delete: no taint flow
+
+
+def _analyze_function(
+    model: ProjectModel,
+    fn: FunctionInfo,
+    summaries: dict[str, TaintSummary],
+    module_env: dict[str, set[str]],
+    report: Callable[[RawViolation], None] | None,
+) -> TaintSummary:
+    walker = _Walker(model, fn, summaries, report)
+    walker.env = {k: set(v) for k, v in module_env.items()}
+    for i, name in enumerate(fn.params):
+        walker.env[name] = {f"{_PARAM}{i}"}
+    walker.walk(fn.node.body)
+    return TaintSummary(
+        returns=frozenset(walker.returns),
+        param_sinks=frozenset(walker.param_sinks),
+    )
+
+
+def _module_env(
+    model: ProjectModel,
+    mod: ModuleInfo,
+    summaries: dict[str, TaintSummary],
+    report: Callable[[RawViolation], None] | None,
+) -> dict[str, set[str]]:
+    walker = _Walker(model, mod, summaries, report)
+    walker.walk(mod.tree.body)
+    return walker.env
+
+
+def compute_summaries(model: ProjectModel) -> dict[str, TaintSummary]:
+    """Fixed-point taint summaries for every project function."""
+    summaries: dict[str, TaintSummary] = {}
+    for _ in range(10):
+        changed = False
+        envs = {
+            name: _module_env(model, mod, summaries, None)
+            for name, mod in sorted(model.modules.items())
+        }
+        for qualname in sorted(model.functions):
+            fn = model.functions[qualname]
+            new = _analyze_function(
+                model, fn, summaries, envs.get(fn.module, {}), None
+            )
+            if summaries.get(qualname) != new:
+                summaries[qualname] = new
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def analyze_model(model: ProjectModel) -> list[RawViolation]:
+    """Summaries + reporting walk over a built project model."""
+    summaries = compute_summaries(model)
+    found: set[RawViolation] = set()
+    report = found.add
+    envs = {
+        name: _module_env(model, mod, summaries, report)
+        for name, mod in sorted(model.modules.items())
+    }
+    for qualname in sorted(model.functions):
+        fn = model.functions[qualname]
+        _analyze_function(model, fn, summaries, envs.get(fn.module, {}), report)
+    return sorted(found, key=lambda v: (v.relpath, v.line, v.col, v.rule, v.message))
+
+
+def analyze_project(
+    paths: list[str | Path], *, root: str | Path, respect_noqa: bool = True
+) -> tuple[list[Finding], int]:
+    """Run the deep pass over ``paths``; returns ``(findings, suppressed)``.
+
+    Findings are :class:`repro.lint.base.Finding` records carrying the
+    registered severity of their rule; inline ``# repro: noqa[RULE]``
+    markers on the reported line suppress exactly like per-file rules.
+    """
+    from pathlib import Path
+
+    from repro.lint.base import Finding, all_rules
+    from repro.lint.dataflow.model import build_project_model
+    from repro.lint.suppressions import is_suppressed, suppression_map
+
+    severities = {r.id: r.severity for r in all_rules()}
+    base = Path(root)
+    model = build_project_model([Path(p) for p in paths], root=base)
+    supp_maps = {
+        mod.relpath: suppression_map(mod.source_lines)
+        for mod in model.modules.values()
+    }
+    findings: list[Finding] = []
+    suppressed = 0
+    for raw in analyze_model(model):
+        if respect_noqa and is_suppressed(
+            raw.rule, raw.line, supp_maps.get(raw.relpath, {})
+        ):
+            suppressed += 1
+            continue
+        findings.append(Finding(
+            rule=raw.rule,
+            severity=severities.get(raw.rule, "error"),
+            path=raw.relpath,
+            line=raw.line,
+            col=raw.col,
+            message=raw.message,
+        ))
+    return findings, suppressed

@@ -28,7 +28,11 @@ from repro.lint.suppressions import is_suppressed, suppression_map
 #: trees ``repro check`` analyses when no paths are given (repo-root
 #: relative; missing ones are skipped so the CLI works from a checkout
 #: or an installed tree alike)
-DEFAULT_ROOTS = ("src/repro", "tools", "benchmarks")
+DEFAULT_ROOTS = ("src/repro", "tools", "benchmarks", "examples")
+
+#: trees the interprocedural deep pass (``--deep``) analyses by
+#: default: the library itself, where cross-module taint matters
+DEEP_ROOTS = ("src/repro",)
 
 #: directories never descended into
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
@@ -154,6 +158,7 @@ def lint_paths(
     rules: list[Rule] | None = None,
     respect_noqa: bool = True,
     baseline: Counter | None = None,
+    deep: bool = False,
 ) -> LintResult:
     """Run the checker over files/directories and return the result.
 
@@ -172,23 +177,42 @@ def lint_paths(
         Fingerprint allowance counts (from
         :func:`repro.lint.baseline.load_baseline`); matching findings
         are counted as ``baselined`` instead of reported.
+    deep:
+        Also run the interprocedural dataflow pass
+        (:mod:`repro.lint.dataflow`), producing the project-scoped
+        CLK002/DET003/ORD001 findings.  With default ``paths`` the
+        deep pass covers :data:`DEEP_ROOTS`; with explicit paths it
+        analyses exactly those (useful for fixture trees).
     """
     base = Path(root) if root is not None else Path.cwd()
     if paths is None:
         targets = [base / r for r in DEFAULT_ROOTS if (base / r).exists()]
+        deep_targets = [base / r for r in DEEP_ROOTS if (base / r).exists()]
     else:
         targets = [Path(p) for p in paths]
+        deep_targets = targets
     active = rules if rules is not None else all_rules()
+    file_rules = [r for r in active if r.scope == "file"]
 
     result = LintResult()
     collected: list[Finding] = []
     for path in iter_python_files(targets):
         kept, suppressed = lint_file(
-            path, root=base, rules=active, respect_noqa=respect_noqa
+            path, root=base, rules=file_rules, respect_noqa=respect_noqa
         )
         collected.extend(kept)
         result.suppressed += suppressed
         result.files_checked += 1
+
+    if deep and any(r.scope == "project" for r in active):
+        from repro.lint.dataflow import analyze_project
+
+        deep_findings, deep_suppressed = analyze_project(
+            deep_targets, root=base, respect_noqa=respect_noqa
+        )
+        project_ids = {r.id for r in active if r.scope == "project"}
+        collected.extend(f for f in deep_findings if f.rule in project_ids)
+        result.suppressed += deep_suppressed
 
     if baseline:
         allowance = Counter(baseline)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 
-from repro.lint.base import REGISTRY, all_rules
+from repro.lint.base import REGISTRY, Rule, all_rules
 from repro.lint.engine import LintResult
 
 REPORT_SCHEMA = "repro-lint/1"
@@ -54,7 +54,43 @@ def render_rules() -> str:
     rules = all_rules()
     width = max(len(r.id) for r in rules)
     lines = [
-        f"{r.id:<{width}}  [{r.severity}] {r.description}" for r in rules
+        f"{r.id:<{width}}  [{r.severity}"
+        f"{', deep' if r.scope == 'project' else ''}] {r.description}"
+        for r in rules
     ]
-    lines.append(f"{len(REGISTRY)} rules registered")
+    lines.append(
+        f"{len(REGISTRY)} rules registered "
+        "(`deep` rules run under `repro check --deep`)"
+    )
     return "\n".join(lines)
+
+
+def render_explain(rule: Rule) -> str:
+    """The ``repro check --explain RULE`` card for one rule instance.
+
+    Assembled from the rule's registry attributes: the one-line
+    description, the class docstring (rationale), and the
+    ``example_violation`` / ``example_fix`` snippets.  The explain test
+    asserts every registered rule fills all three in.
+    """
+    import inspect
+
+    scope = "project-wide (runs under --deep)" if rule.scope == "project" else "per-file"
+    doc = inspect.getdoc(type(rule)) or ""
+    sections = [
+        f"{rule.id} [{rule.severity}, {scope}]",
+        rule.description,
+    ]
+    if doc:
+        sections.append(f"\nWhy it matters:\n{doc}")
+    if rule.example_violation:
+        snippet = "\n".join(f"    {ln}" for ln in rule.example_violation.splitlines())
+        sections.append(f"\nViolates:\n{snippet}")
+    if rule.example_fix:
+        snippet = "\n".join(f"    {ln}" for ln in rule.example_fix.splitlines())
+        sections.append(f"\nSanctioned pattern:\n{snippet}")
+    sections.append(
+        f"\nSuppress a single finding with `# repro: noqa[{rule.id}]` "
+        "on the reported line."
+    )
+    return "\n".join(sections)

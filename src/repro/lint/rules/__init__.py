@@ -14,16 +14,22 @@ Importing this package populates :data:`repro.lint.base.REGISTRY`:
 - **CKP001** (:mod:`~repro.lint.rules.checkpoint_rules`) — checkpoint
   serialisation only via the versioned ``repro.jobs.snapshot`` format;
 - **EVT001** (:mod:`~repro.lint.rules.events_rules`) — structured run
-  events only via ``repro.obs.events``, never hand-rolled JSONL writes.
+  events only via ``repro.obs.events``, never hand-rolled JSONL writes;
+- **CLK002/DET003/ORD001** (:mod:`~repro.lint.rules.dataflow_rules`) —
+  project-scoped interprocedural taint rules, produced by the deep pass
+  (``repro check --deep``; :mod:`repro.lint.dataflow`).
 
-To add a rule: subclass :class:`repro.lint.base.Rule` in a module here,
-decorate it with :func:`repro.lint.base.register`, import the module
-below, and add a fixture with one violation to ``tests/data/lint_fixtures``.
+To add a per-file rule: subclass :class:`repro.lint.base.Rule` in a
+module here, decorate it with :func:`repro.lint.base.register`, import
+the module below, and add a fixture with one violation to
+``tests/data/lint_fixtures`` (project-scoped rules use
+``tests/data/dataflow_fixtures`` instead).
 """
 
 from repro.lint.rules import (
     checkpoint_rules,
     clock,
+    dataflow_rules,
     determinism,
     events_rules,
     faults_rules,
@@ -34,6 +40,7 @@ from repro.lint.rules import (
 __all__ = [
     "checkpoint_rules",
     "clock",
+    "dataflow_rules",
     "determinism",
     "events_rules",
     "faults_rules",

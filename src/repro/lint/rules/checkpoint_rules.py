@@ -39,7 +39,15 @@ _BANNED_CALLS = (
 
 @register
 class CKP001(Rule):
-    """Ad-hoc state serialisation inside ``repro.jobs``."""
+    """Ad-hoc state serialisation inside ``repro.jobs``.
+
+    A checkpoint that a newer library version cannot read is data
+    loss; a checkpoint that deserialises arbitrary objects (pickle) is
+    a liability.  The ``repro.jobs.snapshot`` format exists to carry a
+    schema tag, content digests, and an atomic-replace write protocol
+    — every byte of durable job state must go through it so resume
+    paths have exactly one format to validate.
+    """
 
     id = "CKP001"
     description = (
@@ -47,6 +55,15 @@ class CKP001(Rule):
         "the versioned repro.jobs.snapshot format (schema tag, sha256 "
         "digests, atomic replace) — no pickle/marshal/shelve and no "
         "direct numpy save/load elsewhere in the package"
+    )
+    example_violation = (
+        "# in repro/jobs/...\n"
+        "with open(path, 'wb') as fh:\n"
+        "    pickle.dump(state, fh)        # unversioned, unverifiable"
+    )
+    example_fix = (
+        "from repro.jobs.snapshot import write_snapshot\n"
+        "write_snapshot(path, state)       # schema tag + digests + atomic"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:

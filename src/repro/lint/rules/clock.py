@@ -58,13 +58,31 @@ def _mentions_sim_value(expr: ast.expr) -> bool:
 
 @register
 class CLK001(Rule):
-    """Host clocks in simulation code; sim values in wall-clock fields."""
+    """Host clocks in simulation code; sim values in wall-clock fields.
+
+    The repo runs two clocks (DESIGN.md): the simulated platform clock
+    the paper's figures report, and the host wall clock the
+    observability layer measures.  A ``perf_counter()`` charged into
+    simulation code makes "modelled" times machine-dependent; a
+    simulated duration written into a span's ``wall_*`` field corrupts
+    the flame chart.  This rule polices both directions syntactically,
+    per file; CLK002 extends it across function boundaries.
+    """
 
     id = "CLK001"
     description = (
         "no host wall-clock calls in core/kernels/costmodel/hetero/"
         "hardware; simulated-clock values must not flow into host-clock "
         "span fields"
+    )
+    example_violation = (
+        "# in repro/hetero/...\n"
+        "import time\n"
+        "start = time.perf_counter()       # host clock in simulation code"
+    )
+    example_fix = (
+        "start = device.clock              # the simulated clock\n"
+        "device.busy('III', label, cost_model_seconds)"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:

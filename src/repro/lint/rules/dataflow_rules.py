@@ -1,0 +1,136 @@
+"""CLK002 / DET003 / ORD001 — the project-scoped dataflow rules.
+
+These rules have ``scope = "project"``: the fast per-file engine skips
+them and the interprocedural deep pass (:mod:`repro.lint.dataflow`,
+``repro check --deep``) produces their findings.  The classes here are
+the registry entries — id, severity, rationale, ``--explain`` examples
+— so listing, explaining, suppressing, and baselining work identically
+for per-file and project-wide rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.base import ModuleContext, RawFinding, Rule, register
+
+
+class _ProjectRule(Rule):
+    """A rule whose findings come from the deep pass, not ``check()``."""
+
+    scope = "project"
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        return iter(())
+
+
+@register
+class CLK002(_ProjectRule):
+    """Interprocedural clock-domain hygiene.
+
+    CLK001 flags a ``perf_counter()`` call *in* simulation code, but a
+    host timestamp can be laundered: returned from a helper in a
+    non-simulation module, stored, and only then assigned to a device
+    ``.clock``, passed as ``sim_t=``, fed to ``busy()``/``set_sim()``/
+    ``wait_until()``/``schedule()``, or written into a ``TraceEvent``
+    interval.  Any host-clock value reaching a simulated-time sink
+    makes results machine-dependent — the simulated timeline silently
+    absorbs wall-clock jitter, so two runs of the same input disagree.
+    The deep pass tracks clock taint through assignments, arithmetic,
+    and call chains (helper summaries), project-wide.
+    """
+
+    id = "CLK002"
+    description = (
+        "interprocedural: host wall-clock values must never reach a "
+        "simulated-time field, device clock, engine schedule, or the Trace "
+        "— through any chain of helpers"
+    )
+    example_violation = (
+        "# helpers.py (not a simulation module)\n"
+        "def host_now():\n"
+        "    return time.perf_counter()\n"
+        "\n"
+        "# scheduler.py\n"
+        "from helpers import host_now\n"
+        "device.clock = host_now()   # wall time enters the sim timeline"
+    )
+    example_fix = (
+        "# durations come from the cost models; the device clock only\n"
+        "# ever advances by modelled simulated time\n"
+        "device.busy(\"III\", label, cost_model_seconds(stats))"
+    )
+
+
+@register
+class DET003(_ProjectRule):
+    """RNG-domain taint: generator origin and order-dependent draws.
+
+    DET001 flags *unseeded* construction; DET003 is stricter and
+    interprocedural: **every** numpy Generator must originate in
+    :mod:`repro.util.rng` (one seeding discipline, one place to audit),
+    and a generator — sanctioned or not — must never be drawn from
+    inside iteration over an unordered container, because the draw
+    *sequence* then depends on set ordering even if every drawn value
+    is eventually sorted.  The deep pass tracks generator values
+    through helper returns and module boundaries.
+    """
+
+    id = "DET003"
+    description = (
+        "interprocedural: every numpy Generator must originate in "
+        "repro.util.rng and must not be drawn from inside unordered "
+        "iteration"
+    )
+    example_violation = (
+        "def fresh_gen():\n"
+        "    return np.random.default_rng(99)   # private seeding discipline\n"
+        "\n"
+        "gen = fresh_gen()\n"
+        "for key in set(keys):\n"
+        "    out.append(gen.normal())   # draw order follows set order"
+    )
+    example_fix = (
+        "from repro.util.rng import resolve_rng\n"
+        "\n"
+        "gen = resolve_rng(seed)\n"
+        "for key in sorted(set(keys)):\n"
+        "    out.append(gen.normal())"
+    )
+
+
+@register
+class ORD001(_ProjectRule):
+    """Unordered iteration order leaking into order-sensitive state.
+
+    DET002 flags the direct syntactic forms (``for x in set(...)``),
+    but set ordering also leaks through a variable, a set union
+    (``parked | dead``), or a helper that returns a set.  When such an
+    iteration feeds a float accumulation (float addition is not
+    associative), a container insertion, or a workqueue operation, the
+    result or schedule depends on hash ordering.  The deep pass tracks
+    "unordered" taint through assignments, set algebra, and function
+    summaries, and flags only iterations whose order actually reaches
+    an order-sensitive sink — ``sorted(...)`` launders the taint.
+    Python dicts iterate in insertion order and are treated as ordered.
+    """
+
+    id = "ORD001"
+    description = (
+        "interprocedural: set/frozenset iteration order must not flow "
+        "into float accumulation or container/workqueue insertion — "
+        "wrap the iterable in sorted(...)"
+    )
+    example_violation = (
+        "def active(front, back):\n"
+        "    return set(front) | set(back)\n"
+        "\n"
+        "total = 0.0\n"
+        "for r in active(front, back):\n"
+        "    total += weights[r]    # float sum follows set ordering"
+    )
+    example_fix = (
+        "total = 0.0\n"
+        "for r in sorted(active(front, back)):\n"
+        "    total += weights[r]"
+    )

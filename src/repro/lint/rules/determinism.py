@@ -54,12 +54,30 @@ def _is_unseeded_default_rng(call: ast.Call, qual: str) -> bool:
 
 @register
 class DET001(Rule):
-    """Host randomness/clock access outside the sanctioned modules."""
+    """Host randomness/clock access outside the sanctioned modules.
+
+    Every figure in the reproduction must be re-runnable bit-for-bit:
+    a stray ``random.random()`` or unseeded Generator makes the run
+    depend on process state, and a host ``time`` import in analysis
+    code smuggles machine speed into what should be a pure simulation.
+    The sanctioned path is one seed, normalised once, threaded
+    explicitly.
+    """
 
     id = "DET001"
     description = (
         "no `random`/`time`/unseeded `np.random` outside repro.util.rng "
         "and repro.obs — thread seeds through repro.util.rng.normalise"
+    )
+    example_violation = (
+        "import random\n"
+        "jitter = random.random()          # process-state dependent\n"
+        "gen = np.random.default_rng()     # unseeded"
+    )
+    example_fix = (
+        "from repro.util.rng import resolve_rng\n"
+        "gen = resolve_rng(seed)           # one seed, explicit, replayable\n"
+        "jitter = gen.random()"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
@@ -121,12 +139,29 @@ class DET001(Rule):
 
 @register
 class DET002(Rule):
-    """Iteration order of unordered containers leaking into schedules."""
+    """Iteration order of unordered containers leaking into schedules.
+
+    Python sets hash-order their elements, and that order varies with
+    insertion history (and, for strings, the interpreter's hash seed).
+    A ``for`` loop over a set that schedules events, accumulates
+    floats, or appends to a queue bakes that accidental order into
+    results.  This syntactic rule flags the loop form itself; its
+    interprocedural sibling ORD001 tracks the order through helper
+    calls into real sinks.
+    """
 
     id = "DET002"
     description = (
         "no iteration over set()/frozenset()/dict.keys() whose order can "
         "leak into simulated schedules — wrap in sorted(...)"
+    )
+    example_violation = (
+        "for kind in {'cpu', 'gpu'} - dead:\n"
+        "    engine.schedule(t, steps[kind])   # hash-order scheduling"
+    )
+    example_fix = (
+        "for kind in sorted({'cpu', 'gpu'} - dead):\n"
+        "    engine.schedule(t, steps[kind])   # deterministic order"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:

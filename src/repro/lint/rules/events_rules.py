@@ -39,7 +39,16 @@ def _contains_json_dumps(node: ast.expr, imports: dict) -> bool:
 
 @register
 class EVT001(Rule):
-    """Hand-rolled JSON/JSONL writes in instrumented code."""
+    """Hand-rolled JSON/JSONL writes in instrumented code.
+
+    The event log's guarantees — strictly increasing ``seq`` numbers,
+    one schema, sorted-key compact records, a detectable truncation —
+    only hold if every record flows through
+    :data:`repro.obs.events.EVENTS`.  A hand-rolled ``json.dump`` in
+    an instrumented package produces a second, unversioned stream the
+    run-table aggregator cannot ingest and the header cannot vouch
+    for.
+    """
 
     id = "EVT001"
     description = (
@@ -47,6 +56,15 @@ class EVT001(Rule):
         "core/hardware) must be emitted through repro.obs.events — no "
         "direct json.dump(...) and no fh.write(json.dumps(...)) outside "
         "the sanctioned snapshot module"
+    )
+    example_violation = (
+        "# in repro/jobs/...\n"
+        "fh.write(json.dumps({'event': 'retry', 'unit': i}) + '\\n')"
+    )
+    example_fix = (
+        "from repro.obs.events import EVENTS\n"
+        "if EVENTS.enabled:\n"
+        "    EVENTS.emit('unit_retry', unit=i)"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:

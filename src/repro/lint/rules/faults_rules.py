@@ -30,7 +30,15 @@ _GENERATOR_FACTORIES = (
 
 @register
 class FLT001(Rule):
-    """Direct numpy Generator construction inside ``repro.faults``."""
+    """Direct numpy Generator construction inside ``repro.faults``.
+
+    Chaos runs must be replayable: a crash found under fault schedule
+    seed 7 has to reproduce under seed 7, byte for byte.  That only
+    holds if every probabilistic fault draw flows from the injector's
+    single resolved generator — a second, locally constructed
+    Generator (even seeded) forks the stream and silently decouples
+    the replayed schedule from the recorded one.
+    """
 
     id = "FLT001"
     description = (
@@ -38,6 +46,14 @@ class FLT001(Rule):
         "seeded; derive the injector's generator through "
         "repro.util.rng.resolve_rng so one seed replays the whole "
         "fault schedule"
+    )
+    example_violation = (
+        "# in repro/faults/...\n"
+        "gen = np.random.default_rng(self.spec.seed)   # forks the stream"
+    )
+    example_fix = (
+        "from repro.util.rng import resolve_rng\n"
+        "gen = resolve_rng(self.spec.seed)  # the one sanctioned stream"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:

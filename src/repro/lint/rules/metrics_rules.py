@@ -49,12 +49,28 @@ def _metrics_call(node: ast.expr) -> tuple[str, ast.Call] | None:
 
 @register
 class MET001(Rule):
-    """Metric name literals must appear in the declared catalog."""
+    """Metric name literals must appear in the declared catalog.
+
+    The catalog (:mod:`repro.obs.catalog`) is the single source of
+    truth for what the library emits: reports, dashboards, and the
+    runtime validator all read it.  An undeclared name is a metric
+    nobody will ever aggregate — it silently falls out of every
+    report.  Declaring it (name, kind, unit, description) is one line.
+    """
 
     id = "MET001"
     description = (
         "every METRICS.inc/set_gauge/observe/timer/record name literal "
         "must be declared in repro.obs.catalog (with the matching kind)"
+    )
+    example_violation = (
+        "METRICS.inc('phase3.my_new_counter')   # not in the catalog"
+    )
+    example_fix = (
+        "# in repro/obs/catalog.py:\n"
+        "_c('phase3.my_new_counter', 'units', 'what it counts'),\n"
+        "# then the call site is legal:\n"
+        "METRICS.inc('phase3.my_new_counter')"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
@@ -103,13 +119,27 @@ def _is_not_enabled_expr(test: ast.expr) -> bool:
 
 @register
 class MET002(Rule):
-    """Mutating METRICS calls must be gated on ``METRICS.enabled``."""
+    """Mutating METRICS calls must be gated on ``METRICS.enabled``.
+
+    An ungated ``METRICS.inc(f"...{x}...", expensive())`` pays its
+    argument evaluation on every call even with profiling off — the
+    observability layer's contract is "one branch per site when
+    disabled".  The gate also reads as documentation: hot-path code
+    shows exactly where its instrumentation boundary is.
+    """
 
     id = "MET002"
     description = (
         "METRICS.inc/set_gauge/observe/record must sit behind an "
         "`if METRICS.enabled:` gate (or an early-return guard) so "
         "argument evaluation is free when profiling is off"
+    )
+    example_violation = (
+        "METRICS.inc(f'kernels.{name}.flops', compute_flops())  # always pays"
+    )
+    example_fix = (
+        "if METRICS.enabled:\n"
+        "    METRICS.inc(f'kernels.{name}.flops', compute_flops())"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:

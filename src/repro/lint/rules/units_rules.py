@@ -27,13 +27,29 @@ _CONVERSIONS = frozenset({
 
 @register
 class UNIT001(Rule):
-    """Unit conversions banned in cost-model/kernel hot paths."""
+    """Unit conversions banned in cost-model/kernel hot paths.
+
+    Cost models and kernels compute in one fixed unit system (raw
+    seconds, bytes, flops); the pretty-printing helpers in
+    :mod:`repro.util.units` exist for the reporting boundary.  A
+    conversion inside a hot path is either dead weight or — worse — a
+    sign two unit systems are mixing mid-computation, which is how a
+    GB/s constant ends up divided by 1e6 twice.
+    """
 
     id = "UNIT001"
     description = (
         "repro.util.units conversion helpers are reporting-boundary "
         "only — banned in costmodel/ and kernels/ where raw "
         "seconds/bytes are the invariant"
+    )
+    example_violation = (
+        "# in repro/costmodel/...\n"
+        "bw = to_gib_per_s(spec.mem_bandwidth)   # converted mid-model"
+    )
+    example_fix = (
+        "bw = spec.mem_bandwidth          # stay in bytes/second\n"
+        "# convert once, at the report: human_bytes(bw) in the renderer"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:

@@ -153,6 +153,11 @@ CATALOG: tuple[MetricSpec, ...] = (
     _t("bench.case.{case}.wall_s", "seconds", "host wall clock per timed repeat of one case"),
     _h("bench.case.{case}.wall_hist_s", "seconds", "host wall-clock distribution (exact percentiles) per case"),
     _g("bench.case.{case}.sim_time_s", "seconds", "modelled platform time of an end-to-end case"),
+    # -- schedule sanitizer ------------------------------------------------
+    _c("sanitize.schedules.run", "runs", "schedules executed by the perturbation harness"),
+    _c("sanitize.schedules.mismatched", "mismatches", "fingerprint mismatches across perturbed schedules"),
+    _c("sanitize.checks", "checks", "RSan hook checks performed across sanitized runs"),
+    _c("sanitize.violations", "violations", "RSan concurrency violations observed"),
     # -- durable job runner ------------------------------------------------
     _c("jobs.budget.phase2_chunks", "chunks", "budgeted Phase II row-chunk launches"),
     _c("jobs.checkpoint.writes", "checkpoints", "checkpoints written by the job runner"),

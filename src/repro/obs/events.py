@@ -42,6 +42,7 @@ import platform as _platform
 import time
 from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -60,7 +61,7 @@ def host_info() -> dict:
     }
 
 
-def _jsonable_default(value):
+def _jsonable_default(value: object) -> object:
     """``json.dumps`` fallback: numpy scalars/arrays degrade cleanly."""
     item = getattr(value, "item", None)
     if callable(item) and isinstance(value, np.generic):
@@ -80,7 +81,7 @@ class EventLog:
     instrumented code never needs to know whether recording is on.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.enabled = False
         self._fh = None
         self._seq = 0
@@ -116,7 +117,7 @@ class EventLog:
         })
         self.enabled = True
 
-    def emit(self, event: str, **fields) -> None:
+    def emit(self, event: str, **fields: object) -> None:
         """Append one record; no-op when the log is disabled/closed."""
         if not self.enabled or self._fh is None:
             return
@@ -174,7 +175,7 @@ def event_log(
     label: str | None = None,
     provenance: dict | None = None,
     log: EventLog | None = None,
-):
+) -> Iterator[EventLog]:
     """Record one run into ``path``: header + ``run_begin`` on entry,
     ``run_end`` on exit (with the exception's class name as the status
     when the block raises — the exception still propagates)."""

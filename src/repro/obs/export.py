@@ -44,7 +44,7 @@ SIM_PID = 1
 WALL_PID = 2
 
 
-def _jsonable(value):
+def _jsonable(value: object) -> object:
     """Coerce numpy scalars/arrays and other extras to JSON-safe types."""
     if isinstance(value, (np.integer,)):
         return int(value)

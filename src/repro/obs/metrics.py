@@ -37,6 +37,7 @@ import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.util.errors import MetricError
 
@@ -197,7 +198,7 @@ class MetricsRegistry:
         undeclared or mis-kinded metric fails loudly before it ships.
     """
 
-    def __init__(self, *, enabled: bool = True, validate: bool = False):
+    def __init__(self, *, enabled: bool = True, validate: bool = False) -> None:
         self.enabled = enabled
         self.validate = validate
         self._counters: dict[str, float] = {}
@@ -276,7 +277,7 @@ class MetricsRegistry:
         self._timers.setdefault(name, TimerStat()).observe(float(seconds))
 
     @contextmanager
-    def timer(self, name: str):
+    def timer(self, name: str) -> Iterator[None]:
         """Time a ``with`` block into the timer ``name`` (wall clock)."""
         if not self.enabled:
             yield

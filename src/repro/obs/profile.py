@@ -21,6 +21,7 @@ helpers), so it is deliberately **not** imported from
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.runners import ExperimentSetup, experiment_setup, run_baseline, run_hhcpu
 from repro.analysis.tables import format_table
@@ -29,6 +30,10 @@ from repro.obs.export import export_chrome_trace, export_metrics
 from repro.obs.metrics import METRICS
 from repro.obs.spans import Span, observed
 from repro.util.units import human_time
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
+    from repro.faults.spec import FaultSpec
 
 #: algorithm names accepted by --algorithm (mirror the multiply command)
 PROFILE_ALGORITHMS = (
@@ -246,7 +251,8 @@ def _derive_trace_metrics(result: SpmmResult) -> None:
 
 
 def profile_setup(
-    setup: ExperimentSetup, *, algorithm: str = "hh-cpu", faults=None
+    setup: ExperimentSetup, *, algorithm: str = "hh-cpu",
+    faults: "FaultInjector | FaultSpec | None" = None
 ) -> ProfileReport:
     """Profile one prepared experiment setup.
 
@@ -285,7 +291,7 @@ def profile_setup(
 
 def profile_run(
     name: str, *, algorithm: str = "hh-cpu", scale: float | None = None,
-    faults=None,
+    faults: "FaultInjector | FaultSpec | None" = None,
 ) -> ProfileReport:
     """Load a Table I twin and profile ``algorithm`` on it (A x A)."""
     return profile_setup(

@@ -117,7 +117,7 @@ def _throughput(work: float | None, total_s: float | None) -> float | None:
     return work / total_s
 
 
-def _row(**fields) -> dict:
+def _row(**fields: object) -> dict:
     row = {name: None for name, _ in COLUMNS}
     row.update(fields)
     return row
@@ -395,7 +395,7 @@ def build_run_table(directory: str | Path) -> dict:
 
 # -- CSV rendering ----------------------------------------------------------
 
-def _fmt(value) -> str:
+def _fmt(value: object) -> str:
     if value is None:
         return ""
     if isinstance(value, bool):

@@ -24,6 +24,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -84,7 +88,7 @@ class Span:
 class SpanRecorder:
     """Collects nested :class:`Span` records for one profiled run."""
 
-    def __init__(self, *, enabled: bool = True):
+    def __init__(self, *, enabled: bool = True) -> None:
         self.enabled = enabled
         self.spans: list[Span] = []
         self._stack: list[int] = []
@@ -102,7 +106,8 @@ class SpanRecorder:
         return t - self._epoch
 
     @contextmanager
-    def span(self, name: str, *, category: str = "", **meta):
+    def span(self, name: str, *, category: str = "",
+             **meta: object) -> Iterator[Span | None]:
         """Record a ``with`` block as a span; yields the :class:`Span`
         (or None when disabled) so the block can annotate it."""
         if not self.enabled:
@@ -146,7 +151,9 @@ SPANS = SpanRecorder(enabled=False)
 
 
 @contextmanager
-def observed(metrics=None, spans=None, *, validate=None):
+def observed(metrics: "MetricsRegistry | None" = None,
+             spans: SpanRecorder | None = None, *,
+             validate: bool | None = None) -> "Iterator[tuple]":
     """Enable the shared METRICS/SPANS (reset first) for a ``with``
     block, restoring their previous enabled state afterwards.
 

@@ -1,0 +1,37 @@
+"""Runtime race sanitizer for the simulated concurrency ("RSan").
+
+Two prongs, both aimed at schedule-dependent bugs the ordinary test
+suite cannot see because it only ever observes one schedule:
+
+- :mod:`repro.sanitize.rsan` — the always-compiled-in, off-by-default
+  race detector.  Hooks in the event engine, workqueue, Phase III
+  scheduler, and simulated devices (one ``if RSAN.enabled:`` branch
+  each) maintain per-slot ownership, per-device clock floors, and
+  vector clocks, flagging double-served units, uncommitted-state
+  dequeues, unsanctioned clock rewinds, wrong-end requeues, and
+  overlapping in-flight output rows.
+- :mod:`repro.sanitize.harness` — the schedule-perturbation harness
+  behind ``python -m repro sanitize``: baseline + N seeded runs with
+  jittered equal-time tie-breaks, asserting bit-identical results and
+  canonical traces across all of them.
+"""
+
+from repro.sanitize.harness import (
+    DEFAULT_SCHEDULES,
+    perturb_schedules,
+    result_fingerprint,
+    run_once,
+    trace_fingerprint,
+)
+from repro.sanitize.rsan import RSAN, RSan, Violation
+
+__all__ = [
+    "DEFAULT_SCHEDULES",
+    "RSAN",
+    "RSan",
+    "Violation",
+    "perturb_schedules",
+    "result_fingerprint",
+    "run_once",
+    "trace_fingerprint",
+]

@@ -1,0 +1,236 @@
+"""The schedule-perturbation harness.
+
+The simulation's determinism claim is stronger than "same seed, same
+answer": the Phase III drain must be **tie-break invariant**.  Whenever
+two events land on the same simulated instant, the engine breaks the
+tie by insertion order — an arbitrary choice the result must not
+depend on, because the reorderable pieces (work-units in flight on
+different devices) produce row-disjoint outputs that Phase IV merges
+stably.  A bug that *does* leak tie order into results (an order-
+sensitive accumulation, a unit served under two schedules, a clock
+laundered through the merge) is exactly the kind ordinary tests miss:
+they only ever see the one schedule the default tie-break takes.
+
+:func:`perturb_schedules` runs one workload ``N + 1`` times: once with
+the production tie-break (the baseline) and ``N`` times with seeded
+random jitter permuting every equal-time tie, each run under the
+:data:`~repro.sanitize.rsan.RSAN` race detector.  It asserts all runs
+produce **bit-identical result matrices and canonical traces** and
+returns the ``repro-sanitize/1`` report the CLI renders and CI
+archives.  Jitter draws come from :func:`repro.util.rng.spawn_rngs`,
+so the explored schedule set is itself reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.hardware.trace import Trace
+from repro.obs.metrics import METRICS
+from repro.sanitize.rsan import RSAN
+from repro.util.rng import spawn_rngs
+
+if TYPE_CHECKING:
+    # the algorithm factory tests may inject: ``(a, b, tiebreak) -> result``
+    # (imported lazily at runtime -- repro.core depends on this package)
+    from repro.core.result import SpmmResult
+
+    MultiplyFn = Callable[
+        [CSRMatrix, CSRMatrix, "Callable[[], int] | None"], SpmmResult
+    ]
+
+#: perturbation-report schema identifier; bump on structural change
+SCHEMA = "repro-sanitize/1"
+
+#: default number of perturbed schedules explored
+DEFAULT_SCHEDULES = 8
+
+
+def result_fingerprint(matrix: CSRMatrix) -> str:
+    """SHA-256 over the exact CSR bytes: shape, indptr, indices, data.
+
+    Two matrices fingerprint equal iff they are bit-identical — the
+    float payload is hashed as raw IEEE-754 bytes, so even a
+    re-association that changes the last ulp changes the digest.
+    """
+    h = hashlib.sha256()
+    h.update(f"{matrix.nrows}x{matrix.ncols}".encode())
+    for arr in (matrix.indptr, matrix.indices, matrix.data):
+        a = np.ascontiguousarray(arr)
+        h.update(a.dtype.str.encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """SHA-256 over the canonical per-device event sequences.
+
+    Events are grouped by device (each device's own sequence is its
+    causal order) with floats hashed as raw bytes; the device groups
+    are concatenated in sorted-name order so the digest does not depend
+    on cross-device interleaving in the append-only log — that
+    interleaving is engine bookkeeping, not observable behaviour.
+    """
+    per_device: dict[str, list[bytes]] = {}
+    for e in trace.events:
+        per_device.setdefault(e.device, []).append(
+            e.phase.encode()
+            + b"\x00"
+            + e.label.encode()
+            + b"\x00"
+            + np.float64(e.start).tobytes()
+            + np.float64(e.end).tobytes()
+        )
+    h = hashlib.sha256()
+    for device in sorted(per_device):
+        h.update(device.encode() + b"\x1f")
+        for blob in per_device[device]:
+            h.update(blob)
+        h.update(b"\x1e")
+    return h.hexdigest()
+
+
+def _tiebreak_from(rng: np.random.Generator) -> Callable[[], int]:
+    """A seeded jitter draw for the event engine's tie-break slot."""
+
+    def draw() -> int:
+        return int(rng.integers(0, 2**31))
+
+    return draw
+
+
+def default_unit_rows(nrows: int) -> tuple[int, int]:
+    """Work-unit sizes giving a small input a real Phase III queue.
+
+    The paper's production sizes (1000/10000 rows) would collapse a
+    bench-scale workload into one or two units — no ties to perturb —
+    so the harness shrinks units until each device sees a dozen-odd
+    dequeues.
+    """
+    cpu_rows = max(1, nrows // 12)
+    return cpu_rows, max(1, cpu_rows * 4)
+
+
+def run_once(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    *,
+    cpu_rows: int,
+    gpu_rows: int,
+    tiebreak: Callable[[], int] | None = None,
+    multiply: MultiplyFn | None = None,
+) -> dict:
+    """One sanitized run: RSan armed, fingerprints taken.
+
+    ``multiply`` overrides the algorithm factory (tests inject broken
+    implementations to prove the harness catches them); the default
+    builds a fresh :class:`~repro.core.hhcpu.HHCPU`.
+    """
+    if multiply is None:
+        from repro.core.hhcpu import HHCPU
+
+        def default_multiply(a_: CSRMatrix, b_: CSRMatrix,
+                             tb: Callable[[], int] | None) -> SpmmResult:
+            return HHCPU(
+                cpu_rows=cpu_rows, gpu_rows=gpu_rows, schedule_tiebreak=tb
+            ).multiply(a_, b_)
+
+        multiply = default_multiply
+
+    RSAN.enable()
+    try:
+        result = multiply(a, b, tiebreak)
+    finally:
+        RSAN.disable()
+    rsan = RSAN.report()
+    return {
+        "result_fingerprint": result_fingerprint(result.matrix),
+        "trace_fingerprint": trace_fingerprint(result.trace),
+        "nnz": int(result.matrix.nnz),
+        "total_time": float(result.total_time),
+        "rsan": rsan,
+    }
+
+
+def perturb_schedules(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    *,
+    schedules: int = DEFAULT_SCHEDULES,
+    seed: int | None = None,
+    cpu_rows: int | None = None,
+    gpu_rows: int | None = None,
+    label: str = "",
+    multiply: MultiplyFn | None = None,
+) -> dict:
+    """Baseline + ``schedules`` jittered runs; assert bit-identity.
+
+    Returns the ``repro-sanitize/1`` report: per-run fingerprints, the
+    mismatch list (empty on a healthy implementation), and the merged
+    RSan counters.  ``report["ok"]`` is the CI verdict — every run
+    bit-identical to the baseline *and* zero sanitizer violations.
+    """
+    if schedules < 1:
+        raise ValueError(f"need at least one perturbed schedule, got {schedules}")
+    if cpu_rows is None or gpu_rows is None:
+        d_cpu, d_gpu = default_unit_rows(a.nrows)
+        cpu_rows = d_cpu if cpu_rows is None else cpu_rows
+        gpu_rows = d_gpu if gpu_rows is None else gpu_rows
+
+    baseline = run_once(
+        a, b, cpu_rows=cpu_rows, gpu_rows=gpu_rows, tiebreak=None,
+        multiply=multiply,
+    )
+    runs = [dict(baseline, schedule="baseline")]
+    mismatches: list[dict] = []
+    violations = list(baseline["rsan"]["violations"])
+    checks = int(baseline["rsan"]["counters"]["checks"])
+
+    for i, rng in enumerate(spawn_rngs(seed, schedules)):
+        run = run_once(
+            a, b, cpu_rows=cpu_rows, gpu_rows=gpu_rows,
+            tiebreak=_tiebreak_from(rng), multiply=multiply,
+        )
+        runs.append(dict(run, schedule=f"perturbed-{i}"))
+        violations.extend(run["rsan"]["violations"])
+        checks += int(run["rsan"]["counters"]["checks"])
+        for kind in ("result_fingerprint", "trace_fingerprint"):
+            if run[kind] != baseline[kind]:
+                mismatches.append({
+                    "schedule": f"perturbed-{i}",
+                    "kind": kind.removesuffix("_fingerprint"),
+                    "expected": baseline[kind],
+                    "got": run[kind],
+                })
+
+    ok = not mismatches and not violations
+    if METRICS.enabled:
+        METRICS.inc("sanitize.schedules.run", schedules + 1)
+        METRICS.inc("sanitize.checks", checks)
+        if mismatches:
+            METRICS.inc("sanitize.schedules.mismatched", len(mismatches))
+        if violations:
+            METRICS.inc("sanitize.violations", len(violations))
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "ok": ok,
+        "schedules": schedules,
+        "seed": seed,
+        "unit_rows": {"cpu": cpu_rows, "gpu": gpu_rows},
+        "baseline": {
+            "result_fingerprint": baseline["result_fingerprint"],
+            "trace_fingerprint": baseline["trace_fingerprint"],
+            "nnz": baseline["nnz"],
+        },
+        "runs": runs,
+        "mismatches": mismatches,
+        "rsan": {
+            "checks": checks,
+            "violations": violations,
+        },
+    }

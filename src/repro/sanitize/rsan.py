@@ -1,0 +1,403 @@
+"""RSan: the simulated-concurrency race sanitizer.
+
+The Phase III drain is *logically* concurrent — two devices with
+private clocks race each other down a shared double-ended queue — but
+it executes inside one deterministic discrete-event loop.  That makes
+an entire class of bugs invisible to ordinary tests: a unit served
+twice, a dequeue observing queue state that was not yet committed at
+that simulated instant, a device clock silently running backwards, or
+two in-flight units writing overlapping output row ranges.  Any of
+those can still produce the *right matrix* on the schedule the test
+happened to take, and the wrong one on the schedule a different
+tie-break takes.
+
+:data:`RSAN` is the module-level detector, wired into the event engine,
+the workqueue, the Phase III scheduler, and the simulated devices the
+same way :data:`repro.obs.metrics.METRICS` is wired into everything
+else: every hook site guards with ``if RSAN.enabled:`` so a disabled
+sanitizer costs one branch.  When enabled it maintains:
+
+- a **per-slot state machine** (``queued -> inflight -> done``, with
+  ``inflight -> queued`` on requeue) keyed by work-unit index, with the
+  queue end of every pop recorded — double service, completion of a
+  never-dequeued unit, and requeue to the wrong end are all flagged;
+- **per-device clock floors** — a device's simulated clock may only
+  move forward, except through a sanctioned :meth:`on_curtail`
+  (crash/timeout/deadline truncation, which legitimately rewinds);
+- **vector clocks** for the device actors plus the queue itself —
+  a dequeue *joins* the queue's clock, a requeue *releases* into it,
+  so every requeue->redequeue pair carries an explicit ordering edge;
+  a dequeue whose slot has a staged commit the dequeuer does not
+  happen-after is an uncommitted read;
+- **in-flight row-range ownership** — the output rows of units
+  simultaneously in flight on different devices must be disjoint
+  (Phase IV merges them assuming exactly-once row production).
+
+Violations are collected (and optionally raised, ``strict=True``) as
+structured records; :meth:`RSan.report` returns the ``repro-rsan/1``
+document the CLI writes.  This module imports only the error hierarchy
+— never the hardware or scheduling layers it instruments — so every
+instrumented module can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.util.errors import SanitizerError
+
+#: report schema identifier; bump on any structural change
+SCHEMA = "repro-rsan/1"
+
+#: slack for simulated-time comparisons (matches the event engine's)
+_EPS = 1e-15
+
+#: slot states
+_QUEUED = "queued"
+_INFLIGHT = "inflight"
+_DONE = "done"
+
+#: the vector-clock actor standing for the shared queue
+_QUEUE_ACTOR = "queue"
+
+
+class _RowsLike(Protocol):
+    """The slice of the WorkUnit interface the sanitizer reads."""
+
+    index: int
+
+    @property
+    def members(self) -> tuple:
+        ...
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed concurrency violation."""
+
+    #: RS001 slot state machine, RS002 uncommitted read, RS003 clock
+    #: regression, RS004 requeue end/conservation, RS005 row overlap,
+    #: RS006 engine time regression
+    code: str
+    message: str
+    device: str = ""
+    sim_t: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "device": self.device,
+            "sim_t": self.sim_t,
+        }
+
+
+@dataclass
+class _Slot:
+    """Sanitizer-side shadow of one queue slot."""
+
+    state: str = _QUEUED
+    #: queue end the most recent pop used ("front"/"back"/"")
+    popped_end: str = ""
+    #: device currently holding the slot
+    holder: str = ""
+    #: simulated time and vector clock of the last requeue commit
+    commit_t: float | None = None
+    commit_vc: dict[str, int] = field(default_factory=dict)
+
+
+def _vc_join(into: dict[str, int], other: dict[str, int]) -> None:
+    """``into = join(into, other)`` componentwise-max, in place."""
+    for actor, tick in other.items():
+        if tick > into.get(actor, 0):
+            into[actor] = tick
+
+
+def _vc_leq(a: dict[str, int], b: dict[str, int]) -> bool:
+    """Whether ``a`` happens-before-or-equals ``b``."""
+    return all(tick <= b.get(actor, 0) for actor, tick in a.items())
+
+
+class RSan:
+    """The race sanitizer: per-slot ownership + vector clocks.
+
+    Disabled by default.  :meth:`enable` arms it (optionally strict —
+    every violation raises :class:`SanitizerError` at the offending
+    hook); :meth:`disable` disarms without clearing the evidence, so a
+    harness can run, disarm, then inspect :attr:`violations` /
+    :meth:`report`.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.strict = False
+        self.violations: list[Violation] = []
+        self.checks = 0
+        self.sanctioned_rewinds = 0
+        self._slots: dict[int, _Slot] = {}
+        #: row ids in flight per device: device -> (unit index, row set)
+        self._inflight_rows: dict[str, list[tuple[int, set[int]]]] = {}
+        #: sanctioned clock floor per device
+        self._floors: dict[str, float] = {}
+        #: vector clocks per actor (devices + the queue)
+        self._vc: dict[str, dict[str, int]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self, *, strict: bool = False) -> None:
+        """Arm the sanitizer with a clean evidence log."""
+        self.reset()
+        self.enabled = True
+        self.strict = strict
+
+    def disable(self) -> None:
+        """Disarm; evidence collected so far stays readable."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all evidence and shadow state."""
+        self.violations.clear()
+        self.checks = 0
+        self.sanctioned_rewinds = 0
+        self._slots.clear()
+        self._inflight_rows.clear()
+        self._floors.clear()
+        self._vc.clear()
+
+    # -- internals ---------------------------------------------------------
+    def _violate(self, code: str, message: str, *, device: str = "",
+                 sim_t: float = 0.0) -> None:
+        record = Violation(code=code, message=message, device=device, sim_t=sim_t)
+        self.violations.append(record)
+        if self.strict:
+            raise SanitizerError(
+                f"{code}: {message}", code=code, device=device, sim_t=sim_t
+            )
+
+    def _clock(self, actor: str) -> dict[str, int]:
+        return self._vc.setdefault(actor, {})
+
+    def _tick(self, actor: str) -> None:
+        clock = self._clock(actor)
+        clock[actor] = clock.get(actor, 0) + 1
+
+    def _check_floor(self, device: str, t: float) -> None:
+        floor = self._floors.get(device)
+        if floor is not None and t < floor - _EPS:
+            self._violate(
+                "RS003",
+                f"device {device!r} simulated clock moved backwards: "
+                f"{t} < floor {floor} without a sanctioned curtailment",
+                device=device, sim_t=t,
+            )
+        if floor is None or t > floor:
+            self._floors[device] = t
+
+    # -- hooks: workqueue --------------------------------------------------
+    def on_queue_build(self, units: list) -> None:
+        """A fresh queue was assembled: register one slot per unit.
+
+        Replaces any previous queue's shadow state (one queue drains at
+        a time); evidence already collected is kept.
+        """
+        self._slots = {u.index: _Slot() for u in units}
+        self._inflight_rows.clear()
+
+    def on_dequeue(self, end: str, indices: tuple) -> None:
+        """The queue served slots ``indices`` from ``end``."""
+        self.checks += 1
+        for index in indices:
+            slot = self._slots.get(index)
+            if slot is None:
+                self._slots[index] = slot = _Slot()
+            if slot.state != _QUEUED:
+                self._violate(
+                    "RS001",
+                    f"unit {index} dequeued while {slot.state} "
+                    f"(held by {slot.holder or 'nobody'}): served twice or "
+                    "completed without a pop",
+                )
+            slot.state = _INFLIGHT
+            slot.popped_end = end
+
+    def on_restore(self, end: str, indices: tuple) -> None:
+        """The queue took slots ``indices`` back at ``end`` (requeue)."""
+        self.checks += 1
+        for index in indices:
+            slot = self._slots.get(index)
+            if slot is None:
+                self._violate(
+                    "RS004", f"unit {index} restored but was never registered"
+                )
+                continue
+            if slot.state != _INFLIGHT:
+                self._violate(
+                    "RS004",
+                    f"unit {index} requeued while {slot.state}: only an "
+                    "in-flight unit can go back",
+                )
+            elif slot.popped_end and slot.popped_end != end:
+                self._violate(
+                    "RS004",
+                    f"unit {index} requeued at the {end!r} end but was "
+                    f"popped from {slot.popped_end!r}: the ordering edge to "
+                    "its original slot was dropped",
+                )
+            slot.state = _QUEUED
+            slot.holder = ""
+
+    # -- hooks: scheduler --------------------------------------------------
+    def on_unit_start(self, device: str, unit: _RowsLike, t: float) -> None:
+        """``device`` starts executing ``unit`` at simulated ``t``."""
+        self.checks += 1
+        self._check_floor(device, t)
+        # acquire: the dequeue happens-after everything released into
+        # the queue before it
+        self._tick(device)
+        _vc_join(self._clock(device), self._clock(_QUEUE_ACTOR))
+        holder_vc = self._clock(device)
+        for member in unit.members:
+            slot = self._slots.get(member.index)
+            if slot is None:
+                continue
+            slot.holder = device
+            if slot.commit_t is not None:
+                if t < slot.commit_t - _EPS:
+                    self._violate(
+                        "RS002",
+                        f"unit {member.index} dequeued at t={t} but its "
+                        f"requeue commits at t={slot.commit_t}: the dequeue "
+                        "observes state not yet committed at that instant",
+                        device=device, sim_t=t,
+                    )
+                elif not _vc_leq(slot.commit_vc, holder_vc):
+                    self._violate(
+                        "RS002",
+                        f"unit {member.index} dequeued without "
+                        "happening-after its requeue commit (missing "
+                        "queue-release ordering edge)",
+                        device=device, sim_t=t,
+                    )
+                slot.commit_t = None
+                slot.commit_vc = {}
+        # exactly-once row production: rows in flight on the peer
+        # device(s) must be disjoint from this unit's
+        rows = getattr(unit, "rows", None)
+        if rows is not None:
+            mine = {int(r) for r in rows}
+            for other, held in self._inflight_rows.items():
+                if other == device:
+                    continue
+                for other_index, other_rows in held:
+                    clash = mine & other_rows
+                    if clash:
+                        self._violate(
+                            "RS005",
+                            f"unit {unit.index} on {device!r} overlaps "
+                            f"{len(clash)} output row(s) (e.g. row "
+                            f"{min(clash)}) with in-flight unit "
+                            f"{other_index} on {other!r} and no ordering "
+                            "edge between them",
+                            device=device, sim_t=t,
+                        )
+            self._inflight_rows.setdefault(device, []).append((unit.index, mine))
+
+    def on_unit_complete(self, device: str, unit: _RowsLike, t: float) -> None:
+        """``device`` finished ``unit`` at simulated ``t``."""
+        self.checks += 1
+        self._check_floor(device, t)
+        self._tick(device)
+        for member in unit.members:
+            slot = self._slots.get(member.index)
+            if slot is None:
+                continue
+            if slot.state != _INFLIGHT:
+                self._violate(
+                    "RS001",
+                    f"unit {member.index} completed while {slot.state}: "
+                    "completion without a matching dequeue",
+                    device=device, sim_t=t,
+                )
+            slot.state = _DONE
+            slot.holder = ""
+        self._release_rows(device, unit.index)
+
+    def on_unit_requeue(self, device: str, unit: _RowsLike, t: float) -> None:
+        """``device`` is giving ``unit`` back; the attempt was cut at
+        simulated ``t`` (call *before* ``queue.requeue``)."""
+        self.checks += 1
+        # release: stamp the commit so a later dequeue must
+        # happen-after it (in time and in the vector order)
+        self._tick(device)
+        _vc_join(self._clock(_QUEUE_ACTOR), self._clock(device))
+        commit_vc = dict(self._clock(device))
+        for member in unit.members:
+            slot = self._slots.get(member.index)
+            if slot is None:
+                continue
+            slot.commit_t = t
+            slot.commit_vc = commit_vc
+        self._release_rows(device, unit.index)
+
+    def _release_rows(self, device: str, index: int) -> None:
+        held = self._inflight_rows.get(device)
+        if held:
+            self._inflight_rows[device] = [
+                entry for entry in held if entry[0] != index
+            ]
+
+    # -- hooks: devices & engine -------------------------------------------
+    def on_device_busy(self, device: str, start: float, end: float) -> None:
+        """``device`` occupied ``[start, end]``: its clock floor moves
+        to ``end``, and starting before the floor (an activity stamped
+        into already-elapsed simulated time) is a regression."""
+        self.checks += 1
+        self._check_floor(device, start)
+        self._floors[device] = max(self._floors.get(device, end), end)
+
+    def on_curtail(self, device: str, at: float) -> None:
+        """A sanctioned truncation rewound ``device`` to ``at`` (crash,
+        timeout, or deadline cut an in-flight activity short)."""
+        self.sanctioned_rewinds += 1
+        self._floors[device] = at
+
+    def on_engine_event(self, t: float, now: float) -> None:
+        """The event loop is about to run an event at ``t`` with the
+        engine clock at ``now``."""
+        self.checks += 1
+        if t < now - _EPS:
+            self._violate(
+                "RS006",
+                f"event loop dispatched t={t} after reaching t={now}: "
+                "global simulated time regressed",
+                sim_t=t,
+            )
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counters(self) -> dict:
+        by_code: dict[str, int] = {}
+        for v in self.violations:
+            by_code[v.code] = by_code.get(v.code, 0) + 1
+        return {
+            "checks": self.checks,
+            "violations": len(self.violations),
+            "sanctioned_rewinds": self.sanctioned_rewinds,
+            "by_code": dict(sorted(by_code.items())),
+        }
+
+    def report(self) -> dict:
+        """The ``repro-rsan/1`` document (JSON-able, sorted, stable)."""
+        return {
+            "schema": SCHEMA,
+            "ok": self.ok,
+            "counters": self.counters(),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+#: the shared library-wide sanitizer; disarmed until a harness enables it
+RSAN = RSan()

@@ -78,6 +78,15 @@ class FaultError(ReproError, RuntimeError):
     fault specification is malformed."""
 
 
+class SanitizerError(ReproError, RuntimeError):
+    """The runtime race sanitizer (:mod:`repro.sanitize`) observed a
+    concurrency violation in strict mode — a work-unit served twice, a
+    dequeue reading state not yet committed at that simulated instant,
+    a non-monotone device clock outside a sanctioned curtailment, or
+    overlapping in-flight output row ranges.  :attr:`context` carries
+    the violation record (``code``, ``device``, ``sim_t``)."""
+
+
 class MetricError(ReproError, ValueError):
     """An observability metric was used inconsistently (empty name, or
     the same name registered as two different kinds, e.g. a counter

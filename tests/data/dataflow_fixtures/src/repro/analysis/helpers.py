@@ -1,0 +1,9 @@
+import time  # repro: noqa[DET001]
+
+
+def host_now():
+    return time.perf_counter()
+
+
+def shifted(base):
+    return base + 1.0

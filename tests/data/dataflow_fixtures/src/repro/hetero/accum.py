@@ -1,0 +1,5 @@
+def total(costs):
+    acc = 0.0
+    for key in set(costs):
+        acc += costs[key]
+    return acc

@@ -1,0 +1,6 @@
+from repro.analysis.helpers import host_now, shifted
+
+
+def poison(device):
+    t = shifted(host_now())
+    device.clock = t

@@ -1,0 +1,13 @@
+import numpy as np
+
+
+def make_gen():
+    return np.random.default_rng(1234)
+
+
+def draw_all(keys):
+    rng = make_gen()
+    out = 0.0
+    for k in {x for x in keys}:
+        out += rng.standard_normal()
+    return out

@@ -1,0 +1,201 @@
+"""Tests for the interprocedural deep pass (``repro check --deep``).
+
+Covers: the dataflow fixture tree against its golden report, each
+project-scoped rule (CLK002/DET003/ORD001) firing through helper
+chains, the launderers that must silence them, ``# repro: noqa``
+suppression of deep findings, and — the acceptance bar — the repo's
+own library tree coming back deep-clean.
+"""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.lint import lint_paths
+from repro.lint.reporters import json_document
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "data" / "dataflow_fixtures"
+GOLDEN = REPO_ROOT / "tests" / "data" / "dataflow_golden.json"
+
+DEEP_RULE_IDS = {"CLK002", "DET003", "ORD001"}
+
+
+def lint_tree(tmp_path, files, **kwargs):
+    """Lint a synthetic multi-module package tree (deep by default)."""
+    for rel, source in files.items():
+        target = tmp_path / "src" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    kwargs.setdefault("deep", True)
+    return lint_paths([tmp_path], root=tmp_path, **kwargs)
+
+
+class TestFixtureTree:
+    def test_golden_report(self):
+        result = lint_paths([FIXTURES], root=FIXTURES, deep=True)
+        doc = json_document(result)
+        assert doc == json.loads(GOLDEN.read_text())
+
+    def test_every_deep_rule_fires(self):
+        result = lint_paths([FIXTURES], root=FIXTURES, deep=True)
+        fired = {f.rule for f in result.findings}
+        assert DEEP_RULE_IDS <= fired
+        assert not result.ok
+
+    def test_fast_pass_skips_deep_rules(self):
+        result = lint_paths([FIXTURES], root=FIXTURES, deep=False)
+        assert not DEEP_RULE_IDS & {f.rule for f in result.findings}
+
+    def test_cli_deep_exits_nonzero_on_fixture_tree(self, capsys):
+        assert main(["check", "--deep", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        for rule_id in DEEP_RULE_IDS:
+            assert rule_id in out
+
+
+class TestRepoIsDeepClean:
+    def test_repo_sources_pass_deep(self):
+        result = lint_paths(root=REPO_ROOT, deep=True)
+        deep = [f for f in result.findings if f.rule in DEEP_RULE_IDS]
+        assert result.ok and not deep
+
+    def test_cli_deep_exits_zero_on_repo(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["check", "--deep"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestClockTaint:
+    def test_two_hop_laundering_is_traced(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/analysis/timers.py": (
+                "import time  # repro: noqa[DET001]\n\n"
+                "def now():\n"
+                "    return time.perf_counter()\n\n"
+                "def jittered(base):\n"
+                "    return base + 0.5\n"
+            ),
+            "repro/hetero/sink.py": (
+                "from repro.analysis.timers import jittered, now\n\n"
+                "def poison(device):\n"
+                "    device.clock = jittered(now())\n"
+            ),
+        })
+        assert [f.rule for f in result.findings] == ["CLK002"]
+        assert result.findings[0].path == "src/repro/hetero/sink.py"
+
+    def test_modelled_time_is_clean(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/hetero/sink.py": (
+                "def advance(device, cost_s):\n"
+                "    device.clock = device.clock + cost_s\n"
+            ),
+        })
+        assert not result.findings
+
+    def test_noqa_suppresses_deep_finding(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/analysis/timers.py": (
+                "import time  # repro: noqa[DET001]\n\n"
+                "def now():\n"
+                "    return time.perf_counter()\n"
+            ),
+            "repro/hetero/sink.py": (
+                "from repro.analysis.timers import now\n\n"
+                "def poison(device):\n"
+                "    device.clock = now()  # repro: noqa[CLK002]\n"
+            ),
+        })
+        assert not result.findings
+        assert result.suppressed >= 1
+
+
+class TestRngProvenance:
+    def test_sanctioned_module_may_construct(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/util/rng.py": (
+                "import numpy as np\n\n"
+                "def resolve_rng(seed):\n"
+                "    return np.random.default_rng(seed)\n"
+            ),
+        })
+        assert not result.findings
+
+    def test_foreign_construction_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/hetero/gen.py": (
+                "import numpy as np\n\n"
+                "def fresh():\n"
+                "    return np.random.default_rng(42)\n"
+            ),
+        })
+        assert [f.rule for f in result.findings] == ["DET003"]
+
+    def test_draw_inside_unordered_loop_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/hetero/draw.py": (
+                "from repro.util.rng import resolve_rng\n\n"
+                "def sample(keys, seed):\n"
+                "    rng = resolve_rng(seed)\n"
+                "    out = []\n"
+                "    for k in set(keys):\n"
+                "        out.append(rng.random())\n"
+                "    return out\n"
+            ),
+        })
+        rules = [f.rule for f in result.findings]
+        assert "DET003" in rules  # the order-dependent draw
+        assert "DET002" in rules  # the fast rule still sees set(...)
+
+    def test_draw_in_sorted_loop_is_clean(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/hetero/draw.py": (
+                "from repro.util.rng import resolve_rng\n\n"
+                "def sample(keys, seed):\n"
+                "    rng = resolve_rng(seed)\n"
+                "    return [rng.random() for _ in sorted(set(keys))]\n"
+            ),
+        })
+        assert not result.findings
+
+
+class TestOrderTaint:
+    def test_float_accumulation_over_set_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/hetero/acc.py": (
+                "def total(costs):\n"
+                "    acc = 0.0\n"
+                "    for key in set(costs):\n"
+                "        acc += costs[key]\n"
+                "    return acc\n"
+            ),
+        })
+        assert "ORD001" in {f.rule for f in result.findings}
+
+    def test_sorted_launders_order(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "repro/hetero/acc.py": (
+                "def total(costs):\n"
+                "    acc = 0.0\n"
+                "    for key in sorted(set(costs)):\n"
+                "        acc += costs[key]\n"
+                "    return acc\n"
+            ),
+        })
+        assert not result.findings
+
+    def test_set_insertion_is_commutative(self, tmp_path):
+        # adding to a *set* from unordered iteration is order-free;
+        # ORD001 must stay quiet (the taint pass's own fixed-point loop
+        # relies on this exemption)
+        result = lint_tree(tmp_path, {
+            "repro/hetero/acc.py": (
+                "def collect(groups):\n"
+                "    seen = set()\n"
+                "    for g in set(groups):\n"
+                "        seen.add(g)\n"
+                "    return sorted(seen)\n"
+            ),
+        })
+        assert "ORD001" not in {f.rule for f in result.findings}

@@ -23,8 +23,11 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "data" / "lint_fixtures"
 GOLDEN = REPO_ROOT / "tests" / "data" / "lint_golden.json"
 
-ALL_RULE_IDS = {"DET001", "DET002", "CLK001", "CKP001", "EVT001", "FLT001",
-                "MET001", "MET002", "UNIT001"}
+FILE_RULE_IDS = {"DET001", "DET002", "CLK001", "CKP001", "EVT001", "FLT001",
+                 "MET001", "MET002", "UNIT001"}
+#: project-scoped rules, produced only by the deep (interprocedural) pass
+DEEP_RULE_IDS = {"CLK002", "DET003", "ORD001"}
+ALL_RULE_IDS = FILE_RULE_IDS | DEEP_RULE_IDS
 
 
 def lint_fixtures(**kwargs):
@@ -67,7 +70,7 @@ class TestModuleName:
 class TestFixtures:
     def test_every_rule_fires(self):
         result = lint_fixtures()
-        assert {f.rule for f in result.findings} == ALL_RULE_IDS
+        assert {f.rule for f in result.findings} == FILE_RULE_IDS
         assert result.errors == len(result.findings) == 11  # CLK001 + CKP001 fire twice
         assert not result.ok
 
@@ -334,6 +337,43 @@ class TestRuleDetails:
         result = lint_snippet(tmp_path, "def broken(:\n", package="repro/analysis")
         assert [f.rule for f in result.findings] == ["SYNTAX"]
         assert not result.ok
+
+
+class TestExplain:
+    def test_every_rule_is_fully_documented(self):
+        import inspect
+
+        for rule in all_rules():
+            doc = inspect.getdoc(type(rule)) or ""
+            assert rule.description, rule.id
+            assert len(doc.splitlines()) > 1, f"{rule.id} needs a rationale"
+            assert rule.example_violation, f"{rule.id} needs example_violation"
+            assert rule.example_fix, f"{rule.id} needs example_fix"
+
+    @pytest.mark.parametrize("rule_id", sorted(ALL_RULE_IDS))
+    def test_cli_explain_renders_every_card(self, rule_id, capsys):
+        assert main(["check", "--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        assert rule_id in out
+        for section in ("Why it matters:", "Violates:", "Sanctioned pattern:"):
+            assert section in out
+        assert f"# repro: noqa[{rule_id}]" in out
+
+    def test_cli_explain_is_case_insensitive(self, capsys):
+        assert main(["check", "--explain", "det003"]) == 0
+        assert "DET003" in capsys.readouterr().out
+
+    def test_cli_explain_unknown_rule_is_usage_error(self, capsys):
+        assert main(["check", "--explain", "NOPE99"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_deep_rules_are_tagged_in_listing(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            rule_id = line.split()[0] if line.split() else ""
+            if rule_id in DEEP_RULE_IDS:
+                assert "deep" in line
 
 
 class TestCheckCli:
