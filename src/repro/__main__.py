@@ -12,6 +12,8 @@ Commands mirror the benchmark harness, for interactive use:
     python -m repro check [--format json] [--baseline] [--deep] [--explain RULE]
     python -m repro sanitize powerlaw-sm [--schedules 8] [--report r.json]
     python -m repro run wiki-Vote --checkpoint-dir ckpts [--resume] [--deadline 0.5]
+    python -m repro serve session.json [--export-events events.jsonl]
+    python -m repro load [--process closed] [--tenants 2] [--run-label cfgA]
     python -m repro report artifacts/ [--compare cfgA cfgB]
     python -m repro datasets
 
@@ -152,6 +154,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sanitize_arguments(ps)
 
+    from repro.service.cli import add_load_arguments, add_serve_arguments
+
+    pv = sub.add_parser(
+        "serve",
+        help="multi-tenant job service: replay a scripted session "
+             "(submit/cancel with priorities, quotas, batching, and "
+             "admission control, all on the simulated clock) and print "
+             "each job's outcome; exit 0 clean, 1 any job failed, 2 usage",
+    )
+    add_serve_arguments(pv)
+
+    pl = sub.add_parser(
+        "load",
+        help="deterministic load generator: seeded open(Poisson)/closed"
+             "(concurrency-N) traffic over bench workloads against the "
+             "job service, one repro-runtable/1 row per repetition "
+             "(byte-identical across identical-seed runs); exit 0 clean, "
+             "1 degraded repetitions, 2 usage",
+    )
+    add_load_arguments(pl)
+
     from repro.obs.report_cli import add_report_arguments
 
     pt = sub.add_parser(
@@ -207,6 +230,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.jobs.cli import run_job_command
 
         return run_job_command(args)
+    if args.command == "serve":
+        from repro.service.cli import run_serve_command
+
+        return run_serve_command(args)
+    if args.command == "load":
+        from repro.service.cli import run_load_command
+
+        return run_load_command(args)
     names = getattr(args, "names", None) or DATASET_NAMES
     scale = getattr(args, "scale", None)
 

@@ -23,6 +23,7 @@ SIM_PACKAGES = (
     "repro.costmodel",
     "repro.hetero",
     "repro.hardware",
+    "repro.service",
 )
 
 #: host wall-clock entry points

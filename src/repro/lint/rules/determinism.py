@@ -31,6 +31,7 @@ SIM_PACKAGES = (
     "repro.costmodel",
     "repro.hetero",
     "repro.hardware",
+    "repro.service",
 )
 
 #: numpy.random functions that mutate the hidden global RandomState

@@ -20,7 +20,7 @@ from repro.lint.base import ModuleContext, RawFinding, Rule, register
 
 #: packages whose run-time records must flow through repro.obs.events
 _INSTRUMENTED = ("repro.jobs", "repro.faults", "repro.hetero",
-                 "repro.core", "repro.hardware")
+                 "repro.core", "repro.hardware", "repro.service")
 
 #: sanctioned serialisation module (CKP001's versioned checkpoint I/O
 #: legitimately encodes JSON headers inside the snapshot format)
@@ -53,7 +53,7 @@ class EVT001(Rule):
     id = "EVT001"
     description = (
         "run events in instrumented packages (repro.jobs/faults/hetero/"
-        "core/hardware) must be emitted through repro.obs.events — no "
+        "core/hardware/service) must be emitted through repro.obs.events — no "
         "direct json.dump(...) and no fh.write(json.dumps(...)) outside "
         "the sanctioned snapshot module"
     )

@@ -168,6 +168,20 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("jobs.run.completed", "runs", "durable jobs that ran to completion"),
     _c("jobs.deadline.exhausted", "events", "jobs stopped (checkpointed) at the deadline budget"),
     _h("jobs.stage.sim_s", "seconds", "simulated per-stage latency distribution of a durable job"),
+    # -- multi-tenant job service ------------------------------------------
+    _c("service.requests.submitted", "requests", "requests submitted to the job service"),
+    _c("service.requests.completed", "requests", "requests served to completion"),
+    _c("service.requests.rejected", "requests", "requests rejected by admission control"),
+    _c("service.requests.cancelled", "requests", "queued requests cancelled by their tenant"),
+    _c("service.requests.failed", "requests", "requests whose execution raised"),
+    _c("service.batch.launches", "launches", "fused executions dispatched by the service"),
+    _c("service.batch.requests", "requests", "requests covered by fused executions"),
+    _g("service.queue.depth", "requests", "requests currently queued (not yet dispatched)"),
+    _g("service.inflight.tuples", "tuples", "symbolic intermediate tuples of in-flight executions"),
+    _h("service.request.sim_latency_s", "seconds", "simulated submit-to-finish request latency"),
+    # -- load generator ----------------------------------------------------
+    _c("loadgen.arrivals", "requests", "requests the load generator submitted"),
+    _c("loadgen.repetitions", "runs", "load-experiment repetitions executed"),
 )
 
 _COMPILED: tuple[tuple[re.Pattern, MetricSpec], ...] = tuple(

@@ -16,27 +16,42 @@ from that artifact kind):
 column                  meaning
 ======================  ================================================
 run_id                  unique id of the run the row belongs to
-source                  artifact kind the row came from (events|bench|metrics)
+source                  artifact kind the row came from
+                        (events|bench|metrics|service)
 config                  configuration label; ``--compare`` groups rows by it
 repetition              0-based repetition index within the run
 samples                 latency samples behind the percentile columns
 work                    work items: A-rows completed (events/metrics runs),
-                        result nnz (bench cases)
+                        result nnz (bench cases), requests served
+                        (service runs)
 wall_total_s            host wall-clock total of the repetition
 wall_mean_s             mean of the host wall latency samples
+wall_p50_s              exact p50 of the host wall latency samples
 wall_p95_s              exact p95 of the host wall latency samples
 sim_total_s             simulated makespan of the repetition
 sim_mean_s              mean of the simulated per-unit latency samples
+sim_p50_s               exact p50 of the simulated per-unit latency samples
 sim_p95_s               exact p95 of the simulated per-unit latency samples
 throughput_wall_per_s   work / wall_total_s
 throughput_sim_per_s    work / sim_total_s
-failures                fault events (crashes, stalls, transfer/unit errors)
+submitted               requests submitted to the job service
+rejected                requests the service's admission control rejected
+cancelled               requests cancelled while still queued
+failures                fault events (crashes, stalls, transfer/unit
+                        errors), or failed requests for service runs
 retries                 work-unit attempts retried after a fault
 requeues                work-units curtailed + given back (crash/deadline)
 checkpoints             checkpoints written during the repetition
 resumes                 resumes from a checkpoint
-status                  ok | exhausted | <exception class> | incomplete
+status                  ok | degraded | exhausted | <exception class> |
+                        incomplete
 ======================  ================================================
+
+Service rows (``source="service"``, from :mod:`repro.service.loadgen`
+runs or their ``load_rep_complete`` flight-recorder events) fill only
+the simulated-clock columns: a serving experiment runs entirely on the
+simulated clock, and keeping host-time stamps out of the rows is what
+makes two identical-seed load runs byte-identical.
 
 The CSV starts with a ``# repro-runtable/1`` comment line, then the
 header row, then rows sorted by (run_id, repetition); floats are
@@ -74,37 +89,47 @@ SCHEMA = "repro-runtable/1"
 #: ordered run-table columns (name, description) — the docs mirror this
 COLUMNS: tuple[tuple[str, str], ...] = (
     ("run_id", "unique id of the run the row belongs to"),
-    ("source", "artifact kind the row came from (events|bench|metrics)"),
+    ("source", "artifact kind the row came from (events|bench|metrics|service)"),
     ("config", "configuration label; --compare groups rows by it"),
     ("repetition", "0-based repetition index within the run"),
     ("samples", "latency samples behind the percentile columns"),
-    ("work", "work items (A-rows for runs, result nnz for bench cases)"),
+    ("work", "work items (A-rows for runs, result nnz for bench cases, "
+             "requests served for service runs)"),
     ("wall_total_s", "host wall-clock total of the repetition"),
     ("wall_mean_s", "mean of the host wall latency samples"),
+    ("wall_p50_s", "exact p50 of the host wall latency samples"),
     ("wall_p95_s", "exact p95 of the host wall latency samples"),
     ("sim_total_s", "simulated makespan of the repetition"),
     ("sim_mean_s", "mean of the simulated per-unit latency samples"),
+    ("sim_p50_s", "exact p50 of the simulated per-unit latency samples"),
     ("sim_p95_s", "exact p95 of the simulated per-unit latency samples"),
     ("throughput_wall_per_s", "work / wall_total_s"),
     ("throughput_sim_per_s", "work / sim_total_s"),
-    ("failures", "fault events (crashes, stalls, transfer/unit errors)"),
+    ("submitted", "requests submitted to the job service"),
+    ("rejected", "requests rejected by service admission control"),
+    ("cancelled", "requests cancelled while still queued"),
+    ("failures", "fault events (or failed requests for service runs)"),
     ("retries", "work-unit attempts retried after a fault"),
     ("requeues", "work-units curtailed + given back (crash/deadline)"),
     ("checkpoints", "checkpoints written during the repetition"),
     ("resumes", "resumes from a checkpoint"),
-    ("status", "ok | exhausted | <exception class> | incomplete"),
+    ("status", "ok | degraded | exhausted | <exception class> | incomplete"),
 )
 
 #: columns --compare / --metric accept (numeric, latency or throughput)
 COMPARABLE_METRICS = (
-    "wall_total_s", "wall_mean_s", "wall_p95_s",
-    "sim_total_s", "sim_mean_s", "sim_p95_s",
+    "wall_total_s", "wall_mean_s", "wall_p50_s", "wall_p95_s",
+    "sim_total_s", "sim_mean_s", "sim_p50_s", "sim_p95_s",
     "throughput_wall_per_s", "throughput_sim_per_s",
 )
 
 
 def _mean(samples: list[float]) -> float | None:
     return sum(samples) / len(samples) if samples else None
+
+
+def _p50(samples: list[float]) -> float | None:
+    return exact_percentile(sorted(samples), 50.0) if samples else None
 
 
 def _p95(samples: list[float]) -> float | None:
@@ -128,16 +153,48 @@ def _row(**fields: object) -> dict:
 def rows_from_events(path: str | Path) -> list[dict]:
     """Rows from one ``repro-events/1`` log.
 
-    A log with per-repeat ``repeat`` events (a bench run) yields one
-    row per (case, repetition); any other log (a job/profile run)
-    yields a single repetition-0 row summarising the whole run.
+    A log with ``load_rep_complete`` events (a service load run)
+    yields one ``source="service"`` row per repetition, replayed
+    verbatim from the event payloads; a log with per-repeat ``repeat``
+    events (a bench run) yields one row per (case, repetition); any
+    other log (a job/profile run) yields a single repetition-0 row
+    summarising the whole run.
     """
     path = Path(path)
     header, records = read_events(path)
+    reps = [r for r in records if r.get("event") == "load_rep_complete"]
+    if reps:
+        return _service_event_rows(header, reps)
     repeats = [r for r in records if r.get("event") == "repeat"]
     if repeats:
         return _bench_event_rows(header, records, repeats)
     return [_run_event_rows(path, header, records)]
+
+
+def _service_event_rows(header: dict, reps: list[dict]) -> list[dict]:
+    """Service rows re-derived from ``load_rep_complete`` events.
+
+    The load generator stamps the *exact* row values into each event
+    (floats round-trip bit-exactly through JSON), so the table built
+    from the event log is byte-identical to the one the ``repro load``
+    CLI wrote directly.
+    """
+    fields = (
+        "repetition", "samples", "work", "sim_total_s", "sim_mean_s",
+        "sim_p50_s", "sim_p95_s", "throughput_sim_per_s", "submitted",
+        "rejected", "cancelled", "failures", "status",
+    )
+    rows = []
+    for r in reps:
+        row = _row(
+            run_id=header["run_id"],
+            source="service",
+            config=header.get("label") or header["run_id"],
+            retries=0, requeues=0, checkpoints=0, resumes=0,
+        )
+        row.update({name: r.get(name) for name in fields})
+        rows.append(row)
+    return rows
 
 
 def _bench_event_rows(header: dict, records: list[dict], repeats: list[dict]) -> list[dict]:
@@ -165,9 +222,11 @@ def _bench_event_rows(header: dict, records: list[dict], repeats: list[dict]) ->
             work=work,
             wall_total_s=wall,
             wall_mean_s=wall,
+            wall_p50_s=wall,
             wall_p95_s=wall,
             sim_total_s=sim,
             sim_mean_s=sim,
+            sim_p50_s=sim,
             sim_p95_s=sim,
             throughput_wall_per_s=_throughput(work, wall),
             throughput_sim_per_s=_throughput(work, sim),
@@ -222,9 +281,11 @@ def _run_event_rows(path: Path, header: dict, records: list[dict]) -> dict:
         work=work,
         wall_total_s=wall_total,
         wall_mean_s=_mean(wall_samples),
+        wall_p50_s=_p50(wall_samples),
         wall_p95_s=_p95(wall_samples),
         sim_total_s=sim_total,
         sim_mean_s=_mean(sim_samples),
+        sim_p50_s=_p50(sim_samples),
         sim_p95_s=_p95(sim_samples),
         throughput_wall_per_s=_throughput(work, wall_total),
         throughput_sim_per_s=_throughput(work, sim_total),
@@ -265,9 +326,11 @@ def rows_from_bench(doc: dict) -> list[dict]:
                 work=work,
                 wall_total_s=wall,
                 wall_mean_s=wall,
+                wall_p50_s=wall,
                 wall_p95_s=wall,
                 sim_total_s=sim,
                 sim_mean_s=sim,
+                sim_p50_s=sim,
                 sim_p95_s=sim,
                 throughput_wall_per_s=_throughput(work, wall),
                 throughput_sim_per_s=_throughput(work, sim),
@@ -318,9 +381,11 @@ def rows_from_metrics(path: str | Path, doc: dict) -> list[dict]:
         work=work,
         wall_total_s=(wall or {}).get("total_s"),
         wall_mean_s=(wall or {}).get("mean_s"),
+        wall_p50_s=None,
         wall_p95_s=None,
         sim_total_s=sim_total,
         sim_mean_s=(unit_hist or {}).get("mean"),
+        sim_p50_s=(unit_hist or {}).get("p50"),
         sim_p95_s=(unit_hist or {}).get("p95"),
         throughput_wall_per_s=_throughput(work, (wall or {}).get("total_s")),
         throughput_sim_per_s=_throughput(work, sim_total),
@@ -347,8 +412,8 @@ def build_run_table(directory: str | Path) -> dict:
     files: dict[str, list[str]] = {"events": [], "bench": [], "metrics": []}
     skipped: list[tuple[str, str]] = []
     by_key: dict[tuple, dict] = {}
-    #: later sources never displace an events row
-    precedence = {"events": 0, "bench": 1, "metrics": 2}
+    #: later sources never displace an events (or service) row
+    precedence = {"events": 0, "service": 0, "bench": 1, "metrics": 2}
 
     def _add(rows: list[dict]) -> None:
         for row in rows:

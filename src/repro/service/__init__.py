@@ -1,0 +1,61 @@
+"""Multi-tenant async serving layer over the HH-CPU pipeline.
+
+:mod:`repro.service.core` is the deterministic job queue
+(submit/status/result/cancel, admission control, priority classes,
+weighted fair share, batching); :mod:`repro.service.loadgen` drives it
+with seeded open/closed-loop traffic and emits ``repro-runtable/1``
+rows; :mod:`repro.service.cli` exposes both as ``python -m repro
+serve`` / ``python -m repro load``.
+"""
+
+from repro.service.core import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    PRIORITIES,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    TERMINAL,
+    ExecOutcome,
+    Executor,
+    JobRecord,
+    JobRequest,
+    JobService,
+    PipelineExecutor,
+    ServiceConfig,
+    TenantQuota,
+    run_script,
+)
+from repro.service.loadgen import (
+    LoadSpec,
+    TenantSpec,
+    execute_schedule,
+    run_load,
+    workload_operands,
+)
+
+__all__ = [
+    "CANCELLED",
+    "COMPLETED",
+    "FAILED",
+    "PRIORITIES",
+    "QUEUED",
+    "REJECTED",
+    "RUNNING",
+    "TERMINAL",
+    "ExecOutcome",
+    "Executor",
+    "JobRecord",
+    "JobRequest",
+    "JobService",
+    "LoadSpec",
+    "PipelineExecutor",
+    "ServiceConfig",
+    "TenantQuota",
+    "TenantSpec",
+    "execute_schedule",
+    "run_load",
+    "run_script",
+    "workload_operands",
+]

@@ -1,0 +1,281 @@
+"""``python -m repro serve`` / ``python -m repro load``.
+
+serve — replay a scripted multi-tenant session against the job
+service and print each job's outcome::
+
+    python -m repro serve session.json [--export-events events.jsonl]
+
+The session file is JSON: ``{"service": {...ServiceConfig...},
+"requests": [{"at": 0.0, "tenant": "t0", "workload": "powerlaw-sm",
+"priority": "normal", "cancel_at": 0.5?}, ...]}`` with requests sorted
+by ``at`` (simulated seconds).  Exit 0 when no job failed, 1 when any
+did, 2 on usage/validation errors.
+
+load — run a deterministic load experiment and write the
+``repro-runtable/1`` rows (plus the flight-recorder event log)::
+
+    python -m repro load --process closed --tenants 2 --repetitions 2 \\
+        --workload powerlaw-sm --run-label cfgA --out-dir artifacts/
+
+    python -m repro load --mix mix.json --out-dir artifacts/
+
+Quick flags build a uniform tenant mix; ``--mix`` takes a full
+:class:`~repro.service.loadgen.LoadSpec` JSON document (see DESIGN.md)
+and overrides them.  Outputs land in ``--out-dir``:
+``run_table_<label>.csv`` (byte-identical across identical-seed
+invocations) and ``load_<label>.jsonl``; point ``python -m repro
+report`` at the directory to aggregate/compare experiments.  Exit 0 on
+a clean run, 1 when any repetition degraded (failed jobs), 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.util.errors import ReproError
+from repro.util.rng import DEFAULT_SEED
+
+
+def add_serve_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("session", metavar="SESSION",
+                   help="scripted session JSON ({'service': {...}, "
+                        "'requests': [{'at', 'tenant', 'workload', "
+                        "'priority', 'cancel_at'?}, ...]})")
+    p.add_argument("--export-events", metavar="PATH", default=None,
+                   help="record a repro-events/1 JSONL flight-recorder "
+                        "log of the session")
+    p.add_argument("--run-label", metavar="LABEL", default=None,
+                   help="label stamped into the event log "
+                        "(default: the session file stem)")
+
+
+def add_load_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mix", metavar="PATH", default=None,
+                   help="LoadSpec JSON (tenants, process, service config); "
+                        "overrides the quick flags below")
+    p.add_argument("--process", choices=("open", "closed"), default="closed",
+                   help="arrival process: open = seeded Poisson sources, "
+                        "closed = concurrency-N clients (default closed)")
+    p.add_argument("--tenants", type=int, default=2, metavar="N",
+                   help="number of identical tenants in the quick mix "
+                        "(default 2)")
+    p.add_argument("--workload", default="powerlaw-sm", metavar="NAME",
+                   help="bench workload every quick-mix tenant requests "
+                        "(default powerlaw-sm)")
+    p.add_argument("--requests", type=int, default=8, metavar="N",
+                   help="requests per tenant per repetition (default 8)")
+    p.add_argument("--rate", type=float, default=100.0, metavar="R",
+                   help="open loop: mean arrivals per simulated second "
+                        "per tenant (default 100)")
+    p.add_argument("--concurrency", type=int, default=2, metavar="N",
+                   help="closed loop: clients per tenant (default 2)")
+    p.add_argument("--think", type=float, default=0.0, metavar="S",
+                   help="closed loop: simulated think time between a "
+                        "client's interactions (default 0)")
+    p.add_argument("--repetitions", type=int, default=3, metavar="N",
+                   help="independent repetitions, one run-table row each "
+                        "(default 3)")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                   help=f"arrival-process seed (default {DEFAULT_SEED})")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent service executions (default 2)")
+    p.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                   help="service queue depth (default 64)")
+    p.add_argument("--mem-budget", metavar="SIZE", default=None,
+                   help="symbolic in-flight memory budget for admission "
+                        "control, e.g. 64M, 1.5G, 4096 (default unbounded)")
+    p.add_argument("--max-batch", type=int, default=8, metavar="N",
+                   help="max compatible requests fused per execution "
+                        "(default 8)")
+    p.add_argument("--no-batching", action="store_true",
+                   help="dispatch every request as its own execution")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="fault-spec JSON applied to every request "
+                        "(per-tenant chaos; the pipeline degrades "
+                        "gracefully and results stay exact)")
+    p.add_argument("--run-label", metavar="LABEL", default="service",
+                   help="configuration label: the run-table 'config' "
+                        "column `repro report --compare` groups by "
+                        "(default 'service')")
+    p.add_argument("--out-dir", metavar="DIR", default="artifacts",
+                   help="where run_table_<label>.csv and "
+                        "load_<label>.jsonl land (default artifacts/)")
+
+
+def _session_request(entry: Mapping[str, object]) -> "object":
+    from repro.service.core import JobRequest
+    from repro.service.loadgen import workload_operands
+
+    known = {"at", "tenant", "workload", "priority", "cancel_at", "faults"}
+    unknown = set(entry) - known
+    if unknown:
+        raise ReproError(
+            f"unknown session request field(s): {sorted(unknown)}"
+        )
+    workload = str(entry.get("workload", "powerlaw-sm"))
+    a, b = workload_operands(workload)
+    faults = None
+    if entry.get("faults") is not None:
+        from repro.faults import FaultSpec
+
+        faults = FaultSpec.from_dict(dict(entry["faults"]))  # type: ignore[call-overload]
+    return JobRequest(
+        tenant=str(entry.get("tenant", "default")),
+        workload=workload,
+        priority=str(entry.get("priority", "normal")),
+        a=a, b=b, faults=faults,
+    )
+
+
+def run_serve_command(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro.obs.events import event_log, host_info
+    from repro.service.core import FAILED, JobService, ServiceConfig, run_script
+
+    try:
+        doc = json.loads(Path(args.session).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"serve: cannot read session {args.session}: {exc}")
+        return 2
+    if not isinstance(doc, dict) or not isinstance(doc.get("requests"), list):
+        print("serve: session JSON needs a 'requests' list")
+        return 2
+    label = args.run_label or Path(args.session).stem
+    try:
+        config = ServiceConfig.from_dict(doc.get("service") or {})
+        entries = doc["requests"]
+        at_times = [float(e.get("at", 0.0)) for e in entries]
+        if at_times != sorted(at_times):
+            print("serve: session requests must be sorted by 'at'")
+            return 2
+        if args.export_events:
+            recording = event_log(
+                args.export_events,
+                run_id=f"serve:{label}",
+                label=label,
+                provenance={"host": host_info(), "service": config.as_dict(),
+                            "session": str(args.session)},
+            )
+        else:
+            recording = nullcontext()
+        service = JobService(config)
+        with recording:
+            job_ids = run_script(service, entries, make_request=_session_request)
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        print(f"serve: {exc}")
+        return 2
+    print(f"{'job':8s} {'tenant':10s} {'workload':14s} {'priority':8s} "
+          f"{'status':10s} {'latency_s':>12s}")
+    failed = 0
+    for job_id in job_ids:
+        record = service.jobs[job_id]
+        latency = record.sim_latency_s
+        lat_str = f"{latency:12.9f}" if latency is not None else f"{'-':>12s}"
+        print(f"{job_id:8s} {record.request.tenant:10s} "
+              f"{record.request.workload:14s} {record.request.priority:8s} "
+              f"{record.status:10s} {lat_str}")
+        failed += record.status == FAILED
+    counts = service.counts()
+    print(f"\n{len(job_ids)} job(s): "
+          + ", ".join(f"{v} {k}" for k, v in counts.items() if v))
+    if args.export_events:
+        print(f"event log written to {args.export_events}")
+    return 1 if failed else 0
+
+
+def _quick_spec(args: argparse.Namespace) -> "object":
+    from repro.jobs.budget import parse_size
+    from repro.service.core import ServiceConfig
+    from repro.service.loadgen import LoadSpec, TenantSpec
+
+    faults = None
+    if args.faults:
+        from repro.faults import load_fault_spec
+
+        faults = load_fault_spec(args.faults).as_dict()
+    mem_budget = parse_size(args.mem_budget) if args.mem_budget else None
+    tenants = tuple(
+        TenantSpec(
+            name=f"tenant{i}",
+            workload=args.workload,
+            requests=args.requests,
+            rate_per_s=args.rate,
+            concurrency=args.concurrency,
+            think_s=args.think,
+            faults=faults,
+        )
+        for i in range(args.tenants)
+    )
+    return LoadSpec(
+        tenants=tenants,
+        process=args.process,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        label=args.run_label,
+        service=ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            mem_budget_bytes=mem_budget,
+            batching=not args.no_batching,
+            max_batch=args.max_batch,
+        ),
+    )
+
+
+def run_load_command(args: argparse.Namespace) -> int:
+    from repro.obs.events import event_log, host_info
+    from repro.obs.runtable import write_run_table
+    from repro.service.loadgen import LoadSpec, run_load
+
+    try:
+        if args.mix:
+            doc = json.loads(Path(args.mix).read_text(encoding="utf-8"))
+            spec = LoadSpec.from_dict(doc)
+        else:
+            spec = _quick_spec(args)
+    except (OSError, ValueError, TypeError, KeyError, ReproError) as exc:
+        print(f"load: {exc}")
+        return 2
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    events_path = out_dir / f"load_{spec.label}.jsonl"
+    table_path = out_dir / f"run_table_{spec.label}.csv"
+    try:
+        with event_log(
+            events_path,
+            run_id=f"load:{spec.label}",
+            label=spec.label,
+            provenance={"host": host_info(), "spec": spec.as_dict()},
+        ):
+            rows = run_load(spec)
+    except (ReproError, KeyError) as exc:
+        print(f"load: {exc}")
+        return 2
+    write_run_table(rows, table_path)
+    print(f"{'rep':>3s} {'submitted':>9s} {'completed':>9s} {'rejected':>8s} "
+          f"{'failed':>6s} {'makespan_s':>14s} {'p95_s':>14s} "
+          f"{'throughput/s':>14s}")
+    degraded = 0
+    for row in rows:
+        print(f"{row['repetition']:>3} {row['submitted']:>9} {row['work']:>9} "
+              f"{row['rejected']:>8} {row['failures']:>6} "
+              f"{_num(row['sim_total_s']):>14s} {_num(row['sim_p95_s']):>14s} "
+              f"{_num(row['throughput_sim_per_s']):>14s}")
+        degraded += row["status"] != "ok"
+    print(f"\n{spec.process}-loop load run '{spec.label}': "
+          f"{len(rows)} repetition(s), {len(spec.tenants)} tenant(s), "
+          f"seed {spec.seed}")
+    print(f"run table written to {table_path}")
+    print(f"event log written to {events_path}")
+    return 1 if degraded else 0
+
+
+def _num(value: object) -> str:
+    if value is None:
+        return "-"
+    return format(float(value), ".9g")  # type: ignore[arg-type]

@@ -1,0 +1,427 @@
+"""Deterministic load generation against :class:`~repro.service.core.JobService`.
+
+Two arrival processes, both fully seeded through :mod:`repro.util.rng`
+and both running entirely on the simulated clock:
+
+- **open loop** (``process="open"``): each tenant is a Poisson source —
+  inter-arrival gaps drawn ``Exponential(1/rate_per_s)`` — that keeps
+  submitting regardless of service backlog.  This measures behaviour
+  *under offered load*, including rejections when admission control
+  pushes back.
+- **closed loop** (``process="closed"``): each tenant runs
+  ``concurrency`` clients; a client submits, waits for its job to
+  finish, optionally thinks for ``think_s`` simulated seconds, and
+  submits again until the tenant's ``requests`` total is issued.  A
+  client whose submission is *rejected* stops (admission said the
+  tenant is over capacity); completed and failed interactions both
+  count as finished and the client continues.  This measures behaviour
+  *at fixed concurrency*.
+
+Every repetition gets an independent child generator via
+:func:`repro.util.rng.spawn_rngs` (and each tenant an independent
+grandchild), so repetition ``k`` sees the same arrivals no matter how
+many repetitions run, and two invocations with the same
+:class:`LoadSpec` produce byte-identical ``run_table.csv`` files.
+
+One ``repro-runtable/1`` row is emitted per (run, repetition) with
+``source="service"``: sim-clock latency stats (mean/p50/p95),
+throughput, and the submitted/rejected/cancelled/failed conservation
+counts.  Wall-clock columns stay empty — a simulated serving run has
+no host-time story to tell, and keeping host stamps out of the rows is
+what makes them byte-stable.  The same row is also emitted into the
+flight recorder as a ``load_rep_complete`` event, so
+``repro report`` rebuilds the identical table from the event log alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.obs.events import EVENTS
+from repro.obs.metrics import METRICS, exact_percentile
+from repro.service.core import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    REJECTED,
+    TERMINAL,
+    JobRequest,
+    JobService,
+    ServiceConfig,
+    TenantQuota,
+)
+from repro.util.errors import ServiceError
+from repro.util.rng import DEFAULT_SEED, spawn_rngs
+
+#: operands are deterministic per workload name; build each once
+_OPERAND_CACHE: dict[str, tuple[object, object]] = {}
+
+
+def workload_operands(name: str) -> tuple[object, object]:
+    """The (A, B) pair of a :mod:`repro.bench.workloads` entry, cached.
+
+    Caching is sound because workload builds are deterministic, and it
+    is load-bearing for batching: every request for the same workload
+    shares one operand pair, so the service recognises them as
+    compatible by identity.
+    """
+    if name not in _OPERAND_CACHE:
+        from repro.bench.workloads import get_workload
+
+        _OPERAND_CACHE[name] = get_workload(name).build()
+    return _OPERAND_CACHE[name]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape and service-level parameters."""
+
+    name: str
+    workload: str = "powerlaw-sm"
+    priority: str = "normal"
+    #: fair-share weight and pending cap (folded into the service config)
+    weight: float = 1.0
+    max_pending: int = 8
+    #: total requests this tenant issues per repetition
+    requests: int = 8
+    #: open loop: mean arrival rate (requests per simulated second)
+    rate_per_s: float = 100.0
+    #: closed loop: concurrent clients and per-interaction think time
+    concurrency: int = 2
+    think_s: float = 0.0
+    #: optional per-tenant fault schedule (``FaultSpec.as_dict`` form)
+    faults: Mapping[str, object] | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0:
+            raise ServiceError("tenant requests must be positive")
+        if self.rate_per_s <= 0:
+            raise ServiceError("tenant rate_per_s must be positive")
+        if self.concurrency <= 0:
+            raise ServiceError("tenant concurrency must be positive")
+        if self.think_s < 0:
+            raise ServiceError("tenant think_s must be non-negative")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "priority": self.priority,
+            "weight": self.weight,
+            "max_pending": self.max_pending,
+            "requests": self.requests,
+            "rate_per_s": self.rate_per_s,
+            "concurrency": self.concurrency,
+            "think_s": self.think_s,
+            "faults": dict(self.faults) if self.faults is not None else None,
+        }
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load experiment: tenants × arrival process × repetitions."""
+
+    tenants: tuple[TenantSpec, ...]
+    process: str = "closed"
+    repetitions: int = 3
+    seed: int = DEFAULT_SEED
+    #: configuration label: the run-table ``config`` column, what
+    #: ``repro report --compare`` groups by
+    label: str = "service"
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if self.process not in ("open", "closed"):
+            raise ServiceError(
+                f"unknown arrival process {self.process!r}; "
+                "choose 'open' or 'closed'"
+            )
+        if self.repetitions <= 0:
+            raise ServiceError("repetitions must be positive")
+        if not self.tenants:
+            raise ServiceError("a load spec needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate tenant names: {names}")
+
+    def service_config(self) -> ServiceConfig:
+        """The service config with tenant quotas/weights folded in."""
+        quotas = dict(self.service.quotas)
+        for tenant in self.tenants:
+            quotas[tenant.name] = TenantQuota(
+                max_pending=tenant.max_pending, weight=tenant.weight
+            )
+        base = self.service.as_dict()
+        base["quotas"] = {
+            name: {"max_pending": q.max_pending, "weight": q.weight}
+            for name, q in quotas.items()
+        }
+        return ServiceConfig.from_dict(base)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "process": self.process,
+            "repetitions": self.repetitions,
+            "service": self.service.as_dict(),
+            "tenants": [t.as_dict() for t in self.tenants],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "LoadSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(doc) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown load spec field(s): {sorted(unknown)}",
+                fields=sorted(unknown),
+            )
+        kwargs: dict[str, object] = dict(doc)
+        tenants = kwargs.pop("tenants", None)
+        if not isinstance(tenants, Sequence) or not tenants:
+            raise ServiceError("'tenants' must be a non-empty list")
+        kwargs["tenants"] = tuple(
+            TenantSpec(**dict(t)) for t in tenants
+        )
+        service = kwargs.pop("service", None)
+        if service is not None:
+            kwargs["service"] = ServiceConfig.from_dict(service)  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def _tenant_request(tenant: TenantSpec, *, operands: bool = True) -> JobRequest:
+    a: object | None = None
+    b: object | None = None
+    if operands:
+        a, b = workload_operands(tenant.workload)
+    faults: object | None = None
+    if tenant.faults is not None:
+        from repro.faults import FaultSpec
+
+        faults = FaultSpec.from_dict(dict(tenant.faults))
+    return JobRequest(
+        tenant=tenant.name,
+        workload=tenant.workload,
+        priority=tenant.priority,
+        a=a,
+        b=b,
+        faults=faults,
+    )
+
+
+def execute_schedule(
+    service: JobService,
+    arrivals: Sequence[tuple[float, JobRequest]],
+) -> list[str]:
+    """Submit a pre-computed arrival schedule and drain the service.
+
+    The schedule is sorted by ``(time, tenant, priority, workload)``
+    before submission, so any permutation of the same arrivals replays
+    identically — the interleaving-invariance property the Hypothesis
+    suite asserts.  Returns job ids in submission order.
+    """
+    ordered = sorted(
+        arrivals,
+        key=lambda item: (item[0], item[1].tenant, item[1].priority,
+                          item[1].workload),
+    )
+    job_ids = []
+    for t, request in ordered:
+        if METRICS.enabled:
+            METRICS.inc("loadgen.arrivals")
+        job_ids.append(service.submit(request, at=t))
+    service.drain()
+    return job_ids
+
+
+def _run_open_rep(
+    spec: LoadSpec, service: JobService, rep_rng: object, *, operands: bool
+) -> list[str]:
+    tenant_rngs = spawn_rngs(rep_rng, len(spec.tenants))  # type: ignore[arg-type]
+    arrivals: list[tuple[float, JobRequest]] = []
+    for tenant, rng in zip(spec.tenants, tenant_rngs):
+        request = _tenant_request(tenant, operands=operands)
+        gaps = rng.exponential(1.0 / tenant.rate_per_s, size=tenant.requests)
+        t = 0.0
+        for gap in gaps:
+            t += float(gap)
+            arrivals.append((t, request))
+    return execute_schedule(service, arrivals)
+
+
+def _run_closed_rep(
+    spec: LoadSpec, service: JobService, *, operands: bool
+) -> list[str]:
+    requests = {
+        t.name: _tenant_request(t, operands=operands) for t in spec.tenants
+    }
+    remaining = {t.name: t.requests for t in spec.tenants}
+    think = {t.name: t.think_s for t in spec.tenants}
+    job_ids: list[str] = []
+    #: one outstanding job id per live client, mapped to its tenant
+    outstanding: dict[str, str] = {}
+    #: scheduled future submissions: (t, tenant submission counter, tenant)
+    pending: list[tuple[float, int, str]] = []
+    n_scheduled = 0
+
+    def _schedule(tenant: str, at: float) -> None:
+        nonlocal n_scheduled
+        if remaining[tenant] > 0:
+            remaining[tenant] -= 1
+            pending.append((at, n_scheduled, tenant))
+            n_scheduled += 1
+
+    for tenant in spec.tenants:
+        for _ in range(min(tenant.concurrency, tenant.requests)):
+            _schedule(tenant.name, 0.0)
+
+    def _harvest() -> None:
+        """Schedule follow-up turns for clients whose jobs finished
+        during the last clock movement."""
+        finished = [
+            jid for jid in outstanding
+            if service.jobs[jid].status in TERMINAL
+        ]
+        for jid in sorted(finished):
+            tenant_name = outstanding.pop(jid)
+            end_t = service.jobs[jid].end_t
+            assert end_t is not None
+            _schedule(tenant_name, end_t + think[tenant_name])
+
+    # classic discrete-event loop: submit everything due at the current
+    # instant first (dispatch is lazy, so all same-time arrivals are on
+    # the queue before any scheduling decision at that instant), then
+    # move the clock to the earlier of next-completion / next-arrival
+    while pending or outstanding:
+        pending.sort()
+        submitted_now = False
+        while pending and pending[0][0] <= service.now:
+            _, _, tenant_name = pending.pop(0)
+            if METRICS.enabled:
+                METRICS.inc("loadgen.arrivals")
+            job_id = service.submit(requests[tenant_name], at=service.now)
+            job_ids.append(job_id)
+            record = service.jobs[job_id]
+            if record.status == REJECTED:
+                # admission said no: this client stops issuing
+                continue
+            outstanding[job_id] = tenant_name
+            submitted_now = True
+        # safe to flush dispatch now: no arrival due at this instant
+        # remains pending
+        next_completion = service.next_completion_time()
+        # a flush can fail jobs synchronously (executor raised); their
+        # clients take their next turn like any other finished one
+        _harvest()
+        if next_completion is not None and (
+            not pending or next_completion <= pending[0][0]
+        ):
+            service.advance_to(next_completion)
+            _harvest()
+        elif pending:
+            service.advance_to(pending[0][0])
+            _harvest()
+        elif outstanding and not submitted_now:  # pragma: no cover
+            raise ServiceError("closed-loop generator deadlocked")
+    service.drain()
+    return job_ids
+
+
+def _rep_row(
+    spec: LoadSpec, service: JobService, repetition: int, job_ids: list[str]
+) -> dict[str, object]:
+    """One run-table row (plain dict, :data:`repro.obs.runtable.COLUMNS`
+    keys) summarising a drained repetition."""
+    records = [service.jobs[jid] for jid in job_ids]
+    non_terminal = [r.job_id for r in records if r.status not in TERMINAL]
+    if non_terminal:
+        raise ServiceError(
+            f"repetition {repetition} left non-terminal jobs: {non_terminal}",
+            jobs=non_terminal,
+        )
+    completed = [r for r in records if r.status == COMPLETED]
+    latencies = sorted(
+        r.sim_latency_s for r in completed if r.sim_latency_s is not None
+    )
+    counts = service.counts()
+    makespan = service.now
+    throughput = len(completed) / makespan if makespan > 0 else None
+    return {
+        "run_id": f"load:{spec.label}",
+        "source": "service",
+        "config": spec.label,
+        "repetition": repetition,
+        "samples": len(latencies),
+        "work": len(completed),
+        "sim_total_s": makespan,
+        "sim_mean_s": (sum(latencies) / len(latencies)) if latencies else None,
+        "sim_p50_s": exact_percentile(latencies, 50.0) if latencies else None,
+        "sim_p95_s": exact_percentile(latencies, 95.0) if latencies else None,
+        "throughput_sim_per_s": throughput,
+        "submitted": len(records),
+        "rejected": counts[REJECTED],
+        "cancelled": counts[CANCELLED],
+        "failures": counts[FAILED],
+        "retries": 0,
+        "requeues": 0,
+        "checkpoints": 0,
+        "resumes": 0,
+        "status": "ok" if counts[FAILED] == 0 else "degraded",
+    }
+
+
+#: the row fields replayed verbatim through ``load_rep_complete`` events
+_EVENT_ROW_FIELDS = (
+    "repetition", "samples", "work", "sim_total_s", "sim_mean_s",
+    "sim_p50_s", "sim_p95_s", "throughput_sim_per_s", "submitted",
+    "rejected", "cancelled", "failures", "status",
+)
+
+
+def run_load(
+    spec: LoadSpec,
+    *,
+    executor: object | None = None,
+    operands: bool | None = None,
+) -> list[dict[str, object]]:
+    """Run one load experiment; one run-table row per repetition.
+
+    ``executor`` swaps the real pipeline for a test double (the
+    Hypothesis suite's deterministic fake); ``operands`` controls
+    whether workload matrices are materialised (defaults to True with
+    the real executor, False with a fake).  Each repetition drives a
+    *fresh* :class:`JobService` — repetitions are independent replicas,
+    exactly like bench repeats.
+    """
+    if operands is None:
+        operands = executor is None
+    rows: list[dict[str, object]] = []
+    rep_rngs = spawn_rngs(spec.seed, spec.repetitions)
+    for repetition in range(spec.repetitions):
+        service = JobService(
+            spec.service_config(),
+            executor=executor,  # type: ignore[arg-type]
+        )
+        if METRICS.enabled:
+            METRICS.inc("loadgen.repetitions")
+        if EVENTS.enabled:
+            EVENTS.emit(
+                "load_rep_begin", repetition=repetition,
+                process=spec.process, tenants=len(spec.tenants),
+            )
+        if spec.process == "open":
+            job_ids = _run_open_rep(
+                spec, service, rep_rngs[repetition], operands=operands
+            )
+        else:
+            job_ids = _run_closed_rep(spec, service, operands=operands)
+        row = _rep_row(spec, service, repetition, job_ids)
+        rows.append(row)
+        if EVENTS.enabled:
+            EVENTS.emit(
+                "load_rep_complete",
+                **{name: row[name] for name in _EVENT_ROW_FIELDS},
+            )
+    return rows

@@ -87,6 +87,16 @@ class SanitizerError(ReproError, RuntimeError):
     the violation record (``code``, ``device``, ``sim_t``)."""
 
 
+class ServiceError(ReproError, RuntimeError):
+    """A job-service API call that cannot be honoured: asking for the
+    result of a job that is still queued/running, was cancelled, or was
+    never submitted; submitting after shutdown; or advancing the service
+    clock backwards.  :attr:`context` carries the ``job`` id and its
+    current ``status`` where applicable.  (Admission rejections are
+    *not* this error — they surface as :class:`ResourceExhausted` with
+    the admission arithmetic in context.)"""
+
+
 class MetricError(ReproError, ValueError):
     """An observability metric was used inconsistently (empty name, or
     the same name registered as two different kinds, e.g. a counter

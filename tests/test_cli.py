@@ -1,10 +1,13 @@
 """Tests for the ``python -m repro`` experiment CLI."""
 
+import json
 import re
 
 import pytest
 
 from repro.__main__ import build_parser, command_summaries, main
+
+ALL_COMMANDS = [name for name, _ in command_summaries(build_parser())]
 
 
 class TestParser:
@@ -53,6 +56,86 @@ class TestParser:
     def test_fig8_flags(self):
         args = build_parser().parse_args(["fig8", "wiki-Vote", "--real"])
         assert args.matrix == "wiki-Vote" and args.real
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_unknown_argument_exits_2_for_every_subcommand(self, command,
+                                                           capsys):
+        """argparse usage errors are uniform across the whole command
+        set: any unrecognised argument exits 2 with a usage message —
+        parametrised over the registered subparsers so a new subcommand
+        is covered the day it lands."""
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--definitely-not-a-flag"])
+        assert exc.value.code == 2
+        assert "usage" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_help_exits_0_for_every_subcommand(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--help"])
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_serve_and_load_are_registered(self):
+        assert "serve" in ALL_COMMANDS and "load" in ALL_COMMANDS
+
+    def test_load_flags(self):
+        args = build_parser().parse_args([
+            "load", "--process", "open", "--tenants", "3",
+            "--mem-budget", "64M", "--no-batching",
+            "--run-label", "cfgA",
+        ])
+        assert args.command == "load" and args.process == "open"
+        assert args.tenants == 3 and args.mem_budget == "64M"
+        assert args.no_batching and args.run_label == "cfgA"
+
+    def test_load_bad_process_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["load", "--process", "sideways"])
+        assert exc.value.code == 2
+
+
+class TestServeLoadCommands:
+    def test_serve_missing_session_is_usage_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read session" in capsys.readouterr().out
+
+    def test_serve_rejects_unsorted_session(self, tmp_path, capsys):
+        session = tmp_path / "s.json"
+        session.write_text(json.dumps({"requests": [
+            {"at": 1.0, "tenant": "a"}, {"at": 0.0, "tenant": "b"},
+        ]}))
+        assert main(["serve", str(session)]) == 2
+        assert "sorted by 'at'" in capsys.readouterr().out
+
+    def test_serve_rejects_unknown_config_field(self, tmp_path, capsys):
+        session = tmp_path / "s.json"
+        session.write_text(json.dumps(
+            {"service": {"wrokers": 3}, "requests": []}
+        ))
+        assert main(["serve", str(session)]) == 2
+        assert "unknown service config field" in capsys.readouterr().out
+
+    def test_serve_session_end_to_end(self, tmp_path, capsys):
+        session = tmp_path / "session.json"
+        session.write_text(json.dumps({
+            "service": {"workers": 1},
+            "requests": [
+                {"at": 0.0, "tenant": "a", "workload": "powerlaw-sm"},
+                {"at": 0.0, "tenant": "b", "workload": "powerlaw-sm",
+                 "priority": "high"},
+            ],
+        }))
+        assert main(["serve", str(session)]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out and "2 job(s)" in out
+
+    def test_load_bad_mix_is_usage_error(self, tmp_path, capsys):
+        mix = tmp_path / "mix.json"
+        mix.write_text(json.dumps({"tenants": []}))
+        assert main(["load", "--mix", str(mix),
+                     "--out-dir", str(tmp_path)]) == 2
+        assert "load:" in capsys.readouterr().out
 
 
 class TestCommands:

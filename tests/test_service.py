@@ -1,0 +1,461 @@
+"""Tests for the multi-tenant job service (:mod:`repro.service`).
+
+Covers: the submit/status/result/cancel lifecycle and explicit clock
+control, admission control (rejection reasons in policy order, with
+the budget arithmetic in the error context), lazy dispatch and the
+strict-priority invariant, weighted fair sharing, request batching,
+the no-bypass memory budget, the scripted-session engine behind
+``repro serve``, chaos under load (device crash mid-serving: failover
+counters rise, nothing is silently dropped), and the golden
+end-to-end fixture: the committed ``tests/data/service_fixture/``
+run table must be byte-identically reproduced both from its committed
+event log and by replaying its load spec through today's code.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.runtable import build_run_table, load_run_table, render_csv
+from repro.obs.spans import observed
+from repro.service import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    TERMINAL,
+    ExecOutcome,
+    JobRequest,
+    JobService,
+    LoadSpec,
+    ServiceConfig,
+    TenantQuota,
+    TenantSpec,
+    run_load,
+    run_script,
+)
+from repro.service.core import TUPLE_BYTES
+from repro.util.errors import ResourceExhausted, ServiceError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_DIR = REPO_ROOT / "tests" / "data" / "service_fixture"
+FIXTURE_CSV = FIXTURE_DIR / "run_table_service-fixture.csv"
+FIXTURE_EVENTS = FIXTURE_DIR / "load_service-fixture.jsonl"
+FIXTURE_MIX = FIXTURE_DIR / "mix.json"
+
+
+class FakeExecutor:
+    """Deterministic test double: fixed simulated duration per workload."""
+
+    def __init__(self, durations=None, default=1.0, fail=()):
+        self.durations = dict(durations or {})
+        self.default = default
+        self.fail = set(fail)
+        self.executed = []
+
+    def execute(self, request):
+        self.executed.append(request.workload)
+        if request.workload in self.fail:
+            raise RuntimeError(f"executor blew up on {request.workload}")
+        return ExecOutcome(
+            sim_duration_s=self.durations.get(request.workload, self.default),
+            result=f"result:{request.workload}",
+        )
+
+
+def _req(tenant="t0", workload="w", priority="normal", est=0, faults=None):
+    return JobRequest(tenant=tenant, workload=workload, priority=priority,
+                      est_tuples=est, faults=faults)
+
+
+def _service(executor=None, **config):
+    return JobService(ServiceConfig(**config), executor=executor or FakeExecutor())
+
+
+class TestLifecycle:
+    def test_submit_queue_drain_result(self):
+        svc = _service()
+        jid = svc.submit(_req())
+        assert svc.status(jid) == QUEUED
+        svc.drain()
+        assert svc.status(jid) == COMPLETED
+        assert svc.result(jid) == "result:w"
+        record = svc.jobs[jid]
+        assert record.start_t == 0.0 and record.end_t == 1.0
+        assert record.sim_latency_s == 1.0
+
+    def test_result_before_completion_raises_service_error(self):
+        svc = _service()
+        jid = svc.submit(_req())
+        with pytest.raises(ServiceError, match="no result"):
+            svc.result(jid)
+
+    def test_unknown_job_id_raises(self):
+        svc = _service()
+        with pytest.raises(ServiceError, match="unknown job id"):
+            svc.status("j999999")
+
+    def test_unknown_priority_rejected_at_submit(self):
+        svc = _service()
+        with pytest.raises(ServiceError, match="unknown priority"):
+            svc.submit(_req(priority="urgent"))
+
+    def test_cancel_queued_job(self):
+        # one worker busy, second job still queued => cancellable
+        svc = _service(workers=1)
+        first = svc.submit(_req(workload="a"))
+        second = svc.submit(_req(workload="b"))
+        assert svc.next_completion_time() == 1.0  # flushes dispatch
+        assert svc.status(first) == RUNNING
+        assert svc.cancel(second)
+        assert svc.status(second) == CANCELLED
+        assert not svc.cancel(second)  # already terminal
+        assert not svc.cancel(first)  # running jobs are immune
+        svc.drain()
+        assert svc.status(first) == COMPLETED
+
+    def test_clock_never_moves_backwards(self):
+        svc = _service()
+        svc.advance_to(2.0)
+        with pytest.raises(ServiceError, match="backwards"):
+            svc.advance_to(1.0)
+
+    def test_executor_failure_is_stored_and_reraised(self):
+        svc = _service(executor=FakeExecutor(fail={"boom"}))
+        good = svc.submit(_req(workload="ok"))
+        bad = svc.submit(_req(workload="boom"))
+        svc.drain()
+        assert svc.status(good) == COMPLETED
+        assert svc.status(bad) == FAILED
+        with pytest.raises(RuntimeError, match="blew up"):
+            svc.result(bad)
+
+    def test_counts_conserve_jobs(self):
+        svc = _service(workers=1, executor=FakeExecutor(fail={"boom"}))
+        svc.submit(_req(workload="a"))
+        svc.submit(_req(workload="boom"))
+        victim = svc.submit(_req(workload="c"))
+        svc.next_completion_time()  # dispatch "a"
+        svc.cancel(victim)
+        svc.drain()
+        counts = svc.counts()
+        assert sum(counts.values()) == len(svc.jobs) == 3
+        assert counts[COMPLETED] == 1 and counts[FAILED] == 1
+        assert counts[CANCELLED] == 1
+        assert all(r.status in TERMINAL for r in svc.jobs.values())
+
+
+class TestAdmission:
+    def test_request_too_large_rejected_with_context(self):
+        svc = _service(mem_budget_bytes=10 * TUPLE_BYTES)
+        jid = svc.submit(_req(est=11))
+        assert svc.status(jid) == REJECTED
+        with pytest.raises(ResourceExhausted) as exc:
+            svc.result(jid)
+        ctx = exc.value.context
+        assert ctx["reason"] == "request_too_large"
+        assert ctx["budget_bytes"] == 10 * TUPLE_BYTES
+        assert ctx["required_bytes"] == 11 * TUPLE_BYTES
+        assert ctx["tenant"] == "t0"
+
+    def test_queue_full_rejection(self):
+        svc = _service(workers=1, queue_depth=2,
+                       default_quota=TenantQuota(max_pending=99))
+        ids = [svc.submit(_req(workload=f"w{i}")) for i in range(3)]
+        assert [svc.status(j) for j in ids] == [QUEUED, QUEUED, REJECTED]
+        with pytest.raises(ResourceExhausted) as exc:
+            svc.result(ids[-1])
+        assert exc.value.context["reason"] == "queue_full"
+
+    def test_tenant_quota_rejection_is_per_tenant(self):
+        svc = _service(workers=1,
+                       quotas={"greedy": TenantQuota(max_pending=2)})
+        ids = [svc.submit(_req(tenant="greedy")) for _ in range(3)]
+        other = svc.submit(_req(tenant="polite"))
+        assert svc.status(ids[2]) == REJECTED
+        assert svc.status(other) == QUEUED  # another tenant still admitted
+        with pytest.raises(ResourceExhausted) as exc:
+            svc.result(ids[2])
+        assert exc.value.context["reason"] == "tenant_quota"
+        assert exc.value.context["max_pending"] == 2
+
+    def test_too_large_checked_before_queue_and_quota(self):
+        # the oversized request would also hit queue_full; policy order
+        # says request_too_large wins
+        svc = _service(queue_depth=1, mem_budget_bytes=TUPLE_BYTES)
+        svc.submit(_req(est=1))
+        jid = svc.submit(_req(est=50))
+        with pytest.raises(ResourceExhausted) as exc:
+            svc.result(jid)
+        assert exc.value.context["reason"] == "request_too_large"
+
+    def test_rejection_does_not_consume_quota(self):
+        svc = _service(workers=1, default_quota=TenantQuota(max_pending=1))
+        first = svc.submit(_req())
+        rejected = svc.submit(_req())
+        assert svc.status(rejected) == REJECTED
+        svc.drain()
+        assert svc.status(first) == COMPLETED
+        # the slot freed by completion readmits the tenant
+        assert svc.status(svc.submit(_req())) == QUEUED
+
+
+class TestPriorityAndFairness:
+    def test_high_priority_never_waits_behind_lower_same_instant(self):
+        # one worker; the normal job is *submitted first* at the same
+        # simulated time — lazy dispatch must still run high first
+        svc = _service(workers=1, batching=False)
+        normal = svc.submit(_req(tenant="a", workload="n"))
+        high = svc.submit(_req(tenant="b", workload="h", priority="high"))
+        svc.drain()
+        assert svc.jobs[high].start_t < svc.jobs[normal].start_t
+
+    def test_dispatch_is_lazy_until_clock_observed(self):
+        svc = _service(workers=1)
+        jid = svc.submit(_req())
+        assert svc.status(jid) == QUEUED  # submit never dispatches
+        svc.next_completion_time()
+        assert svc.status(jid) == RUNNING
+
+    def test_equal_weights_alternate_tenants(self):
+        svc = _service(workers=1, batching=False)
+        ids = []
+        for i in range(2):
+            ids.append(svc.submit(_req(tenant="a", workload=f"a{i}")))
+            ids.append(svc.submit(_req(tenant="b", workload=f"b{i}")))
+        svc.drain()
+        exec_order = sorted(ids, key=lambda j: svc.jobs[j].start_t)
+        tenants = [svc.jobs[j].request.tenant for j in exec_order]
+        assert tenants == ["a", "b", "a", "b"]
+
+    def test_heavier_weight_gets_larger_share(self):
+        # tenant h (weight 3) vs tenant l (weight 1), each offering 4
+        # equal jobs: h must have finished 3 of its jobs before l
+        # finishes its second
+        svc = _service(workers=1, batching=False,
+                       quotas={"h": TenantQuota(weight=3.0),
+                               "l": TenantQuota(weight=1.0)})
+        ids = {"h": [], "l": []}
+        for i in range(4):
+            ids["h"].append(svc.submit(_req(tenant="h", workload=f"h{i}")))
+            ids["l"].append(svc.submit(_req(tenant="l", workload=f"l{i}")))
+        svc.drain()
+        h_third_done = sorted(svc.jobs[j].end_t for j in ids["h"])[2]
+        l_second_done = sorted(svc.jobs[j].end_t for j in ids["l"])[1]
+        assert h_third_done < l_second_done
+
+    def test_late_joiner_does_not_get_a_head_start(self):
+        # tenant a accumulates vtime; a newcomer joining later must not
+        # monopolise the worker just because its vtime would be 0
+        svc = _service(workers=1, batching=False)
+        for i in range(2):
+            svc.submit(_req(tenant="a", workload=f"a{i}"))
+        svc.next_completion_time()  # a's first job running
+        first_b = svc.submit(_req(tenant="b", workload="b0"))
+        second_a = svc.submit(_req(tenant="a", workload="a2"))
+        svc.drain()
+        # b joined at the floor of active vtimes, so b and a alternate
+        # rather than b running all before a's remaining jobs
+        assert svc.jobs[first_b].start_t < svc.jobs[second_a].start_t
+
+
+class TestBatching:
+    def _compatible(self, tenant, workload="w"):
+        return _req(tenant=tenant, workload=workload)
+
+    def test_compatible_requests_fuse_into_one_execution(self):
+        fake = FakeExecutor()
+        svc = _service(executor=fake, workers=1, max_batch=8)
+        ids = [svc.submit(self._compatible(f"t{i}")) for i in range(3)]
+        svc.drain()
+        assert len(fake.executed) == 1  # one pipeline execution
+        batch_ids = {svc.jobs[j].batch_id for j in ids}
+        assert len(batch_ids) == 1
+        assert all(svc.status(j) == COMPLETED for j in ids)
+        assert {svc.result(j) for j in ids} == {"result:w"}
+
+    def test_max_batch_caps_fusion(self):
+        fake = FakeExecutor()
+        svc = _service(executor=fake, workers=1, max_batch=2)
+        for i in range(5):
+            svc.submit(self._compatible(f"t{i}"))
+        svc.drain()
+        assert len(fake.executed) == 3  # 2 + 2 + 1
+
+    def test_no_batching_flag_runs_each_alone(self):
+        fake = FakeExecutor()
+        svc = _service(executor=fake, workers=1, batching=False)
+        for i in range(3):
+            svc.submit(self._compatible(f"t{i}"))
+        svc.drain()
+        assert len(fake.executed) == 3
+
+    def test_batches_never_cross_priority_classes(self):
+        fake = FakeExecutor()
+        svc = _service(executor=fake, workers=1)
+        a = svc.submit(_req(tenant="a", workload="w", priority="high"))
+        b = svc.submit(_req(tenant="b", workload="w", priority="normal"))
+        svc.drain()
+        assert len(fake.executed) == 2
+        assert svc.jobs[a].batch_id != svc.jobs[b].batch_id
+
+    def test_different_workloads_never_fuse(self):
+        fake = FakeExecutor()
+        svc = _service(executor=fake, workers=1)
+        svc.submit(_req(workload="x"))
+        svc.submit(_req(tenant="t1", workload="y"))
+        svc.drain()
+        assert sorted(fake.executed) == ["x", "y"]
+
+    def test_batch_failure_fails_every_member(self):
+        fake = FakeExecutor(fail={"w"})
+        svc = _service(executor=fake, workers=1)
+        ids = [svc.submit(self._compatible(f"t{i}")) for i in range(3)]
+        svc.drain()
+        assert all(svc.status(j) == FAILED for j in ids)
+        assert len(fake.executed) == 1
+
+
+class TestMemoryBudget:
+    def test_inflight_budget_defers_dispatch(self):
+        # budget fits one 6-tuple job at a time; two submitted at t=0
+        # must serialise even with two workers free
+        svc = _service(workers=2, batching=False,
+                       mem_budget_bytes=8 * TUPLE_BYTES)
+        first = svc.submit(_req(tenant="a", workload="x", est=6))
+        second = svc.submit(_req(tenant="b", workload="y", est=6))
+        svc.drain()
+        assert svc.jobs[first].start_t == 0.0
+        assert svc.jobs[second].start_t == 1.0  # waited for retirement
+
+    def test_head_of_queue_is_never_bypassed(self):
+        # big job at the head does not fit next to the running one; the
+        # small job behind it must NOT jump the queue
+        svc = _service(workers=2, batching=False,
+                       mem_budget_bytes=10 * TUPLE_BYTES)
+        running = svc.submit(_req(tenant="a", workload="r", est=6))
+        big = svc.submit(_req(tenant="b", workload="big", est=8))
+        small = svc.submit(_req(tenant="c", workload="small", est=1))
+        svc.drain()
+        assert svc.jobs[running].start_t == 0.0
+        assert svc.jobs[big].start_t == 1.0
+        assert svc.jobs[small].start_t >= svc.jobs[big].start_t
+
+    def test_unbounded_budget_admits_everything(self):
+        svc = _service()
+        jid = svc.submit(_req(est=10**12))
+        svc.drain()
+        assert svc.status(jid) == COMPLETED
+
+
+class TestRunScript:
+    def test_scripted_session_with_cancel(self):
+        svc = _service(workers=1, batching=False)
+        entries = [
+            {"at": 0.0, "workload": "a"},
+            {"at": 0.0, "workload": "b"},
+            {"at": 0.5, "workload": "c", "cancel_at": 0.75},
+        ]
+        ids = run_script(
+            svc, entries,
+            make_request=lambda e: _req(workload=str(e["workload"])),
+        )
+        assert [svc.status(j) for j in ids] == [COMPLETED, COMPLETED, CANCELLED]
+        # the cancel fired at its scripted time, before the job started
+        assert svc.jobs[ids[2]].end_t == 0.75
+
+
+class TestChaosUnderLoad:
+    """Satellite: a device crash mid-serving must degrade, not corrupt."""
+
+    FAULTS = {"seed": 7, "faults": [
+        {"kind": "device_crash", "device": "gpu", "at_s": 5e-4},
+    ]}
+
+    def _spec(self):
+        tenants = tuple(
+            TenantSpec(name=f"t{i}", workload="powerlaw-sm", requests=3,
+                       concurrency=2, faults=self.FAULTS)
+            for i in range(2)
+        )
+        return LoadSpec(tenants=tenants, process="closed", repetitions=1,
+                        label="chaos", service=ServiceConfig(workers=2))
+
+    def test_failover_counters_rise_and_nothing_is_dropped(self, tmp_path):
+        with observed() as (metrics, _):
+            rows = run_load(self._spec())
+            snap = metrics.snapshot()
+        counters = snap["counters"]
+        # the crash really happened and the survivor absorbed the work
+        assert counters["faults.crash.events"] >= 1
+        assert counters["phase3.failover.units"] >= 1
+        assert counters["phase3.failover.rows"] >= 1
+        # conservation: every submitted request reached a terminal state
+        row = rows[0]
+        submitted = counters["service.requests.submitted"]
+        terminal = sum(
+            counters.get(f"service.requests.{k}", 0)
+            for k in ("completed", "rejected", "cancelled", "failed")
+        )
+        assert submitted == terminal == row["submitted"] == 6
+        # the run table row stays schema-valid and loadable
+        from repro.obs.runtable import write_run_table
+
+        out = tmp_path / "chaos.csv"
+        write_run_table(rows, out)
+        loaded = load_run_table(out)
+        assert len(loaded) == 1 and loaded[0]["config"] == "chaos"
+
+    def test_chaos_run_is_deterministic(self):
+        one = run_load(self._spec())
+        two = run_load(self._spec())
+        assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+
+class TestGoldenServiceFixture:
+    """The committed end-to-end fixture pins the serving layer's bytes."""
+
+    def test_event_log_rebuilds_committed_run_table_exactly(self):
+        table = build_run_table(FIXTURE_DIR)
+        # mix.json documents the spec; it is not a run artifact
+        assert [rel for rel, _ in table["skipped"]] == ["mix.json"]
+        assert render_csv(table["rows"]) == FIXTURE_CSV.read_text()
+
+    def test_replaying_the_mix_reproduces_committed_bytes(self, tmp_path):
+        rc = main(["load", "--mix", str(FIXTURE_MIX),
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        fresh = tmp_path / "run_table_service-fixture.csv"
+        assert fresh.read_bytes() == FIXTURE_CSV.read_bytes()
+
+    def test_replayed_event_stream_matches_modulo_wall_stamps(self, tmp_path):
+        rc = main(["load", "--mix", str(FIXTURE_MIX),
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+
+        def _stable(path):
+            out = []
+            for line in Path(path).read_text().splitlines():
+                rec = json.loads(line)
+                rec.pop("wall_t", None)  # host stamps may drift
+                if rec.get("event") == "header":
+                    rec.get("provenance", {}).pop("host", None)
+                out.append(rec)
+            return out
+
+        fresh = tmp_path / "load_service-fixture.jsonl"
+        assert _stable(fresh) == _stable(FIXTURE_EVENTS)
+
+    def test_fixture_rows_carry_service_source_and_sim_only_columns(self):
+        rows = [r for r in build_run_table(FIXTURE_DIR)["rows"]]
+        assert len(rows) == 2
+        for row in rows:
+            assert row["source"] == "service"
+            assert row["config"] == "service-fixture"
+            assert row["wall_total_s"] is None  # no host time in a sim row
+            assert row["sim_total_s"] > 0
+            assert row["submitted"] == 6 and row["rejected"] == 0

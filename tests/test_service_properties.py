@@ -1,0 +1,270 @@
+"""Hypothesis properties for the serving layer (:mod:`repro.service`).
+
+Three families of invariants, each documented in
+``repro/service/core.py`` and load-bearing for the layer's claims:
+
+- **Interleaving invariance / byte-identical replay** — the same
+  multiset of arrivals produces identical job records no matter the
+  submission-call order, and two ``run_load`` invocations with the
+  same seed render byte-identical run-table CSV.
+- **Conservation** — whatever sequence of submit/cancel/clock
+  operations a client performs, after a drain every job sits in
+  exactly one terminal state; none is lost, none is double-counted.
+- **Scheduling invariants** — no tenant's pending jobs ever exceed
+  its quota; every *admitted* job eventually finishes (no
+  starvation); and among jobs arriving at the same simulated instant
+  a higher-priority job never starts after a lower-priority one.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.runtable import render_csv
+from repro.service import (
+    PRIORITIES,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    TERMINAL,
+    ExecOutcome,
+    JobRequest,
+    JobService,
+    LoadSpec,
+    ServiceConfig,
+    TenantQuota,
+    TenantSpec,
+    execute_schedule,
+    run_load,
+)
+from repro.service.core import priority_rank
+
+TENANTS = ("a", "b", "c")
+
+
+class FakeExecutor:
+    """Duration = 0.25 + 0.05 * (stable hash of the workload label):
+    deterministic, varied, and operand-free."""
+
+    def execute(self, request):
+        spread = sum(request.workload.encode()) % 7
+        return ExecOutcome(sim_duration_s=0.25 + 0.05 * spread,
+                           result=request.workload)
+
+
+def _fresh_service(**overrides):
+    config = ServiceConfig(
+        workers=overrides.pop("workers", 2),
+        queue_depth=overrides.pop("queue_depth", 64),
+        quotas=overrides.pop("quotas", {}),
+        default_quota=overrides.pop("default_quota", TenantQuota()),
+        **overrides,
+    )
+    return JobService(config, executor=FakeExecutor())
+
+
+def _record_view(service):
+    """Canonical, comparable view of every job's full lifecycle."""
+    return {
+        jid: (
+            r.request.tenant, r.request.workload, r.request.priority,
+            r.status, r.submit_t, r.start_t, r.end_t, r.batch_id,
+        )
+        for jid, r in sorted(service.jobs.items())
+    }
+
+
+# -- arrival-schedule strategies ------------------------------------------
+
+#: quarter-second grid => frequent same-instant collisions, the case
+#: the priority invariant is about
+_times = st.integers(min_value=0, max_value=16).map(lambda i: i * 0.25)
+
+_arrival = st.tuples(
+    _times,
+    st.sampled_from(TENANTS),
+    st.sampled_from(PRIORITIES),
+    st.sampled_from(("w0", "w1")),
+)
+
+_arrivals = st.lists(_arrival, min_size=1, max_size=14)
+
+
+def _requests_of(arrivals):
+    return [
+        (t, JobRequest(tenant=tenant, workload=workload, priority=priority,
+                       est_tuples=0))
+        for t, tenant, priority, workload in arrivals
+    ]
+
+
+class TestInterleavingInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(arrivals=_arrivals, shuffle=st.randoms(use_true_random=False))
+    def test_submission_order_cannot_change_the_outcome(self, arrivals,
+                                                        shuffle):
+        baseline = _fresh_service()
+        execute_schedule(baseline, _requests_of(arrivals))
+
+        permuted = list(arrivals)
+        shuffle.shuffle(permuted)
+        other = _fresh_service()
+        execute_schedule(other, _requests_of(permuted))
+
+        assert _record_view(baseline) == _record_view(other)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        process=st.sampled_from(("open", "closed")),
+        repetitions=st.integers(min_value=1, max_value=3),
+        n_tenants=st.integers(min_value=1, max_value=3),
+        requests=st.integers(min_value=1, max_value=5),
+    )
+    def test_same_seed_load_runs_render_byte_identical_tables(
+        self, seed, process, repetitions, n_tenants, requests,
+    ):
+        spec = LoadSpec(
+            tenants=tuple(
+                TenantSpec(name=f"t{i}", workload=f"w{i % 2}",
+                           requests=requests, rate_per_s=50.0,
+                           concurrency=2)
+                for i in range(n_tenants)
+            ),
+            process=process,
+            repetitions=repetitions,
+            seed=seed,
+            label="prop",
+        )
+        one = run_load(spec, executor=FakeExecutor(), operands=False)
+        two = run_load(spec, executor=FakeExecutor(), operands=False)
+        assert render_csv(one).encode() == render_csv(two).encode()
+        assert [r["repetition"] for r in one] == list(range(repetitions))
+
+
+# -- conservation over arbitrary client behaviour -------------------------
+
+_op = st.one_of(
+    st.tuples(st.just("submit"), _arrival),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=30)),
+    st.tuples(st.just("step"), st.just(0)),
+    st.tuples(st.just("advance"),
+              st.integers(min_value=0, max_value=8).map(lambda i: i * 0.5)),
+)
+
+
+class TestConservation:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=st.lists(_op, min_size=1, max_size=25))
+    def test_every_job_ends_in_exactly_one_terminal_state(self, ops):
+        svc = _fresh_service(
+            workers=1, queue_depth=4,
+            default_quota=TenantQuota(max_pending=3),
+        )
+        submitted = []
+        clock_floor = 0.0
+        for kind, payload in ops:
+            if kind == "submit":
+                t, tenant, priority, workload = payload
+                at = max(t, clock_floor)
+                submitted.append(svc.submit(
+                    JobRequest(tenant=tenant, workload=workload,
+                               priority=priority, est_tuples=0),
+                    at=at,
+                ))
+                clock_floor = svc.now
+            elif kind == "cancel" and submitted:
+                svc.cancel(submitted[payload % len(submitted)])
+            elif kind == "step":
+                svc.step()
+                clock_floor = svc.now
+            elif kind == "advance":
+                svc.advance_to(svc.now + payload)
+                clock_floor = svc.now
+        svc.drain()
+
+        assert len(svc.jobs) == len(submitted) == len(set(submitted))
+        statuses = [svc.jobs[j].status for j in submitted]
+        assert all(s in TERMINAL for s in statuses)
+        counts = svc.counts()
+        assert counts[QUEUED] == counts[RUNNING] == 0
+        assert sum(counts.values()) == len(submitted)
+        # terminal jobs all carry an end time; only finished work a start
+        for jid in submitted:
+            record = svc.jobs[jid]
+            assert record.end_t is not None
+            assert (record.start_t is not None) == (
+                record.status in ("completed", "failed")
+            )
+
+
+# -- quota / priority scheduling invariants -------------------------------
+
+class TestSchedulingInvariants:
+    QUOTAS = {
+        "a": TenantQuota(max_pending=2, weight=1.0),
+        "b": TenantQuota(max_pending=3, weight=2.0),
+        "c": TenantQuota(max_pending=4, weight=0.5),
+    }
+
+    def _run(self, arrivals):
+        svc = _fresh_service(workers=2, quotas=dict(self.QUOTAS))
+        execute_schedule(svc, _requests_of(arrivals))
+        return svc
+
+    @settings(max_examples=80, deadline=None)
+    @given(arrivals=_arrivals)
+    def test_no_tenant_ever_exceeds_its_pending_quota(self, arrivals):
+        svc = self._run(arrivals)
+        for tenant, peak in svc.peak_pending.items():
+            assert peak <= self.QUOTAS[tenant].max_pending
+
+    @settings(max_examples=80, deadline=None)
+    @given(arrivals=_arrivals)
+    def test_every_admitted_job_finishes(self, arrivals):
+        # no starvation: admission is the only gate; whatever was let
+        # into the queue must run (or be cancelled — this driver never
+        # cancels) by the time the service drains
+        svc = self._run(arrivals)
+        for record in svc.jobs.values():
+            if record.status != REJECTED:
+                assert record.status in ("completed", "failed")
+                assert record.start_t is not None
+
+    @settings(max_examples=80, deadline=None)
+    @given(arrivals=_arrivals)
+    def test_same_instant_priority_order_is_strict(self, arrivals):
+        # among jobs arriving at the same simulated instant, a
+        # higher-priority job never starts later than a lower one
+        svc = self._run(arrivals)
+        started = [r for r in svc.jobs.values() if r.start_t is not None]
+        by_submit: dict = {}
+        for record in started:
+            by_submit.setdefault(record.submit_t, []).append(record)
+        for cohort in by_submit.values():
+            for hi in cohort:
+                for lo in cohort:
+                    if (priority_rank(hi.request.priority)
+                            < priority_rank(lo.request.priority)):
+                        assert hi.start_t <= lo.start_t
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrivals=_arrivals)
+    def test_batches_are_single_priority_and_workload(self, arrivals):
+        svc = self._run(arrivals)
+        batches: dict = {}
+        for record in svc.jobs.values():
+            if record.batch_id is not None:
+                batches.setdefault(record.batch_id, []).append(record)
+        for members in batches.values():
+            assert len({m.request.priority for m in members}) == 1
+            assert len({m.request.workload for m in members}) == 1
+            assert len({(m.start_t, m.end_t) for m in members}) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrivals=_arrivals)
+    def test_outcome_is_a_pure_function_of_the_schedule(self, arrivals):
+        one = json.dumps(_record_view(self._run(arrivals)), sort_keys=True)
+        two = json.dumps(_record_view(self._run(arrivals)), sort_keys=True)
+        assert one == two
