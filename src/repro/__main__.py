@@ -169,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
         "load",
         help="deterministic load generator: seeded open(Poisson)/closed"
              "(concurrency-N) traffic over bench workloads against the "
-             "job service, one repro-runtable/1 row per repetition "
+             "job service, one repro-runtable/2 row per repetition "
              "(byte-identical across identical-seed runs); exit 0 clean, "
              "1 degraded repetitions, 2 usage",
     )
@@ -180,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     pt = sub.add_parser(
         "report",
         help="aggregate run artifacts (event logs, bench reports, metrics "
-             "snapshots) into a repro-runtable/1 run_table.csv — one row "
+             "snapshots) into a repro-runtable/2 run_table.csv — one row "
              "per (run, repetition) — with a statistical configuration "
              "comparator; exit 0 clean, 1 significant difference, 2 usage",
     )

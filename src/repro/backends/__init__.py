@@ -1,0 +1,43 @@
+"""Kernel-backend registry and the adaptive row-regime selector.
+
+Importing this package registers the three built-in backends —
+``reference``, ``numpy``, and ``numba`` (which transparently falls back
+to ``numpy`` when numba is not importable; the probe runs once and the
+reason is recorded).  The package-level kernel entry points in
+:mod:`repro.kernels` dispatch through :func:`get_backend`, so callers
+(``HHCPU``, the bench harness, the service) select implementations by
+name or :class:`BackendSpec` without touching kernel code.
+
+See DESIGN.md "Kernel backends" for the registry API, regime
+thresholds, fallback semantics, and the checkpoint-fingerprint
+interaction.
+"""
+
+from repro.backends.spec import DEFAULT_BACKEND, BackendSpec, resolve_spec
+from repro.backends.registry import (
+    Backend,
+    backend_names,
+    backend_status,
+    get_backend,
+    register_backend,
+)
+
+# importing the implementation modules populates the registry
+from repro.backends import reference as _reference  # noqa: F401
+from repro.backends import numpy_backend as _numpy_backend  # noqa: F401
+from repro.backends import numba_backend as _numba_backend  # noqa: F401
+from repro.backends.adaptive import REGIMES, adaptive_multiply, partition_rows
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BackendSpec",
+    "resolve_spec",
+    "Backend",
+    "backend_names",
+    "backend_status",
+    "get_backend",
+    "register_backend",
+    "REGIMES",
+    "adaptive_multiply",
+    "partition_rows",
+]

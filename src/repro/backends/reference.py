@@ -1,0 +1,71 @@
+"""The ``reference`` backend — the auditable scalar kernel paths.
+
+These are the original formulations kept for differential testing: the
+per-row Python dictionary walk for hash, the per-row dense scatter/reset
+loop for SPA, and the canonical ESC pipeline (ESC never had a scalar
+twin; its expand–sort–compress steps *are* the reference formulation).
+All accumulate in k-major stream order, so the backend is ``ordered``
+— slower by 6–8x, bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.kernels.csrmm import CsrmmResult
+from repro.kernels.csrmm import csrmm as _csrmm
+from repro.kernels.esc import KernelResult
+from repro.kernels.esc import esc_multiply as _esc_multiply
+from repro.kernels.hash_acc import hash_multiply as _hash_multiply
+from repro.kernels.spa import spa_multiply as _spa_multiply
+
+from repro.backends.registry import Backend, register_backend
+
+
+def hash_multiply(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    a_rows: np.ndarray | None = None,
+    b_row_mask: np.ndarray | None = None,
+) -> KernelResult:
+    return _hash_multiply(a, b, a_rows, b_row_mask, slow=True)
+
+
+def spa_multiply(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    a_rows: np.ndarray | None = None,
+    b_row_mask: np.ndarray | None = None,
+) -> KernelResult:
+    return _spa_multiply(a, b, a_rows, b_row_mask, row_block=None)
+
+
+def esc_multiply(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    a_rows: np.ndarray | None = None,
+    b_row_mask: np.ndarray | None = None,
+) -> KernelResult:
+    return _esc_multiply(a, b, a_rows, b_row_mask)
+
+
+def csrmm(
+    a: CSRMatrix,
+    dense: np.ndarray,
+    a_rows: np.ndarray | None = None,
+) -> CsrmmResult:
+    return _csrmm(a, dense, a_rows)
+
+
+BACKEND = register_backend(Backend(
+    name="reference",
+    impl="reference",
+    ordered=True,
+    available=True,
+    fallback_reason=None,
+    hash_multiply=hash_multiply,
+    spa_multiply=spa_multiply,
+    esc_multiply=esc_multiply,
+    csrmm=csrmm,
+))

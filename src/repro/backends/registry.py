@@ -1,0 +1,113 @@
+"""The kernel-backend registry.
+
+A *backend* is a complete, interchangeable implementation of the numeric
+kernel API — ``hash_multiply`` / ``spa_multiply`` / ``esc_multiply`` /
+``csrmm`` — registered under a stable name.  The package registers three
+on import:
+
+- ``reference`` — the auditable scalar paths (dictionary hash walk,
+  per-row SPA loop);
+- ``numpy``     — the vectorised default (PR 4's segment-reduction
+  kernels);
+- ``numba``     — JIT-compiled row kernels when ``numba`` is importable,
+  transparently falling back to the ``numpy`` implementations otherwise.
+  Availability is probed exactly once, and the reason for a fallback is
+  recorded on the :class:`Backend` so ``repro bench --list`` can report
+  it.
+
+Every backend declares ``ordered``: whether its kernels preserve the
+k-major stream accumulation order and are therefore **bit-identical** to
+the reference walk (and to scipy).  Consumers that verify results use
+this flag to pick exact comparison vs ``allclose``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.metrics import METRICS
+from repro.util.errors import InvalidInputError
+
+from repro.backends.spec import DEFAULT_BACKEND
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered kernel implementation set."""
+
+    #: registered name callers select by
+    name: str
+    #: name of the implementation actually executing (== ``name`` unless
+    #: this backend fell back, e.g. numba -> "numpy")
+    impl: str
+    #: kernels preserve k-major stream accumulation order -> results are
+    #: bit-identical to the scalar references and scipy
+    ordered: bool
+    #: the native implementation is importable and active
+    available: bool
+    #: why ``impl != name`` (None when native)
+    fallback_reason: str | None
+    hash_multiply: Callable
+    spa_multiply: Callable
+    esc_multiply: Callable
+    csrmm: Callable
+
+    def describe(self) -> dict[str, object]:
+        """Status row for ``repro bench --list`` and reports."""
+        return {
+            "name": self.name,
+            "impl": self.impl,
+            "ordered": self.ordered,
+            "available": self.available,
+            "fallback_reason": self.fallback_reason,
+        }
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register (or replace) a backend under its name."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: object = None) -> Backend:
+    """Resolve a backend by name or spec (``None`` -> the default, ``numpy``).
+
+    Accepts a registered name, a :class:`~repro.backends.spec.BackendSpec`
+    (its ``backend`` field is used), or ``None``.  Raises
+    :class:`repro.util.errors.InvalidInputError` for unknown names —
+    backend selection is a public validation gate exactly like operand
+    hardening.
+    """
+    if name is not None and not isinstance(name, str):
+        backend_field = getattr(name, "backend", None)
+        if not isinstance(backend_field, str):
+            raise InvalidInputError(
+                f"backend must be a name, BackendSpec, or None, got {type(name).__name__}",
+                field="backend", value=name,
+            )
+        name = backend_field
+    key = DEFAULT_BACKEND if name is None else name
+    try:
+        backend = _REGISTRY[key]
+    except KeyError:
+        raise InvalidInputError(
+            f"unknown kernel backend {key!r}; registered: {sorted(_REGISTRY)}",
+            field="backend", value=key,
+        ) from None
+    if not backend.available and METRICS.enabled:
+        METRICS.inc("backend.fallback.events")
+    return backend
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def backend_status() -> list[dict[str, object]]:
+    """Availability/fallback rows for every registered backend."""
+    return [_REGISTRY[n].describe() for n in sorted(_REGISTRY)]

@@ -15,7 +15,17 @@ bit-for-bit against ``scipy.sparse`` on the same operands.  The
 vectorised kernels accumulate intermediate products in k-major stream
 order (see :func:`repro.kernels.esc.ordered_segment_sum`), the same
 order scipy's ``csr_matmat`` uses, so exact equality is the contract —
-a verification failure fails the bench run.
+a verification failure fails the bench run.  The harness relaxes the
+contract to ``allclose`` only where the backend declares it cannot
+preserve that order (``Backend.ordered`` is False, e.g. JIT kernels
+with fused accumulation) — and marks the row accordingly.
+
+Cases take the **backend axis** from the harness: ``make(a, b,
+backend)`` binds the operands *and* the kernel backend the timed
+callable dispatches through.  A case may pin its backend (the scalar
+references pin ``numpy`` — their ``slow=True`` / ``row_block=None``
+escape hatches bypass the registry, so the axis would only mislabel
+them); pinned cases ignore ``--backend`` and always report the pin.
 """
 
 from __future__ import annotations
@@ -27,7 +37,12 @@ import numpy as np
 
 from repro.bench.workloads import SMOKE, Workload, get_workload, iter_workloads
 from repro.formats.csr import CSRMatrix
-from repro.kernels import esc_multiply, hash_multiply, spa_multiply
+from repro.kernels import (
+    adaptive_multiply,
+    esc_multiply,
+    hash_multiply,
+    spa_multiply,
+)
 
 
 @dataclass(frozen=True)
@@ -50,14 +65,17 @@ class BenchCase:
     workload: str
     description: str
     tags: tuple = ()
-    #: bind the workload operands, returning the zero-arg timed callable
-    make: Callable[[CSRMatrix, CSRMatrix], Callable[[], CaseOutput]] = field(
+    #: bind the workload operands and kernel backend, returning the
+    #: zero-arg timed callable
+    make: Callable[[CSRMatrix, CSRMatrix, str], Callable[[], CaseOutput]] = field(
         default=None, repr=False
     )
     #: rows of B masked out (cross-quadrant cases); None = full B
     b_row_mask: Callable[[CSRMatrix, CSRMatrix], np.ndarray] | None = field(
         default=None, repr=False
     )
+    #: pinned kernel backend; None = follow the harness ``--backend`` axis
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if "." in self.name:
@@ -126,26 +144,28 @@ def _register(case: BenchCase) -> BenchCase:
 
 
 def _kernel_case(fn: Callable, **kwargs) -> Callable:
-    def make(a: CSRMatrix, b: CSRMatrix) -> Callable[[], CaseOutput]:
-        return lambda: CaseOutput(matrix=fn(a, b, **kwargs).result)
+    def make(a: CSRMatrix, b: CSRMatrix, backend: str) -> Callable[[], CaseOutput]:
+        return lambda: CaseOutput(matrix=fn(a, b, backend=backend, **kwargs).result)
 
     return make
 
 
 def _masked_kernel_case(fn: Callable) -> Callable:
-    def make(a: CSRMatrix, b: CSRMatrix) -> Callable[[], CaseOutput]:
+    def make(a: CSRMatrix, b: CSRMatrix, backend: str) -> Callable[[], CaseOutput]:
         mask = _median_degree_mask(a, b)
-        return lambda: CaseOutput(matrix=fn(a, b, b_row_mask=mask).result)
+        return lambda: CaseOutput(
+            matrix=fn(a, b, b_row_mask=mask, backend=backend).result
+        )
 
     return make
 
 
 def _e2e_case() -> Callable:
-    def make(a: CSRMatrix, b: CSRMatrix) -> Callable[[], CaseOutput]:
+    def make(a: CSRMatrix, b: CSRMatrix, backend: str) -> Callable[[], CaseOutput]:
         from repro.core import hhcpu_multiply
 
         def run() -> CaseOutput:
-            result = hhcpu_multiply(a, b)
+            result = hhcpu_multiply(a, b, backend=backend)
             return CaseOutput(matrix=result.matrix, sim_time_s=result.total_time)
 
         return run
@@ -170,20 +190,30 @@ def _build_registry() -> None:
             description=f"ESC kernel on {wl.name}",
             tags=wl.tags, make=_kernel_case(esc_multiply),
         ))
+        _register(BenchCase(
+            name=f"adaptive-{wl.name}", kind="kernel", workload=wl.name,
+            description=f"adaptive per-row-regime kernel on {wl.name}",
+            tags=wl.tags + ("adaptive",), make=_kernel_case(adaptive_multiply),
+        ))
         if SMOKE in wl.tags:
             # the scalar references only run at smoke sizes — they are
-            # the denominators of the vectorisation speedup ratios
+            # the denominators of the vectorisation speedup ratios.
+            # Their slow=True / row_block=None escape hatches bypass the
+            # backend registry, so the backend axis is pinned to keep
+            # the report column truthful.
             _register(BenchCase(
                 name=f"hash-slow-{wl.name}", kind="kernel", workload=wl.name,
                 description=f"reference dictionary-walk hash kernel on {wl.name}",
                 tags=wl.tags + ("reference",),
                 make=_kernel_case(hash_multiply, slow=True),
+                backend="numpy",
             ))
             _register(BenchCase(
                 name=f"spa-rowwise-{wl.name}", kind="kernel", workload=wl.name,
                 description=f"reference per-row SPA kernel on {wl.name}",
                 tags=wl.tags + ("reference",),
                 make=_kernel_case(spa_multiply, row_block=None),
+                backend="numpy",
             ))
     for wl_name in ("powerlaw-sm", "powerlaw-md"):
         wl = get_workload(wl_name)

@@ -2,7 +2,8 @@
 
     python -m repro bench                         # run everything
     python -m repro bench --filter smoke          # the CI subset
-    python -m repro bench --list                  # show cases, run nothing
+    python -m repro bench --backend numba         # the kernel-backend axis
+    python -m repro bench --list                  # show cases + backends
     python -m repro bench --compare BENCH_old.json --fail-on-regress 25
 
 Exit codes: 0 clean, 1 regression (or verification failure), 2 usage.
@@ -12,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.backends import DEFAULT_BACKEND, backend_status
 from repro.bench.cases import iter_cases
 from repro.bench.harness import (
     DEFAULT_REPEATS,
@@ -29,6 +31,12 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "--filter", default=None, metavar="SUBSTR",
         help="run only cases whose name/workload/tag contains SUBSTR "
              "(e.g. 'smoke' for the CI subset, 'hash' for one kernel)")
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help=f"kernel backend to time (default {DEFAULT_BACKEND}); cases "
+             "with a pinned backend keep their pin; `--list` shows "
+             "availability (an unavailable backend runs its fallback "
+             "and says so in the report)")
     parser.add_argument(
         "--warmup", type=int, default=DEFAULT_WARMUP,
         help=f"untimed warm-up executions per case (default {DEFAULT_WARMUP})")
@@ -64,17 +72,28 @@ def run_bench_command(args: argparse.Namespace) -> int:
         if not cases:
             print(f"no bench cases match filter {args.filter!r}")
             return 2
+        print("backends:")
+        for status in backend_status():
+            if status["available"]:
+                line = f"  {status['name']:10s} available  " \
+                       f"({'ordered' if status['ordered'] else 'unordered'})"
+            else:
+                line = f"  {status['name']:10s} UNAVAILABLE -> falls back to " \
+                       f"{status['impl']}: {status['fallback_reason']}"
+            print(line)
+        print()
         for case in cases:
             tags = f" [{', '.join(sorted(case.tags))}]" if case.tags else ""
+            pin = f" (backend pinned: {case.backend})" if case.backend else ""
             print(f"{case.name:28s} {case.kind:10s} {case.workload:14s}"
-                  f"{tags}  {case.description}")
+                  f"{tags}  {case.description}{pin}")
         return 0
     rev = git_rev()
 
     def timed_run():
         return run_bench(
             filter_substr=args.filter, warmup=args.warmup, repeats=args.repeats,
-            rev=rev,
+            rev=rev, backend=args.backend,
             progress=lambda c: print(f"  bench {c.name} ..."),
         )
 
@@ -92,6 +111,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
                         "filter": args.filter,
                         "warmup": args.warmup,
                         "repeats": args.repeats,
+                        "backend": args.backend or DEFAULT_BACKEND,
                     },
                 },
             ):
@@ -125,6 +145,13 @@ def run_bench_command(args: argparse.Namespace) -> int:
               "wall-time deltas below are cross-environment:")
         for key, pair in sorted(cmp["host_mismatch"].items()):
             print(f"    {key}: baseline {pair['old']!r} vs current {pair['new']!r}")
+    if cmp["backend_mismatch"]:
+        print("  WARNING: kernel backend differs between the reports for "
+              "the case(s) below — their deltas measure the backend swap, "
+              "not a code change:")
+        for entry in cmp["backend_mismatch"]:
+            print(f"    {entry['case']}: baseline {entry['old']!r} "
+                  f"vs current {entry['new']!r}")
     for entry in cmp["rows"]:
         flag = "  REGRESSED" if entry["regressed"] else ""
         sim = "  (sim time changed)" if entry["sim_changed"] else ""

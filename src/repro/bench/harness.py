@@ -26,6 +26,7 @@ from time import perf_counter  # repro: noqa[DET001,CLK001] — the bench harnes
 
 import numpy as np
 
+from repro.backends import DEFAULT_BACKEND, get_backend
 from repro.bench.cases import BenchCase, iter_cases, verify_against_scipy
 from repro.formats.validation import ensure_canonical
 from repro.obs.events import EVENTS, host_info
@@ -67,19 +68,32 @@ def _wall_summary(samples: list[float]) -> dict:
     }
 
 
-def run_case(case: BenchCase, *, warmup: int, repeats: int) -> dict:
-    """Time one case and verify its result; return one schema row."""
+def run_case(
+    case: BenchCase, *, warmup: int, repeats: int, backend: str | None = None
+) -> dict:
+    """Time one case and verify its result; return one schema row.
+
+    ``backend`` selects the kernel backend the case runs under; a case
+    with a pinned ``case.backend`` (the scalar references, which bypass
+    the registry) ignores the axis and always reports its pin.  The
+    verification contract follows the backend: an ``ordered`` backend
+    preserves the k-major stream order and is checked bit-for-bit; an
+    unordered one (e.g. JIT kernels with fused accumulation) is marked
+    and checked with ``allclose``.
+    """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
+    effective = case.backend or backend or DEFAULT_BACKEND
+    resolved = get_backend(effective)
     a, b = case.load_workload().build()
     # same validation gate as the algorithms: a malformed workload fails
     # loudly here instead of skewing timings or the scipy verification
     same = b is a
     a = ensure_canonical(a, name=f"{case.workload}.a")
     b = a if same else ensure_canonical(b, name=f"{case.workload}.b")
-    run = case.make(a, b)
+    run = case.make(a, b, effective)
     for _ in range(warmup):
         run()
     samples: list[float] = []
@@ -98,7 +112,10 @@ def run_case(case: BenchCase, *, warmup: int, repeats: int) -> dict:
                 wall_s=samples[-1], sim_time_s=out.sim_time_s,
             )
     mask = case.b_row_mask(a, b) if case.b_row_mask is not None else None
-    exact = case.kind == "kernel"
+    # bit-identity is only promised where the k-major stream order is
+    # preserved: kernel cases on an ordered backend.  Unordered backends
+    # and end-to-end merges are marked and verified with allclose.
+    exact = case.kind == "kernel" and resolved.ordered
     verify_against_scipy(a, b, out, mask=mask, exact=exact)
     if METRICS.enabled:
         METRICS.inc("bench.cases")
@@ -109,13 +126,15 @@ def run_case(case: BenchCase, *, warmup: int, repeats: int) -> dict:
         EVENTS.emit(
             "case_end", case=case.name, kind=case.kind,
             workload=case.workload, result_nnz=int(out.matrix.nnz),
-            verified=True,
+            backend=effective, verified=True,
         )
     return {
         "case": case.name,
         "kind": case.kind,
         "workload": case.workload,
         "tags": sorted(case.tags),
+        "backend": effective,
+        "backend_impl": resolved.impl,
         "wall_s": _wall_summary(samples),
         "sim_time_s": out.sim_time_s,
         "verified": True,
@@ -130,9 +149,16 @@ def run_bench(
     warmup: int = DEFAULT_WARMUP,
     repeats: int = DEFAULT_REPEATS,
     rev: str | None = None,
+    backend: str | None = None,
     progress=None,
 ) -> dict:
-    """Run every matching case and assemble a ``repro-bench/1`` report."""
+    """Run every matching case and assemble a ``repro-bench/1`` report.
+
+    ``backend`` is the report-wide kernel-backend axis (default
+    ``numpy``); cases with a pinned backend keep their pin and report it
+    in their own row, so one report can mix axes explicitly but never
+    silently.
+    """
     cases = iter_cases(filter_substr)
     if not cases:
         raise ValueError(f"no bench cases match filter {filter_substr!r}")
@@ -140,7 +166,9 @@ def run_bench(
     for case in cases:
         if progress is not None:
             progress(case)
-        results.append(run_case(case, warmup=warmup, repeats=repeats))
+        results.append(
+            run_case(case, warmup=warmup, repeats=repeats, backend=backend)
+        )
     return {
         "schema": SCHEMA,
         "rev": rev if rev is not None else git_rev(),
@@ -149,6 +177,7 @@ def run_bench(
             "warmup": warmup,
             "repeats": repeats,
             "filter": filter_substr,
+            "backend": backend or DEFAULT_BACKEND,
         },
         "results": results,
     }
@@ -207,18 +236,25 @@ def compare_reports(old: dict, new: dict, *, fail_pct: float | None = None) -> d
     """Case-by-case wall-time comparison of two reports.
 
     Returns ``{"rows": [...], "regressions": [...], "missing": [...],
-    "host_mismatch": {...}}``: one row per case present in both reports
-    with the percent change of the wall-time median (positive = new is
-    slower); cases exceeding ``fail_pct`` land in ``regressions``.
-    Simulated-time drift is reported per row (``sim_changed``) but never
-    gates — a modelled-time change is a semantic change to review, not
-    host noise.  ``host_mismatch`` (see :func:`host_mismatch`) is
-    non-empty when the two reports came from different python/numpy/
-    machine triples, in which case the wall-time deltas are
-    cross-environment and should be read as such.
+    "host_mismatch": {...}, "backend_mismatch": [...]}``: one row per
+    case present in both reports with the percent change of the
+    wall-time median (positive = new is slower); cases exceeding
+    ``fail_pct`` land in ``regressions``.  Simulated-time drift is
+    reported per row (``sim_changed``) but never gates — a modelled-time
+    change is a semantic change to review, not host noise.
+    ``host_mismatch`` (see :func:`host_mismatch`) is non-empty when the
+    two reports came from different python/numpy/machine triples, in
+    which case the wall-time deltas are cross-environment and should be
+    read as such.  ``backend_mismatch`` gets the same treatment on the
+    kernel-backend axis: a case whose two rows ran under different
+    backends is flagged (per row and in the summary list, ``{"case",
+    "old", "new"}``) because its delta measures the backend swap, not a
+    code change — never compared silently.  Reports predating the
+    backend axis default to ``numpy``, the then-only implementation.
     """
     old_rows = {row["case"]: row for row in old["results"]}
     rows, regressions, missing = [], [], []
+    backend_mismatch = []
     for row in new["results"]:
         base = old_rows.get(row["case"])
         if base is None:
@@ -227,15 +263,22 @@ def compare_reports(old: dict, new: dict, *, fail_pct: float | None = None) -> d
         old_med = base["wall_s"]["median"]
         new_med = row["wall_s"]["median"]
         pct = ((new_med - old_med) / old_med * 100.0) if old_med > 0 else 0.0
+        old_backend = base.get("backend", "numpy")
+        new_backend = row.get("backend", "numpy")
         entry = {
             "case": row["case"],
             "old_median_s": old_med,
             "new_median_s": new_med,
             "pct": pct,
             "sim_changed": base["sim_time_s"] != row["sim_time_s"],
+            "backend_mismatch": old_backend != new_backend,
             "regressed": fail_pct is not None and pct > fail_pct,
         }
         rows.append(entry)
+        if entry["backend_mismatch"]:
+            backend_mismatch.append(
+                {"case": row["case"], "old": old_backend, "new": new_backend}
+            )
         if entry["regressed"]:
             regressions.append(entry)
     return {
@@ -243,4 +286,5 @@ def compare_reports(old: dict, new: dict, *, fail_pct: float | None = None) -> d
         "regressions": regressions,
         "missing": missing,
         "host_mismatch": host_mismatch(old, new),
+        "backend_mismatch": backend_mismatch,
     }

@@ -53,7 +53,9 @@ from repro.hetero.workqueue import (
     DoubleEndedWorkQueue,
     WorkUnit,
 )
+from repro.backends import get_backend, resolve_spec
 from repro.kernels.merge import merge_tuples, merge_tuples_grouped
+from repro.obs.events import EVENTS
 from repro.obs.metrics import METRICS
 from repro.obs.spans import SPANS
 from repro.core.result import SpmmResult
@@ -117,8 +119,14 @@ class HHCPU:
     platform:
         Simulated platform; defaults to the paper's i7 980 + K20c.
     kernel:
-        Numeric kernel name or callable ('esc' default; 'spa'/'hash' are
-        numerically identical).
+        Numeric kernel name or callable ('esc' default; 'spa'/'hash'/
+        'adaptive' are numerically identical).
+    backend:
+        Kernel-backend selection — a registered name ('reference' /
+        'numpy' / 'numba') or a full
+        :class:`repro.backends.BackendSpec`; ``None`` uses the default
+        spec (numpy).  Forwarded to the kernel dispatchers unless
+        ``kernel`` is an ad-hoc callable and no backend was asked for.
     cpu_rows, gpu_rows:
         Phase III work-unit sizes (paper defaults 1000 / 10000).
     threshold_a, threshold_b:
@@ -152,6 +160,7 @@ class HHCPU:
         platform: HeteroPlatform | None = None,
         *,
         kernel="esc",
+        backend=None,
         cpu_rows: int = DEFAULT_CPU_ROWS,
         gpu_rows: int = DEFAULT_GPU_ROWS,
         threshold_a: int | None = None,
@@ -163,6 +172,15 @@ class HHCPU:
     ):
         self.platform = platform or default_platform()
         self.kernel = resolve_kernel(kernel)
+        self.backend_spec = resolve_spec(backend)
+        # ad-hoc kernel callables predate the registry and may not take a
+        # ``backend=`` kwarg; only forward when the kernel is a registry
+        # dispatcher or the caller explicitly asked for a backend
+        self._kernel_backend = (
+            self.backend_spec
+            if isinstance(kernel, str) or backend is not None
+            else None
+        )
         if cpu_rows <= 0 or gpu_rows <= 0:
             raise ValueError("work-unit sizes must be positive")
         self.cpu_rows = int(cpu_rows)
@@ -207,6 +225,16 @@ class HHCPU:
         if self.faults is not None:
             self.platform.inject_faults(self.faults)
         self.platform.reset()
+        if EVENTS.enabled:
+            be = get_backend(self.backend_spec)
+            EVENTS.emit(
+                "backend_selected",
+                backend=self.backend_spec.backend,
+                impl=be.impl,
+                ordered=be.ordered,
+                available=be.available,
+                fallback_reason=be.fallback_reason,
+            )
         return HHCPURunState(a=a, b=b)
 
     def run_phase1(self, st: HHCPURunState) -> None:
@@ -347,7 +375,7 @@ class HHCPU:
                 run, kind = run_product_resilient(
                     device, fallback, inj, "II", lbl, st.a, st.b,
                     st.contexts[ctx_key], a_rows=chunk, b_row_mask=mask,
-                    kernel=self.kernel,
+                    kernel=self.kernel, backend=self._kernel_backend,
                 )
                 st.phase2_parts.append(run.part)
                 if kind == "gpu":
@@ -394,7 +422,8 @@ class HHCPU:
             run = run_product(
                 device, "III", f"{kind}:{unit.product}[{unit.index}]",
                 st.a, st.b, ctx, a_rows=unit.rows, b_row_mask=mask,
-                kernel=self.kernel, extra_overhead=overhead,
+                kernel=self.kernel, backend=self._kernel_backend,
+                extra_overhead=overhead,
             )
             if METRICS.enabled:
                 METRICS.inc(f"quadrant.{unit.product}.tuples", run.tuples)

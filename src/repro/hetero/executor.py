@@ -17,9 +17,8 @@ from repro.costmodel.context import ProductContext, product_reuse_fractions
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.hardware.device import SimDevice
-from repro.kernels.esc import KernelResult, esc_multiply
+from repro.kernels import SPMM_KERNELS, KernelResult
 from repro.kernels.symbolic import ELEM_BYTES
-from repro.kernels import SPMM_KERNELS
 from repro.obs.spans import SPANS
 
 #: kernel signature shared by esc/spa/hash
@@ -27,7 +26,8 @@ KernelFn = Callable[..., KernelResult]
 
 
 def resolve_kernel(kernel: str | KernelFn) -> KernelFn:
-    """Accept a kernel function or a registry name ('esc', 'spa', 'hash')."""
+    """Accept a kernel function or a registry name
+    ('esc', 'spa', 'hash', 'adaptive')."""
     if callable(kernel):
         return kernel
     try:
@@ -97,16 +97,23 @@ def run_product(
     *,
     a_rows: np.ndarray | None = None,
     b_row_mask: np.ndarray | None = None,
-    kernel: str | KernelFn = esc_multiply,
+    kernel: str | KernelFn = "esc",
     extra_overhead: float = 0.0,
+    backend=None,
 ) -> ProductRun:
     """Execute a row-row (sub)product numerically and charge its
     modelled time (plus ``extra_overhead``, e.g. a work-unit dequeue
     cost) to ``device``.
+
+    ``backend`` (a name or :class:`repro.backends.BackendSpec`) selects
+    the kernel implementation through the backend registry; it is only
+    forwarded when set, so ad-hoc kernel callables that predate the
+    registry keep working.
     """
     fn = resolve_kernel(kernel)
+    kernel_kwargs = {} if backend is None else {"backend": backend}
     with SPANS.span(label, category=f"kernel.{device.kind}") as sp:
-        result = fn(a, b, a_rows=a_rows, b_row_mask=b_row_mask)
+        result = fn(a, b, a_rows=a_rows, b_row_mask=b_row_mask, **kernel_kwargs)
         duration = device.spmm_time(result.stats, ctx) + extra_overhead
         event = device.busy(
             phase,

@@ -40,6 +40,11 @@ def add_run_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                    help="simulated-time budget; the run curtails gracefully, "
                         "checkpoints, and exits 1 (resumable) when spent")
+    p.add_argument("--backend", metavar="NAME", default=None,
+                   help="kernel backend (reference / numpy / numba; default "
+                        "numpy; numba falls back to numpy when unavailable). "
+                        "Fingerprinted: a checkpoint written under one "
+                        "backend refuses to resume under another")
     p.add_argument("--faults", metavar="SPEC", default=None,
                    help="fault-spec JSON file; the fault schedule (including "
                         "its RNG position) is checkpointed and resumes "
@@ -108,6 +113,7 @@ def run_job_command(args: argparse.Namespace) -> int:
         setup.matrix,
         checkpoint_dir=args.checkpoint_dir,
         platform_factory=setup.platform,
+        backend=args.backend,
         faults=fault_spec,
         mem_budget_bytes=mem_budget,
         deadline_s=args.deadline,
@@ -130,6 +136,7 @@ def run_job_command(args: argparse.Namespace) -> int:
                 "host": host_info(),
                 "matrix": args.matrix,
                 "scale": setup.scale,
+                "backend": runner.backend_spec.as_dict(),
                 "faults": fault_spec.as_dict() if fault_spec else None,
                 "deadline_s": args.deadline,
                 "checkpoint_every": args.checkpoint_every or None,

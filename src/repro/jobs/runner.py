@@ -42,6 +42,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backends import resolve_spec
 from repro.core.hhcpu import HHCPU, HHCPURunState
 from repro.core.result import SpmmResult
 from repro.faults.spec import FaultSpec
@@ -58,7 +59,7 @@ from repro.obs.metrics import METRICS
 from repro.util.errors import ResourceExhausted
 
 #: fingerprint domain tag; bump when the fingerprinted config changes
-_FINGERPRINT_DOMAIN = "repro-job/1"
+_FINGERPRINT_DOMAIN = "repro-job/2"
 
 #: outcome counters round-tripped through the checkpoint
 _OUTCOME_FIELDS = (
@@ -94,11 +95,15 @@ class JobRunner:
     itself immediately after writing the N-th checkpoint).
 
     A configuration **fingerprint** (operand bytes + name/scale/kernel/
-    unit sizes/thresholds/fault spec/memory budget) is stamped into
-    every checkpoint; resuming under a different configuration is
-    refused rather than silently computing something else.  The
-    deadline and checkpoint cadence are excluded, so an exhausted job
-    can be resumed with a larger budget.
+    backend spec/unit sizes/thresholds/fault spec/memory budget) is
+    stamped into every checkpoint; resuming under a different
+    configuration is refused rather than silently computing something
+    else.  In particular a checkpoint written under one
+    :class:`repro.backends.BackendSpec` refuses to resume under another
+    — regime thresholds decide which accumulator touched each row, so
+    crossing specs could silently change summation order.  The deadline
+    and checkpoint cadence are excluded, so an exhausted job can be
+    resumed with a larger budget.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class JobRunner:
         checkpoint_dir: str | Path,
         platform_factory: Callable[[], HeteroPlatform] = default_platform,
         kernel: str = "esc",
+        backend=None,
         cpu_rows: int = DEFAULT_CPU_ROWS,
         gpu_rows: int = DEFAULT_GPU_ROWS,
         threshold_a: int | None = None,
@@ -126,6 +132,7 @@ class JobRunner:
         self.checkpoint_dir = Path(checkpoint_dir)
         self.platform_factory = platform_factory
         self.kernel = kernel
+        self.backend_spec = resolve_spec(backend)
         self.cpu_rows = int(cpu_rows)
         self.gpu_rows = int(gpu_rows)
         self.threshold_a = threshold_a
@@ -157,6 +164,7 @@ class JobRunner:
             "matrix_name": self.matrix_name,
             "scale": repr(self.scale),
             "kernel": str(self.kernel),
+            "backend": self.backend_spec.as_dict(),
             "cpu_rows": self.cpu_rows,
             "gpu_rows": self.gpu_rows,
             "threshold_a": self.threshold_a,
@@ -178,6 +186,7 @@ class JobRunner:
         algo = HHCPU(
             self.platform_factory(),
             kernel=self.kernel,
+            backend=self.backend_spec,
             cpu_rows=self.cpu_rows,
             gpu_rows=self.gpu_rows,
             threshold_a=self.threshold_a,

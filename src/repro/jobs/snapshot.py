@@ -180,8 +180,9 @@ def find_resumable(
         if meta.get("fingerprint") != fingerprint:
             raise InvalidInputError(
                 f"checkpoint {path} was written by a different job "
-                "configuration (operands, kernel, unit sizes, thresholds, "
-                "fault spec, or memory budget differ); refusing to resume",
+                "configuration (operands, kernel, backend spec, unit sizes, "
+                "thresholds, fault spec, or memory budget differ); refusing "
+                "to resume",
                 field="checkpoint_dir", path=str(path),
                 expected=fingerprint, found=meta.get("fingerprint"),
             )

@@ -15,6 +15,9 @@ Importing this package populates :data:`repro.lint.base.REGISTRY`:
   serialisation only via the versioned ``repro.jobs.snapshot`` format;
 - **EVT001** (:mod:`~repro.lint.rules.events_rules`) — structured run
   events only via ``repro.obs.events``, never hand-rolled JSONL writes;
+- **BKD001** (:mod:`~repro.lint.rules.backend_rules`) — kernel dispatch
+  in ``repro.core``/``repro.hetero`` only through the ``repro.kernels``
+  entry points, never the raw implementation modules;
 - **CLK002/DET003/ORD001** (:mod:`~repro.lint.rules.dataflow_rules`) —
   project-scoped interprocedural taint rules, produced by the deep pass
   (``repro check --deep``; :mod:`repro.lint.dataflow`).
@@ -27,6 +30,7 @@ the module below, and add a fixture with one violation to
 """
 
 from repro.lint.rules import (
+    backend_rules,
     checkpoint_rules,
     clock,
     dataflow_rules,
@@ -38,6 +42,7 @@ from repro.lint.rules import (
 )
 
 __all__ = [
+    "backend_rules",
     "checkpoint_rules",
     "clock",
     "dataflow_rules",

@@ -14,7 +14,7 @@ and work go?" — the question behind Fig 7's phase breakdown, the
   Perfetto / ``chrome://tracing``) and flat ``metrics.json`` snapshots;
 - :mod:`repro.obs.events` — the append-only ``repro-events/1`` JSONL
   flight recorder (per-run provenance header, numbered records);
-- :mod:`repro.obs.runtable` — the ``repro-runtable/1`` run-table
+- :mod:`repro.obs.runtable` — the ``repro-runtable/2`` run-table
   builder and statistical configuration comparator behind
   ``python -m repro report`` (imported lazily from the CLI);
 - :mod:`repro.obs.profile` — the ``python -m repro profile`` driver

@@ -137,6 +137,11 @@ CATALOG: tuple[MetricSpec, ...] = (
     _c("kernels.hash.launches", "launches", "hash-accumulator launches"),
     _c("kernels.hash.probes", "probes", "hash table probes"),
     _c("kernels.hash.collisions", "probes", "probes that hit an occupied slot"),
+    # -- kernel backends ----------------------------------------------------
+    _c("backend.adaptive.launches", "launches", "adaptive regime-selected multiplies"),
+    _c("backend.adaptive.regime.{regime}.rows", "rows", "rows binned into a regime (short/medium/dense)"),
+    _c("backend.fallback.events", "dispatches", "kernel dispatches served by a fallback implementation (e.g. numba -> numpy)"),
+    _t("backend.numba.jit_compile_wall_s", "seconds", "host wall clock of first-call numba JIT compilation (reporting boundary only)"),
     # -- profile-driver derived gauges -------------------------------------
     _g("trace.phase.{phase}.time_s", "seconds", "per-phase simulated time (max over devices)"),
     _g("trace.phase.{phase}.gap_abs_s", "seconds", "within-phase device gap, absolute"),

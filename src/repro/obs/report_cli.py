@@ -6,7 +6,7 @@
 
 Scans a directory for ``repro-events/1`` JSONL logs, ``repro-bench/1``
 reports, and ``repro-metrics/1`` snapshots; writes the
-``repro-runtable/1`` CSV (one row per (run, repetition)) and prints a
+``repro-runtable/2`` CSV (one row per (run, repetition)) and prints a
 markdown (or JSON) summary.  ``--compare A B`` runs the statistical
 configuration comparator (median delta, bootstrap CI, fixed-seed
 permutation test) on two config labels.
@@ -84,7 +84,7 @@ def run_report_command(args: argparse.Namespace) -> int:
     write_run_table(table["rows"], args.out)
     if args.format == "json":
         doc = {
-            "schema": "repro-runtable/1",
+            "schema": "repro-runtable/2",
             "rows": table["rows"],
             "files": table["files"],
             "skipped": [list(s) for s in table["skipped"]],

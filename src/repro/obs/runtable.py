@@ -2,7 +2,7 @@
 
 Turns a directory of run artifacts — ``repro-events/1`` JSONL event
 logs, ``repro-bench/1`` reports, ``repro-metrics/1`` snapshots — into
-one flat table (the ``repro-runtable/1`` schema): **one row per (run,
+one flat table (the ``repro-runtable/2`` schema): **one row per (run,
 repetition)** with throughput, mean/p95 latency on both clocks (host
 wall and simulated, kept strictly separate per CLK001), and
 failure/retry/checkpoint counts.  This is the artifact the ROADMAP's
@@ -19,6 +19,10 @@ run_id                  unique id of the run the row belongs to
 source                  artifact kind the row came from
                         (events|bench|metrics|service)
 config                  configuration label; ``--compare`` groups rows by it
+backend                 kernel backend the row ran under (reference /
+                        numpy / numba / ...); empty = unknown (older
+                        artifacts default to numpy where the source
+                        guarantees it)
 repetition              0-based repetition index within the run
 samples                 latency samples behind the percentile columns
 work                    work items: A-rows completed (events/metrics runs),
@@ -53,7 +57,7 @@ the simulated-clock columns: a serving experiment runs entirely on the
 simulated clock, and keeping host-time stamps out of the rows is what
 makes two identical-seed load runs byte-identical.
 
-The CSV starts with a ``# repro-runtable/1`` comment line, then the
+The CSV starts with a ``# repro-runtable/2`` comment line, then the
 header row, then rows sorted by (run_id, repetition); floats are
 formatted with ``%.9g``.  Re-aggregating the same artifacts yields a
 byte-identical file.
@@ -84,13 +88,14 @@ from repro.obs.metrics import exact_percentile
 from repro.util.rng import DEFAULT_SEED, resolve_rng
 
 #: run-table schema identifier; bump on any column change
-SCHEMA = "repro-runtable/1"
+SCHEMA = "repro-runtable/2"
 
 #: ordered run-table columns (name, description) — the docs mirror this
 COLUMNS: tuple[tuple[str, str], ...] = (
     ("run_id", "unique id of the run the row belongs to"),
     ("source", "artifact kind the row came from (events|bench|metrics|service)"),
     ("config", "configuration label; --compare groups rows by it"),
+    ("backend", "kernel backend the row ran under (empty = unknown)"),
     ("repetition", "0-based repetition index within the run"),
     ("samples", "latency samples behind the percentile columns"),
     ("work", "work items (A-rows for runs, result nnz for bench cases, "
@@ -184,12 +189,15 @@ def _service_event_rows(header: dict, reps: list[dict]) -> list[dict]:
         "sim_p50_s", "sim_p95_s", "throughput_sim_per_s", "submitted",
         "rejected", "cancelled", "failures", "status",
     )
+    provenance = header.get("provenance") or {}
+    backend = ((provenance.get("spec") or {}).get("service") or {}).get("backend")
     rows = []
     for r in reps:
         row = _row(
             run_id=header["run_id"],
             source="service",
             config=header.get("label") or header["run_id"],
+            backend=backend,
             retries=0, requeues=0, checkpoints=0, resumes=0,
         )
         row.update({name: r.get(name) for name in fields})
@@ -200,6 +208,11 @@ def _service_event_rows(header: dict, reps: list[dict]) -> list[dict]:
 def _bench_event_rows(header: dict, records: list[dict], repeats: list[dict]) -> list[dict]:
     nnz_by_case = {
         r["case"]: r.get("result_nnz")
+        for r in records
+        if r.get("event") == "case_end"
+    }
+    backend_by_case = {
+        r["case"]: r.get("backend")
         for r in records
         if r.get("event") == "case_end"
     }
@@ -217,6 +230,7 @@ def _bench_event_rows(header: dict, records: list[dict], repeats: list[dict]) ->
             run_id=f"{header['run_id']}:{case}",
             source="events",
             config=case,
+            backend=backend_by_case.get(case),
             repetition=int(r["repetition"]),
             samples=1,
             work=work,
@@ -272,10 +286,12 @@ def _run_event_rows(path: Path, header: dict, records: list[dict]) -> dict:
     if by_event.get("deadline_exhausted"):
         status = "exhausted"
 
+    backend_spec = (header.get("provenance") or {}).get("backend")
     return _row(
         run_id=path.stem,
         source="events",
         config=header.get("label") or header["run_id"],
+        backend=(backend_spec or {}).get("backend"),
         repetition=0,
         samples=len(sim_samples) or len(wall_samples),
         work=work,
@@ -321,6 +337,9 @@ def rows_from_bench(doc: dict) -> list[dict]:
                 run_id=run_id,
                 source="bench",
                 config=case,
+                # reports predating the backend axis ran the then-only
+                # vectorised implementation
+                backend=result.get("backend", "numpy"),
                 repetition=repetition,
                 samples=1,
                 work=work,
@@ -471,7 +490,7 @@ def _fmt(value: object) -> str:
 
 
 def render_csv(rows: list[dict]) -> str:
-    """The run table as a ``repro-runtable/1`` CSV string (byte-stable)."""
+    """The run table as a ``repro-runtable/2`` CSV string (byte-stable)."""
     buf = io.StringIO()
     buf.write(f"# {SCHEMA}\n")
     writer = csv.writer(buf, lineterminator="\n")

@@ -3,7 +3,7 @@
 :mod:`repro.service.core` is the deterministic job queue
 (submit/status/result/cancel, admission control, priority classes,
 weighted fair share, batching); :mod:`repro.service.loadgen` drives it
-with seeded open/closed-loop traffic and emits ``repro-runtable/1``
+with seeded open/closed-loop traffic and emits ``repro-runtable/2``
 rows; :mod:`repro.service.cli` exposes both as ``python -m repro
 serve`` / ``python -m repro load``.
 """

@@ -12,7 +12,7 @@ by ``at`` (simulated seconds).  Exit 0 when no job failed, 1 when any
 did, 2 on usage/validation errors.
 
 load — run a deterministic load experiment and write the
-``repro-runtable/1`` rows (plus the flight-recorder event log)::
+``repro-runtable/2`` rows (plus the flight-recorder event log)::
 
     python -m repro load --process closed --tenants 2 --repetitions 2 \\
         --workload powerlaw-sm --run-label cfgA --out-dir artifacts/

@@ -120,6 +120,9 @@ class ServiceConfig:
     max_batch: int = 8
     #: pipeline knobs forwarded to :class:`repro.core.hhcpu.HHCPU`
     kernel: str = "esc"
+    #: kernel-backend name resolved through :mod:`repro.backends`
+    #: ("reference" / "numpy" / "numba"; numba auto-falls back to numpy)
+    backend: str = "numpy"
     cpu_rows: int = 1_000
     gpu_rows: int = 10_000
     #: per-tenant overrides; tenants not listed get ``default_quota``
@@ -153,6 +156,7 @@ class ServiceConfig:
             "batching": self.batching,
             "max_batch": self.max_batch,
             "kernel": self.kernel,
+            "backend": self.backend,
             "cpu_rows": self.cpu_rows,
             "gpu_rows": self.gpu_rows,
             "quotas": {
@@ -295,6 +299,7 @@ class PipelineExecutor:
             )
         pipeline = HHCPU(
             kernel=self._config.kernel,
+            backend=self._config.backend,
             cpu_rows=self._config.cpu_rows,
             gpu_rows=self._config.gpu_rows,
             faults=request.faults,  # type: ignore[arg-type]

@@ -23,7 +23,7 @@ grandchild), so repetition ``k`` sees the same arrivals no matter how
 many repetitions run, and two invocations with the same
 :class:`LoadSpec` produce byte-identical ``run_table.csv`` files.
 
-One ``repro-runtable/1`` row is emitted per (run, repetition) with
+One ``repro-runtable/2`` row is emitted per (run, repetition) with
 ``source="service"``: sim-clock latency stats (mean/p50/p95),
 throughput, and the submitted/rejected/cancelled/failed conservation
 counts.  Wall-clock columns stay empty — a simulated serving run has
@@ -352,6 +352,7 @@ def _rep_row(
         "run_id": f"load:{spec.label}",
         "source": "service",
         "config": spec.label,
+        "backend": service.config.backend,
         "repetition": repetition,
         "samples": len(latencies),
         "work": len(completed),

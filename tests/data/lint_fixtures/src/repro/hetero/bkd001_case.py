@@ -1,0 +1,7 @@
+"""Fixture: exactly one BKD001 violation (raw kernel import above the registry)."""
+
+from repro.kernels.esc import esc_multiply  # pins one implementation
+
+
+def run_pinned(a, b):
+    return esc_multiply(a, b)

@@ -1,0 +1,287 @@
+"""Tests for the kernel-backend registry (:mod:`repro.backends`).
+
+Covers: registry resolution and validation, the numba probe's
+transparent fallback, :class:`BackendSpec` round-trips, the Hypothesis
+cross-backend equivalence suite (every backend pair scipy-equal on
+every kernel; bit-identical where both sides declare ``ordered``), the
+adaptive selector's regime-partition property (every row lands in
+exactly one regime), the ``backend_selected`` event, and the
+cross-backend checkpoint resume refusal.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+import hypothesis.extra.numpy as hnp
+
+from repro.backends import (
+    DEFAULT_BACKEND,
+    BackendSpec,
+    adaptive_multiply,
+    backend_names,
+    backend_status,
+    get_backend,
+    partition_rows,
+    resolve_spec,
+    REGIMES,
+)
+from repro.backends import numba_backend
+from repro.core import HHCPU
+from repro.formats import CSRMatrix
+from repro.hardware.platform import platform_for_scale
+from repro.jobs import JobRunner
+from repro.kernels import esc_multiply, hash_multiply, spa_multiply
+from repro.obs.events import read_events, event_log
+from repro.scalefree import powerlaw_matrix
+from repro.util.errors import InvalidInputError
+
+BACKENDS = backend_names()
+KERNELS = [("hash", hash_multiply), ("spa", spa_multiply), ("esc", esc_multiply)]
+
+
+def pair(m, p, n, da, db, sa, sb):
+    A = sp.random(m, p, density=da, random_state=sa, format="csr")
+    B = sp.random(p, n, density=db, random_state=sb, format="csr")
+    return CSRMatrix.from_scipy(A), CSRMatrix.from_scipy(B), A, B
+
+
+def assert_bit_identical(got, want):
+    g = got.tocsr() if hasattr(got, "tocsr") else got
+    w = want.tocsr() if hasattr(want, "tocsr") else want
+    np.testing.assert_array_equal(g.indptr, w.indptr)
+    np.testing.assert_array_equal(g.indices, w.indices)
+    assert g.data.tobytes() == w.data.tobytes()
+
+
+# -- registry ---------------------------------------------------------------
+
+class TestRegistry:
+    def test_three_backends_registered(self):
+        assert {"reference", "numpy", "numba"} <= set(BACKENDS)
+
+    def test_default_resolution(self):
+        assert get_backend(None).name == DEFAULT_BACKEND == "numpy"
+
+    def test_spec_resolution(self):
+        assert get_backend(BackendSpec(backend="reference")).name == "reference"
+
+    def test_unknown_backend_refused(self):
+        with pytest.raises(InvalidInputError, match="unknown kernel backend"):
+            get_backend("cuda")
+
+    def test_bad_selector_type_refused(self):
+        with pytest.raises(InvalidInputError, match="backend must be"):
+            get_backend(42)
+
+    def test_numba_fallback_is_recorded(self):
+        be = get_backend("numba")
+        if numba_backend._AVAILABLE:
+            assert be.impl == "numba" and be.fallback_reason is None
+        else:
+            # the probe ran once at import and kept the reason verbatim
+            assert be.impl == "numpy"
+            assert be.ordered  # the numpy kernels are ordered
+            assert "numba" in be.fallback_reason
+        status = {s["name"]: s for s in backend_status()}
+        assert status["numba"]["available"] == numba_backend._AVAILABLE
+
+    def test_ordered_flags(self):
+        assert get_backend("reference").ordered
+        assert get_backend("numpy").ordered
+
+
+class TestBackendSpec:
+    def test_round_trip(self):
+        spec = BackendSpec(backend="reference", short_max=16, dense_fill=0.1)
+        assert BackendSpec.from_dict(spec.as_dict()) == spec
+
+    def test_unknown_field_refused(self):
+        with pytest.raises(InvalidInputError, match="unknown BackendSpec"):
+            BackendSpec.from_dict({"backend": "numpy", "turbo": True})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"backend": ""},
+        {"short_max": -1},
+        {"dense_fill": 0.0},
+        {"dense_fill": 1.5},
+        {"cells_budget": 0},
+    ])
+    def test_invalid_values_refused(self, kwargs):
+        with pytest.raises(InvalidInputError):
+            BackendSpec(**kwargs)
+
+    def test_resolve_spec_forms(self):
+        assert resolve_spec(None) == BackendSpec()
+        assert resolve_spec("reference").backend == "reference"
+        spec = BackendSpec(short_max=8)
+        assert resolve_spec(spec) is spec
+        with pytest.raises(InvalidInputError):
+            resolve_spec(3.14)
+
+
+# -- cross-backend equivalence ----------------------------------------------
+
+@st.composite
+def operand_pair(draw, max_dim=9):
+    m = draw(st.integers(1, max_dim))
+    p = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    elems = st.sampled_from([0.0, 0.0, 0.0, 1.0, -1.0, 2.0, 0.5])
+    a = draw(hnp.arrays(np.float64, (m, p), elements=elems))
+    b = draw(hnp.arrays(np.float64, (p, n), elements=elems))
+    return CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)
+
+
+@pytest.mark.parametrize("kernel_name,kernel", KERNELS)
+class TestCrossBackendEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(ab=operand_pair())
+    def test_all_backend_pairs_scipy_equal(self, kernel_name, kernel, ab):
+        a, b = ab
+        want = (a.to_scipy() @ b.to_scipy()).toarray()
+        outs = {name: kernel(a, b, backend=name) for name in BACKENDS}
+        for name, out in outs.items():
+            np.testing.assert_allclose(
+                out.result.todense(), want, rtol=1e-12, atol=0.0,
+                err_msg=f"{kernel_name} under backend {name}",
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(ab=operand_pair())
+    def test_bit_identical_where_ordered(self, kernel_name, kernel, ab):
+        a, b = ab
+        ordered = [n for n in BACKENDS if get_backend(n).ordered]
+        baseline = kernel(a, b, backend=ordered[0]).result
+        for name in ordered[1:]:
+            assert_bit_identical(kernel(a, b, backend=name).result, baseline)
+
+    def test_masked_and_row_restricted(self, kernel_name, kernel):
+        a, b, A, B = pair(20, 15, 18, 0.25, 0.25, 3, 4)
+        rows = np.array([0, 3, 7, 19])
+        mask = np.arange(15) % 2 == 0
+        Bm = B.toarray().copy()
+        Bm[~mask] = 0.0
+        want = np.zeros((20, 18))
+        want[rows] = A.toarray()[rows] @ Bm
+        for name in BACKENDS:
+            out = kernel(a, b, a_rows=rows, b_row_mask=mask, backend=name)
+            np.testing.assert_allclose(
+                out.result.todense(), want, rtol=1e-12, atol=0.0,
+            )
+
+
+class TestAdaptive:
+    @settings(max_examples=25, deadline=None)
+    @given(ab=operand_pair())
+    def test_scipy_equal(self, ab):
+        a, b = ab
+        want = (a.to_scipy() @ b.to_scipy()).toarray()
+        out = adaptive_multiply(a, b)
+        np.testing.assert_allclose(
+            out.result.todense(), want, rtol=1e-12, atol=0.0,
+        )
+
+    def test_bit_identical_to_ordered_backend(self):
+        a, b, *_ = pair(60, 50, 55, 0.15, 0.15, 21, 22)
+        want = hash_multiply(a, b, backend="numpy").result
+        got = adaptive_multiply(a, b, spec=BackendSpec(backend="numpy")).result
+        assert_bit_identical(got, want)
+
+    def test_custom_thresholds_still_exact(self):
+        a, b, *_ = pair(40, 40, 40, 0.2, 0.2, 31, 32)
+        want = hash_multiply(a, b).result
+        for spec in (
+            BackendSpec(short_max=1),              # almost everything medium+
+            BackendSpec(short_max=10_000),         # everything short
+            BackendSpec(dense_fill=0.001),         # everything dense-eligible
+            BackendSpec(cells_budget=64),          # many tiny dense blocks
+        ):
+            got = adaptive_multiply(a, b, spec=spec).result
+            assert_bit_identical(got, want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        row_work=hnp.arrays(np.int64, st.integers(0, 40),
+                            elements=st.integers(0, 10_000)),
+        ncols=st.integers(1, 100_000),
+        short_max=st.integers(1, 200),
+        dense_fill=st.floats(0.001, 1.0, allow_nan=False),
+    )
+    def test_partition_is_exactly_one_regime_per_row(
+        self, row_work, ncols, short_max, dense_fill
+    ):
+        spec = BackendSpec(short_max=short_max, dense_fill=dense_fill)
+        masks = partition_rows(row_work, ncols, spec)
+        assert set(masks) == set(REGIMES)
+        stacked = np.stack([masks[r] for r in REGIMES])
+        # every row is claimed by exactly one regime — the partition is
+        # total and disjoint, whatever the thresholds
+        np.testing.assert_array_equal(
+            stacked.sum(axis=0), np.ones(row_work.size, dtype=np.int64)
+        )
+
+
+# -- backend_selected event -------------------------------------------------
+
+class TestBackendSelectedEvent:
+    def test_hhcpu_begin_emits_backend_selected(self, tmp_path):
+        matrix = powerlaw_matrix(
+            200, alpha=2.5, target_nnz=1_000, hub_bias=0.5, rng=5
+        )
+        path = tmp_path / "events.jsonl"
+        with event_log(path, run_id="be-test"):
+            HHCPU(platform_for_scale(0.001), backend="reference").multiply(
+                matrix, matrix
+            )
+        _, records = read_events(path)
+        selected = [r for r in records if r.get("event") == "backend_selected"]
+        assert len(selected) == 1
+        assert selected[0]["backend"] == "reference"
+        assert selected[0]["impl"] == "reference"
+        assert selected[0]["ordered"] is True
+
+
+# -- cross-backend checkpoint refusal ---------------------------------------
+
+class TestCheckpointRefusal:
+    UNITS = {"cpu_rows": 40, "gpu_rows": 120}
+
+    def _runner(self, matrix, ckdir, **kwargs):
+        return JobRunner(
+            matrix, matrix,
+            checkpoint_dir=ckdir,
+            platform_factory=lambda: platform_for_scale(0.001),
+            checkpoint_every=5,
+            **self.UNITS,
+            **kwargs,
+        )
+
+    def test_resume_under_other_backend_refused(self, tmp_path):
+        matrix = powerlaw_matrix(
+            400, alpha=2.5, target_nnz=2_000, hub_bias=0.5, rng=17
+        )
+        ckdir = tmp_path / "ck"
+        self._runner(matrix, ckdir, backend="numpy").run()
+        drifted = self._runner(matrix, ckdir, backend="reference")
+        with pytest.raises(InvalidInputError, match="different job configuration"):
+            drifted.run(resume=True)
+
+    def test_same_backend_resumes(self, tmp_path):
+        matrix = powerlaw_matrix(
+            400, alpha=2.5, target_nnz=2_000, hub_bias=0.5, rng=17
+        )
+        full = tmp_path / "full"
+        want = self._runner(matrix, full, backend="numpy").run()
+        again = self._runner(matrix, full, backend="numpy").run(resume=True)
+        assert_bit_identical(again.matrix, want.matrix)
+
+    def test_spec_thresholds_fingerprinted(self, tmp_path):
+        matrix = powerlaw_matrix(
+            400, alpha=2.5, target_nnz=2_000, hub_bias=0.5, rng=17
+        )
+        ckdir = tmp_path / "ck"
+        self._runner(matrix, ckdir, backend=BackendSpec(short_max=32)).run()
+        drifted = self._runner(matrix, ckdir, backend=BackendSpec(short_max=8))
+        with pytest.raises(InvalidInputError, match="different job configuration"):
+            drifted.run(resume=True)

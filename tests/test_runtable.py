@@ -1,7 +1,7 @@
 """Tests for the run-table aggregator and comparator (:mod:`repro.obs.runtable`).
 
 Covers: the golden-file contract (a canned artifact directory must
-render to an exactly committed ``repro-runtable/1`` CSV, byte for
+render to an exactly committed ``repro-runtable/2`` CSV, byte for
 byte), per-source row extraction, (run, repetition) deduplication with
 events-over-bench precedence, the statistical configuration comparator
 (identical-seed runs → no significant difference; a deliberately
